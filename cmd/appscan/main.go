@@ -1,0 +1,66 @@
+// Command appscan checks an app population for runtime-change issues,
+// reproducing the methodology of §5.2 (Table 3) and §6 (Table 5): for
+// each app, plant the user state its table row describes, change the
+// screen size, and check whether the state is correctly restored —
+// under stock Android and under RCHDroid.
+//
+// Usage:
+//
+//	appscan                 # scan the TP-27 set
+//	appscan -set top100     # scan the Google Play top-100
+//	appscan -only 28        # scan one app by table row number
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rchdroid/internal/appset"
+	"rchdroid/internal/experiments"
+)
+
+func main() {
+	set := flag.String("set", "tp27", "population: tp27 | top100")
+	only := flag.Int("only", 0, "scan a single app by its table row number (0 = all)")
+	verbose := flag.Bool("verbose", false, "dump the post-change view tree of every app whose state was lost")
+	flag.Parse()
+
+	var models []appset.Model
+	var table string
+	switch *set {
+	case "tp27":
+		models, table = appset.TP27(), "Table 3"
+	case "top100":
+		models, table = appset.Top100(), "Table 5"
+	default:
+		fmt.Fprintf(os.Stderr, "appscan: unknown set %q\n", *set)
+		os.Exit(2)
+	}
+	if *only > 0 {
+		var filtered []appset.Model
+		for _, m := range models {
+			if m.Index == *only {
+				filtered = append(filtered, m)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "appscan: no app #%d in %s\n", *only, *set)
+			os.Exit(2)
+		}
+		models = filtered
+	}
+
+	res := experiments.RunEffectiveness(models, table, *set)
+	fmt.Print(experiments.FormatResult(res))
+
+	if *verbose {
+		for _, row := range res.PerApp {
+			if row.StockOK {
+				continue
+			}
+			fmt.Printf("\n── %s after the change under Android-10 ──\n", row.Model.Name)
+			fmt.Print(experiments.DumpAfterChange(row.Model, experiments.ModeStock))
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command rchbench regenerates every table and figure of the RCHDroid
+// evaluation (§5 and §6 of the paper) on the discrete-event Android
+// framework simulation.
+//
+// Usage:
+//
+//	rchbench                 # run everything
+//	rchbench -exp fig10      # one experiment
+//	rchbench -exp fig7,table5
+//	rchbench -list           # list experiment ids
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"rchdroid/internal/experiments"
+)
+
+var registry = map[string]struct {
+	desc string
+	run  func() experiments.Result
+}{
+	"table1":      {"per-view-type migration policies", func() experiments.Result { return experiments.Table1() }},
+	"table2":      {"framework modification inventory (348 LoC)", func() experiments.Result { return experiments.Table2() }},
+	"fig7":        {"handling time, 27 apps (with fig8)", func() experiments.Result { return experiments.Fig7and8() }},
+	"fig8":        {"memory usage, 27 apps (with fig7)", func() experiments.Result { return experiments.Fig7and8() }},
+	"fig9":        {"CPU/memory trace; stock crash vs RCHDroid migration", func() experiments.Result { return experiments.Fig9() }},
+	"fig10":       {"scalability over view count (a: handling, b: migration)", func() experiments.Result { return experiments.Fig10() }},
+	"fig11":       {"GC trade-off (THRESH_T sweep)", func() experiments.Result { return experiments.Fig11() }},
+	"fig12":       {"comparison with RuntimeDroid (with table4)", func() experiments.Result { return experiments.Fig12() }},
+	"fig13":       {"runtime change issue examples (Twitter, Disney+, KJVBible, Orbot)", func() experiments.Result { return experiments.Fig13() }},
+	"fig9trace":   {"raw Fig 9 CPU/memory time series (use -format csv for plotting)", func() experiments.Result { return experiments.Fig9Trace() }},
+	"table3":      {"effectiveness on the 27-app set (25/27)", func() experiments.Result { return experiments.Table3() }},
+	"table4":      {"RuntimeDroid per-app modifications (with fig12)", func() experiments.Result { return experiments.Fig12() }},
+	"table5":      {"Google Play top-100 scan (63 issues, 59 fixed)", func() experiments.Result { return experiments.Table5() }},
+	"fig14":       {"top-100 handling time and memory (59 fixable apps)", func() experiments.Result { return experiments.Fig14() }},
+	"energy":      {"board power with and without RCHDroid (§5.6)", func() experiments.Result { return experiments.Energy() }},
+	"deploy":      {"deployment overhead vs per-app patching (§5.7)", func() experiments.Result { return experiments.Deployment() }},
+	"ablation":    {"design-choice ablations (mapping, coin flip, GC, lazy)", func() experiments.Result { return experiments.Ablations() }},
+	"summary":     {"paper-vs-measured headline table across all experiments", func() experiments.Result { return experiments.Summary() }},
+	"krefinder":   {"static-analysis baseline vs ground truth (§2.2 false positives)", func() experiments.Result { return experiments.KREFinder() }},
+	"sensitivity": {"cost-model perturbation sweep (IPC, relayout)", func() experiments.Result { return experiments.Sensitivity() }},
+	"spread":      {"replicated-run statistics (§5.1: ≥5 runs, σ<5%)", func() experiments.Result { return experiments.Spread(5) }},
+	"anatomy":     {"per-phase decomposition of restart / init / flip", func() experiments.Result { return experiments.Anatomy() }},
+	"daily":       {"8-hour day extrapolation (rotation every ~5 min, 3 apps)", func() experiments.Result { return experiments.Daily() }},
+}
+
+// order fixes the presentation sequence for `-exp all`.
+var order = []string{
+	"table1", "table2", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13",
+	"table3", "table5", "fig14", "energy", "deploy", "ablation", "krefinder", "sensitivity", "spread", "anatomy", "daily", "summary",
+}
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids (see -list)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	format := flag.String("format", "table", "output format: table | csv")
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(registry))
+		for id := range registry {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Printf("%-9s %s\n", id, registry[id].desc)
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(strings.ToLower(id))
+			if id == "" {
+				continue
+			}
+			if _, ok := registry[id]; !ok {
+				fmt.Fprintf(os.Stderr, "rchbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		r := registry[id].run()
+		switch *format {
+		case "csv":
+			if err := writeCSV(os.Stdout, r); err != nil {
+				fmt.Fprintf(os.Stderr, "rchbench: %v\n", err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Println(experiments.FormatResult(r))
+		}
+	}
+}
+
+// writeCSV emits the experiment as CSV: a comment line with the title and
+// summary, the header, then the data rows — ready for plotting.
+func writeCSV(w *os.File, r experiments.Result) error {
+	fmt.Fprintf(w, "# %s\n# %s\n", r.Title(), r.Summary())
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header()); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(r.Rows()); err != nil {
+		return err
+	}
+	cw.Flush()
+	fmt.Fprintln(w)
+	return cw.Error()
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"rchdroid/internal/experiments"
+)
+
+func TestRegistryAndOrderConsistent(t *testing.T) {
+	for _, id := range order {
+		if _, ok := registry[id]; !ok {
+			t.Errorf("order entry %q missing from registry", id)
+		}
+	}
+	for id, e := range registry {
+		if e.desc == "" || e.run == nil {
+			t.Errorf("registry entry %q incomplete", id)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCSV(f, experiments.Table2()); err != nil {
+		t.Fatal(err)
+	}
+	f.Seek(0, 0)
+	data, _ := os.ReadFile(f.Name())
+	out := string(data)
+	if !strings.HasPrefix(out, "# Table 2") {
+		t.Fatalf("missing title comment:\n%s", out)
+	}
+	if !strings.Contains(out, "Class,Implementation/Modification") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "ActivityStarter") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+}

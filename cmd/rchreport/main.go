@@ -1,0 +1,40 @@
+// Command rchreport regenerates the entire evaluation and writes it as a
+// single markdown document — the machine-produced companion to
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	rchreport                 # write to stdout
+//	rchreport -o report.md    # write to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rchdroid/internal/experiments"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rchreport: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := experiments.WriteMarkdownReport(w, experiments.AllResults()); err != nil {
+		fmt.Fprintf(os.Stderr, "rchreport: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

@@ -1,0 +1,211 @@
+// Command rchsim runs one benchmark app through a scripted sequence of
+// runtime configuration changes and prints what happened: lifecycle
+// transitions, handling latencies, crash or migration outcomes, and the
+// final memory footprint. It is the interactive face of the simulator —
+// the `adb shell wm size` workflow of the artifact appendix.
+//
+// Usage:
+//
+//	rchsim                           # 4-image app, 3 rotations, RCHDroid
+//	rchsim -mode stock               # watch stock Android crash
+//	rchsim -images 16 -changes 5
+//	rchsim -touch=false              # no async task
+//	rchsim -trace                    # dump the event trace
+//	rchsim -script demo.rch          # drive the device from a script file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/appset"
+	"rchdroid/internal/atms"
+	"rchdroid/internal/benchapp"
+	"rchdroid/internal/core"
+	"rchdroid/internal/costmodel"
+	"rchdroid/internal/logcat"
+	"rchdroid/internal/script"
+	"rchdroid/internal/sim"
+	"rchdroid/internal/view"
+)
+
+func main() {
+	mode := flag.String("mode", "rchdroid", "handling scheme: rchdroid | stock")
+	appRef := flag.String("app", "", "drive a modeled app instead of the benchmark: tp27:<row> | top100:<row>")
+	images := flag.Int("images", 4, "ImageViews in the benchmark app")
+	changes := flag.Int("changes", 3, "number of runtime changes")
+	touch := flag.Bool("touch", true, "touch the button (starts the AsyncTask) before the first change")
+	taskMS := flag.Int("task-ms", 400, "AsyncTask duration in ms")
+	trace := flag.Bool("trace", false, "print the full event trace")
+	showLog := flag.Bool("logcat", false, "dump the system log (grep zizhan for handling times)")
+	dump := flag.Bool("dump", false, "dump the foreground view tree after each change")
+	scriptPath := flag.String("script", "", "run a scenario script instead of the built-in rotation loop")
+	flag.Parse()
+
+	sched := sim.NewScheduler()
+	var tracer *sim.RecordingTracer
+	if *trace {
+		tracer = &sim.RecordingTracer{}
+		sched.SetTracer(tracer)
+	}
+	model := costmodel.Default()
+	sys := atms.New(sched, model)
+	lc := logcat.New(sched, 4096)
+	sys.SetLogcat(lc)
+	application := benchapp.New(benchapp.Config{
+		Images:    *images,
+		TaskDelay: time.Duration(*taskMS) * time.Millisecond,
+	})
+	if *appRef != "" {
+		m, err := resolveModel(*appRef)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rchsim: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("driving %v (%s)\n", m, m.Issue)
+		application = m.Build()
+	}
+	proc := app.NewProcess(sched, model, application)
+
+	var rch *core.RCHDroid
+	switch *mode {
+	case "rchdroid":
+		rch = core.Install(sys, proc, core.DefaultOptions())
+	case "stock":
+	default:
+		fmt.Fprintf(os.Stderr, "rchsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	handlerName := proc.Thread().Handler().Name()
+	if *appRef != "" {
+		fmt.Printf("booting %s under %s\n", application.Name, handlerName)
+	} else {
+		fmt.Printf("booting %s under %s (%d ImageViews)\n", application.Name, handlerName, *images)
+	}
+	sys.LaunchApp(proc)
+	sched.Advance(2 * time.Second)
+	report(proc)
+
+	if *scriptPath != "" {
+		src, err := os.ReadFile(*scriptPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rchsim: %v\n", err)
+			os.Exit(1)
+		}
+		steps, err := script.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rchsim: %v\n", err)
+			os.Exit(2)
+		}
+		env := &script.Env{
+			Sched:   sched,
+			Sys:     sys,
+			Procs:   map[string]*app.Process{application.Name: proc},
+			Default: proc,
+		}
+		for _, st := range steps {
+			fmt.Printf("\n[%v] $ %s\n", sched.Now(), st.Text)
+			if err := script.Run(env, []script.Step{st}); err != nil {
+				fmt.Fprintf(os.Stderr, "rchsim: %v\n", err)
+				os.Exit(3)
+			}
+			report(proc)
+		}
+		if *showLog {
+			fmt.Println("\nlogcat:")
+			fmt.Print(indent(lc.Dump()))
+		}
+		return
+	}
+
+	if *touch {
+		fmt.Printf("\n[%v] touch button → AsyncTask (%d ms) in flight\n", sched.Now(), *taskMS)
+		benchapp.TouchButton(proc)
+		sched.Advance(50 * time.Millisecond)
+	}
+
+	for i := 0; i < *changes; i++ {
+		cfg := sys.GlobalConfig().Rotated()
+		fmt.Printf("\n[%v] wm size %dx%d (%s)\n", sched.Now(), cfg.ScreenWidth, cfg.ScreenHeight, cfg.Orientation)
+		sys.PushConfiguration(cfg)
+		sched.Advance(2 * time.Second)
+		if d := sys.LastHandlingTime(); d > 0 && !proc.Crashed() {
+			fmt.Printf("  handled in %.2f ms\n", float64(d)/float64(time.Millisecond))
+		}
+		report(proc)
+		if *dump && !proc.Crashed() {
+			if fg := proc.Thread().ForegroundActivity(); fg != nil {
+				fmt.Print(indent(view.Dump(fg.Decor())))
+			}
+			fmt.Print(indent(sys.DumpStack()))
+		}
+		if proc.Crashed() {
+			fmt.Printf("  FATAL: %v\n", proc.CrashCause())
+			break
+		}
+	}
+
+	if rch != nil {
+		fmt.Printf("\nRCHDroid stats: %d init launches, %d coin flips, %d migrations (%d views)\n",
+			rch.Handler.InitLaunches(), rch.Handler.Flips(),
+			rch.Migrator.Migrations(), rch.Migrator.ViewsMigrated())
+	}
+	if tracer != nil {
+		fmt.Println("\nevent trace:")
+		for _, e := range tracer.Entries {
+			fmt.Printf("  %12v  %s\n", e.At, e.Name)
+		}
+	}
+	if *showLog {
+		fmt.Println("\nlogcat:")
+		fmt.Print(indent(lc.Dump()))
+	}
+}
+
+// resolveModel parses "tp27:<row>" / "top100:<row>" into an app model.
+func resolveModel(ref string) (appset.Model, error) {
+	parts := strings.SplitN(ref, ":", 2)
+	if len(parts) != 2 {
+		return appset.Model{}, fmt.Errorf("bad -app %q (want tp27:<row> or top100:<row>)", ref)
+	}
+	var models []appset.Model
+	switch parts[0] {
+	case "tp27":
+		models = appset.TP27()
+	case "top100":
+		models = appset.Top100()
+	default:
+		return appset.Model{}, fmt.Errorf("unknown set %q", parts[0])
+	}
+	row, err := strconv.Atoi(parts[1])
+	if err != nil || row < 1 || row > len(models) {
+		return appset.Model{}, fmt.Errorf("bad row %q (1..%d)", parts[1], len(models))
+	}
+	return models[row-1], nil
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func report(proc *app.Process) {
+	if proc.Crashed() {
+		fmt.Printf("  process CRASHED; memory %.2f MB\n", proc.Memory().CurrentMB())
+		return
+	}
+	for _, a := range proc.Thread().Activities() {
+		fmt.Printf("  activity #%d: %-9v views=%d loaded=%d\n",
+			a.Token(), a.State(), a.ViewCount(), benchapp.ImagesLoaded(a))
+	}
+	fmt.Printf("  memory %.2f MB\n", proc.Memory().CurrentMB())
+}

@@ -1,0 +1,26 @@
+// Package rchdroid is a full reproduction, in pure Go, of "Transparent
+// Runtime Change Handling for Android Apps" (RCHDroid, ASPLOS 2023).
+//
+// The repository contains a behavioural simulation of the Android
+// activity framework (view system, activity lifecycle, activity thread,
+// ATMS, binder IPC) on a deterministic discrete-event clock, the stock
+// restart-based runtime-change handling as the Android-10 baseline, and
+// RCHDroid itself: shadow/sunny activity states, essence-based view-tree
+// mapping, lazy migration of asynchronous updates, coin-flipping activity
+// stack management and threshold-based shadow GC.
+//
+// Entry points:
+//
+//   - internal/core      — RCHDroid (install with core.Install)
+//   - internal/app       — activities, processes, the activity thread
+//   - internal/atms      — the system server
+//   - internal/view      — the view system
+//   - internal/experiments — one driver per table/figure of the paper
+//   - cmd/rchbench       — regenerate the full evaluation
+//   - cmd/rchsim         — drive one app interactively
+//   - cmd/appscan        — scan app populations for runtime-change issues
+//   - examples/          — runnable walkthroughs
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package rchdroid

@@ -1,0 +1,3 @@
+module rchdroid
+
+go 1.22

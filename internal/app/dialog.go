@@ -1,0 +1,110 @@
+package app
+
+import (
+	"fmt"
+
+	"rchdroid/internal/view"
+)
+
+// Dialog is a floating window owned by an activity — the source of the
+// WindowLeakedException crash mode of §2.3: stock Android destroys the
+// owning activity on a runtime change while the dialog's window is still
+// attached, which leaks the window and kills the app. Under RCHDroid the
+// owner survives in the Shadow state and the dialog with it.
+type Dialog struct {
+	owner   *Activity
+	decor   *view.DecorView
+	title   string
+	showing bool
+}
+
+// ShowDialog creates and shows a dialog owned by the activity. The
+// content spec may be nil for a plain message dialog.
+func (a *Activity) ShowDialog(title string, content *view.Spec) *Dialog {
+	d := &Dialog{
+		owner: a,
+		decor: view.NewDecorView(view.ID(-1000 - len(a.dialogs))),
+		title: title,
+	}
+	if content != nil {
+		view.InflateInto(d.decor, content)
+	}
+	d.decor.AttachToWindow()
+	d.showing = true
+	a.dialogs = append(a.dialogs, d)
+	return d
+}
+
+// Dialogs returns the activity's dialogs, shown or dismissed.
+func (a *Activity) Dialogs() []*Dialog {
+	out := make([]*Dialog, len(a.dialogs))
+	copy(out, a.dialogs)
+	return out
+}
+
+// ShowingDialogs counts currently-visible dialogs.
+func (a *Activity) ShowingDialogs() int {
+	n := 0
+	for _, d := range a.dialogs {
+		if d.showing {
+			n++
+		}
+	}
+	return n
+}
+
+// Owner returns the owning activity.
+func (d *Dialog) Owner() *Activity { return d.owner }
+
+// Title returns the dialog title.
+func (d *Dialog) Title() string { return d.title }
+
+// Showing reports whether the dialog is on screen.
+func (d *Dialog) Showing() bool { return d.showing }
+
+// Decor returns the dialog's window root.
+func (d *Dialog) Decor() *view.DecorView { return d.decor }
+
+// FindViewByID locates a view in the dialog's content.
+func (d *Dialog) FindViewByID(id view.ID) view.View {
+	return view.FindByID(d.decor, id)
+}
+
+// Dismiss hides the dialog. Dismissing a dialog whose window was released
+// by an activity restart raises WindowLeakedError — the deferred-dismiss
+// crash (e.g. a progress dialog closed from an async callback after the
+// rotation destroyed its owner).
+func (d *Dialog) Dismiss() {
+	if d.decor.Base().Released() {
+		panic(&view.WindowLeakedError{ViewID: d.decor.ID()})
+	}
+	d.showing = false
+	d.decor.DetachFromWindow()
+}
+
+func (d *Dialog) String() string {
+	state := "dismissed"
+	if d.showing {
+		state = "showing"
+	}
+	return fmt.Sprintf("dialog(%q, %s)", d.title, state)
+}
+
+// checkWindowLeaks panics with WindowLeakedError if any dialog window is
+// still attached — invoked by the destroy path, mirroring
+// WindowManagerGlobal.closeAll's leak detection.
+func (a *Activity) checkWindowLeaks() {
+	for _, d := range a.dialogs {
+		if d.showing {
+			panic(&view.WindowLeakedError{ViewID: d.decor.ID()})
+		}
+	}
+}
+
+// releaseDialogs tears down all dialog windows with the activity.
+func (a *Activity) releaseDialogs() {
+	for _, d := range a.dialogs {
+		d.showing = false
+		d.decor.Release()
+	}
+}

@@ -1,0 +1,100 @@
+package app
+
+import (
+	"testing"
+	"time"
+
+	"rchdroid/internal/config"
+	"rchdroid/internal/view"
+)
+
+func TestShowDialogBasics(t *testing.T) {
+	_, _, act := launchFragmentApp(t)
+	d := act.ShowDialog("Loading", view.Linear(70, view.Text(71, "please wait")))
+	if !d.Showing() || act.ShowingDialogs() != 1 {
+		t.Fatal("dialog not showing")
+	}
+	if d.Owner() != act || d.Title() != "Loading" {
+		t.Fatal("accessors wrong")
+	}
+	if d.FindViewByID(71) == nil {
+		t.Fatal("dialog content missing")
+	}
+	if d.String() == "" {
+		t.Fatal("String empty")
+	}
+	d.Dismiss()
+	if d.Showing() || act.ShowingDialogs() != 0 {
+		t.Fatal("dismiss failed")
+	}
+	if len(act.Dialogs()) != 1 {
+		t.Fatal("Dialogs() should keep the record")
+	}
+}
+
+func TestPlainMessageDialogWithoutContent(t *testing.T) {
+	_, _, act := launchFragmentApp(t)
+	d := act.ShowDialog("Alert", nil)
+	if !d.Showing() {
+		t.Fatal("not showing")
+	}
+	d.Dismiss()
+}
+
+func TestDialogCountsTowardMemory(t *testing.T) {
+	_, proc, act := launchFragmentApp(t)
+	before := proc.Memory().CurrentBytes()
+	act.ShowDialog("big", view.Linear(70,
+		view.Text(71, "a"), view.Text(72, "b"), view.Text(73, "c")))
+	proc.UpdateMemory()
+	if proc.Memory().CurrentBytes() <= before {
+		t.Fatal("showing dialog must add memory")
+	}
+}
+
+func TestStockRestartWithShowingDialogCrashesWindowLeaked(t *testing.T) {
+	// §2.3: the restart destroys the owner while the dialog window is
+	// attached → WindowLeakedException → app crash.
+	sched, proc, act := launchFragmentApp(t)
+	act.ShowDialog("Progress", nil)
+	proc.Thread().ScheduleRuntimeChange(1, config.Portrait())
+	sched.Advance(time.Second)
+	if !proc.Crashed() {
+		t.Fatal("expected WindowLeaked crash")
+	}
+	cause := proc.CrashCause()
+	if _, ok := cause.Unwrap().(*view.WindowLeakedError); !ok {
+		t.Fatalf("cause = %v, want WindowLeakedError", cause)
+	}
+}
+
+func TestStockRestartAfterDismissIsFine(t *testing.T) {
+	sched, proc, act := launchFragmentApp(t)
+	d := act.ShowDialog("Progress", nil)
+	proc.PostApp("dismiss", time.Millisecond, d.Dismiss)
+	sched.Advance(10 * time.Millisecond)
+	proc.Thread().ScheduleRuntimeChange(1, config.Portrait())
+	sched.Advance(time.Second)
+	if proc.Crashed() {
+		t.Fatalf("crashed: %v", proc.CrashCause())
+	}
+}
+
+func TestDeferredDismissAfterRestartCrashes(t *testing.T) {
+	// The async-callback variant: the task dismisses a progress dialog
+	// whose window the restart already released.
+	sched, proc, act := launchFragmentApp(t)
+	d := act.ShowDialog("Progress", nil)
+	act.StartAsyncTask("work", 300*time.Millisecond, func() {
+		d.Dismiss()
+	})
+	// Dismiss the dialog from the lifecycle's perspective so the restart
+	// itself survives, then release its window with the old instance.
+	proc.PostApp("hide", time.Millisecond, func() { d.showing = false })
+	sched.Advance(10 * time.Millisecond)
+	proc.Thread().ScheduleRuntimeChange(1, config.Portrait())
+	sched.Advance(time.Second) // task returns, Dismiss hits a released window
+	if !proc.Crashed() {
+		t.Fatal("expected deferred WindowLeaked crash")
+	}
+}

@@ -1,0 +1,216 @@
+package app
+
+import (
+	"fmt"
+	"strings"
+
+	"rchdroid/internal/bundle"
+	"rchdroid/internal/view"
+)
+
+// FragmentState is a fragment's lifecycle position.
+type FragmentState uint8
+
+// Fragment lifecycle states.
+const (
+	// FragmentDetached is a fragment not yet added to a manager.
+	FragmentDetached FragmentState = iota
+	// FragmentAttached is added but without a view tree yet.
+	FragmentAttached
+	// FragmentViewCreated has its views inflated into the container.
+	FragmentViewCreated
+	// FragmentDestroyed has been removed; its views are gone.
+	FragmentDestroyed
+)
+
+func (s FragmentState) String() string {
+	switch s {
+	case FragmentAttached:
+		return "Attached"
+	case FragmentViewCreated:
+		return "ViewCreated"
+	case FragmentDestroyed:
+		return "Destroyed"
+	default:
+		return "Detached"
+	}
+}
+
+// FragmentClass is the blueprint for fragments of one kind. Fragments are
+// the §2.2 counterexample to static patching: they attach dynamically and
+// scatter view creation across classes, so a tool that rewrites
+// onCreate-time assignments cannot reconstruct the tree. RCHDroid never
+// looks at who built a view — only at the tree that exists — so fragment
+// views migrate like any others.
+type FragmentClass struct {
+	// Name identifies the class for re-instantiation after a restart.
+	Name string
+	// OnCreateView builds the fragment's layout. Required.
+	OnCreateView func(f *Fragment, host *Activity) *view.Spec
+	// OnDestroyView runs before the fragment's views are removed.
+	OnDestroyView func(f *Fragment, host *Activity)
+}
+
+// Fragment is one live fragment instance hosted by an activity.
+type Fragment struct {
+	class       *FragmentClass
+	tag         string
+	host        *Activity
+	containerID view.ID
+	root        view.View
+	state       FragmentState
+}
+
+// Class returns the fragment's blueprint.
+func (f *Fragment) Class() *FragmentClass { return f.class }
+
+// Tag returns the manager tag.
+func (f *Fragment) Tag() string { return f.tag }
+
+// Host returns the owning activity.
+func (f *Fragment) Host() *Activity { return f.host }
+
+// ContainerID returns the id of the view group the fragment lives in.
+func (f *Fragment) ContainerID() view.ID { return f.containerID }
+
+// Root returns the fragment's inflated view tree, or nil before
+// ViewCreated.
+func (f *Fragment) Root() view.View { return f.root }
+
+// State returns the lifecycle state.
+func (f *Fragment) State() FragmentState { return f.state }
+
+// FindViewByID locates a view inside the fragment's subtree.
+func (f *Fragment) FindViewByID(id view.ID) view.View {
+	if f.root == nil {
+		return nil
+	}
+	return view.FindByID(f.root, id)
+}
+
+func (f *Fragment) String() string {
+	return fmt.Sprintf("fragment(%s:%s, %v)", f.class.Name, f.tag, f.state)
+}
+
+// FragmentManager owns an activity's fragments, in attach order.
+type FragmentManager struct {
+	host      *Activity
+	fragments []*Fragment
+}
+
+// Fragments returns the activity's fragment manager, creating it on first
+// use (getSupportFragmentManager).
+func (a *Activity) Fragments() *FragmentManager {
+	if a.fragmentMgr == nil {
+		a.fragmentMgr = &FragmentManager{host: a}
+	}
+	return a.fragmentMgr
+}
+
+// Count returns the number of live fragments.
+func (m *FragmentManager) Count() int { return len(m.fragments) }
+
+// All returns the fragments in attach order.
+func (m *FragmentManager) All() []*Fragment {
+	out := make([]*Fragment, len(m.fragments))
+	copy(out, m.fragments)
+	return out
+}
+
+// FindByTag returns the fragment with the given tag, or nil.
+func (m *FragmentManager) FindByTag(tag string) *Fragment {
+	for _, f := range m.fragments {
+		if f.tag == tag {
+			return f
+		}
+	}
+	return nil
+}
+
+// Add attaches a new fragment of class under tag into the container view
+// group, inflating its layout immediately (a commit-now transaction). It
+// panics if the container does not exist or is not a group, mirroring
+// IllegalArgumentException("No view found for id").
+func (m *FragmentManager) Add(class *FragmentClass, tag string, containerID view.ID) *Fragment {
+	if m.FindByTag(tag) != nil {
+		panic(fmt.Sprintf("app: fragment tag %q already added", tag))
+	}
+	containerV := m.host.FindViewByID(containerID)
+	container, ok := containerV.(*view.ViewGroup)
+	if !ok {
+		panic(fmt.Sprintf("app: no container view group found for id %d", containerID))
+	}
+	f := &Fragment{class: class, tag: tag, host: m.host, containerID: containerID}
+	f.state = FragmentAttached
+	if class.OnCreateView == nil {
+		panic(fmt.Sprintf("app: fragment class %q has no OnCreateView", class.Name))
+	}
+	spec := class.OnCreateView(f, m.host)
+	f.root = view.Inflate(spec)
+	container.AddChild(f.root)
+	f.state = FragmentViewCreated
+	m.fragments = append(m.fragments, f)
+	return f
+}
+
+// Remove detaches the tagged fragment and removes its views.
+func (m *FragmentManager) Remove(tag string) bool {
+	for i, f := range m.fragments {
+		if f.tag != tag {
+			continue
+		}
+		if f.class.OnDestroyView != nil {
+			f.class.OnDestroyView(f, m.host)
+		}
+		if container, ok := m.host.FindViewByID(f.containerID).(*view.ViewGroup); ok && f.root != nil {
+			container.RemoveChild(f.root)
+		}
+		f.state = FragmentDestroyed
+		f.root = nil
+		m.fragments = append(m.fragments[:i], m.fragments[i+1:]...)
+		return true
+	}
+	return false
+}
+
+// fragmentMetaKey is the bundle key holding the fragment manager's
+// reconstruction records.
+const fragmentMetaKey = "fragments:meta"
+
+// saveMeta records which fragments are attached (class, tag, container)
+// so a new instance can re-create them — FragmentManagerState on Android.
+func (m *FragmentManager) saveMeta(out *bundle.Bundle) {
+	if m == nil || len(m.fragments) == 0 {
+		return
+	}
+	entries := make([]string, 0, len(m.fragments))
+	for _, f := range m.fragments {
+		entries = append(entries, fmt.Sprintf("%s|%s|%d", f.class.Name, f.tag, f.containerID))
+	}
+	out.PutStringSlice(fragmentMetaKey, entries)
+}
+
+// restoreMeta re-attaches the saved fragments on a fresh instance. The
+// host's ActivityClass must register the fragment classes by name.
+func (a *Activity) restoreMeta(saved *bundle.Bundle) {
+	entries := saved.GetStringSlice(fragmentMetaKey)
+	if len(entries) == 0 {
+		return
+	}
+	for _, e := range entries {
+		parts := strings.SplitN(e, "|", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		class := a.class.FragmentClasses[parts[0]]
+		if class == nil {
+			continue // class no longer registered; Android would throw
+		}
+		var containerID view.ID
+		fmt.Sscanf(parts[2], "%d", &containerID)
+		if a.Fragments().FindByTag(parts[1]) != nil {
+			continue
+		}
+		a.Fragments().Add(class, parts[1], containerID)
+	}
+}

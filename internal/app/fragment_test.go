@@ -1,0 +1,238 @@
+package app
+
+import (
+	"testing"
+	"time"
+
+	"rchdroid/internal/bundle"
+	"rchdroid/internal/config"
+	"rchdroid/internal/costmodel"
+	"rchdroid/internal/resources"
+	"rchdroid/internal/sim"
+	"rchdroid/internal/view"
+)
+
+// fragmentApp hosts a FrameLayout container (id 50) and registers a
+// detail fragment class whose layout carries an EditText (id 60) and a
+// status TextView (id 61).
+func fragmentApp() *App {
+	res := resources.NewTable()
+	res.PutDefault("layout/main", view.Linear(1,
+		view.Text(2, "host"),
+		view.Group("FrameLayout", 50),
+	))
+	detail := &FragmentClass{
+		Name: "DetailFragment",
+		OnCreateView: func(f *Fragment, host *Activity) *view.Spec {
+			return view.Linear(55,
+				view.Edit(60, ""),
+				view.Text(61, "idle"),
+			)
+		},
+	}
+	cls := &ActivityClass{
+		Name:            "Host",
+		FragmentClasses: map[string]*FragmentClass{"DetailFragment": detail},
+	}
+	cls.Callbacks.OnCreate = func(a *Activity, saved *bundle.Bundle) {
+		a.SetContentView("layout/main")
+	}
+	return &App{Name: "fragapp", Resources: res, Main: cls}
+}
+
+func launchFragmentApp(t *testing.T) (*sim.Scheduler, *Process, *Activity) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	proc := NewProcess(sched, costmodel.Default(), fragmentApp())
+	proc.Thread().BindSystem(&fakeSystem{})
+	proc.Thread().ScheduleLaunch(proc.App().Main, 1, config.Default(), LaunchOptions{})
+	sched.Advance(time.Second)
+	return sched, proc, proc.Thread().Activity(1)
+}
+
+func TestFragmentAddInflatesIntoContainer(t *testing.T) {
+	_, _, act := launchFragmentApp(t)
+	before := act.ViewCount()
+	f := act.Fragments().Add(act.Class().FragmentClasses["DetailFragment"], "detail", 50)
+	if f.State() != FragmentViewCreated {
+		t.Fatalf("state = %v", f.State())
+	}
+	if act.ViewCount() != before+3 {
+		t.Fatalf("views = %d, want %d", act.ViewCount(), before+3)
+	}
+	if act.FindViewByID(60) == nil {
+		t.Fatal("fragment view not reachable from the activity tree")
+	}
+	if f.FindViewByID(60) == nil || f.FindViewByID(2) != nil {
+		t.Fatal("fragment-scoped lookup wrong")
+	}
+	if f.Host() != act || f.Tag() != "detail" || f.ContainerID() != 50 {
+		t.Fatal("accessors wrong")
+	}
+	if f.String() == "" || FragmentDetached.String() != "Detached" {
+		t.Fatal("string forms wrong")
+	}
+}
+
+func TestFragmentRemoveDetachesViews(t *testing.T) {
+	_, _, act := launchFragmentApp(t)
+	mgr := act.Fragments()
+	mgr.Add(act.Class().FragmentClasses["DetailFragment"], "detail", 50)
+	destroyed := false
+	act.Class().FragmentClasses["DetailFragment"].OnDestroyView = func(f *Fragment, host *Activity) {
+		destroyed = true
+	}
+	if !mgr.Remove("detail") {
+		t.Fatal("Remove returned false")
+	}
+	if !destroyed {
+		t.Fatal("OnDestroyView not called")
+	}
+	if act.FindViewByID(60) != nil {
+		t.Fatal("fragment views linger after removal")
+	}
+	if mgr.Remove("detail") {
+		t.Fatal("double remove succeeded")
+	}
+	if mgr.Count() != 0 {
+		t.Fatal("count wrong")
+	}
+}
+
+func TestFragmentAddPanicsOnBadContainerOrDuplicate(t *testing.T) {
+	_, _, act := launchFragmentApp(t)
+	cls := act.Class().FragmentClasses["DetailFragment"]
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("missing container must panic")
+			}
+		}()
+		act.Fragments().Add(cls, "x", 999)
+	}()
+	act.Fragments().Add(cls, "dup", 50)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate tag must panic")
+		}
+	}()
+	act.Fragments().Add(cls, "dup", 50)
+}
+
+func TestFragmentsSurviveStockRestart(t *testing.T) {
+	// FragmentManager state is part of the stock saved state: the new
+	// instance re-attaches the fragments and restores their EditText.
+	sched, proc, act := launchFragmentApp(t)
+	act.Fragments().Add(act.Class().FragmentClasses["DetailFragment"], "detail", 50)
+	proc.PostApp("type", time.Millisecond, func() {
+		act.FindViewByID(60).(*view.EditText).Type("fragment draft")
+	})
+	sched.Advance(10 * time.Millisecond)
+
+	proc.Thread().ScheduleRuntimeChange(1, config.Portrait())
+	sched.Advance(time.Second)
+
+	act2 := proc.Thread().Activity(1)
+	if act2 == act {
+		t.Fatal("expected a new instance")
+	}
+	f := act2.Fragments().FindByTag("detail")
+	if f == nil || f.State() != FragmentViewCreated {
+		t.Fatalf("fragment not re-attached: %v", f)
+	}
+	if got := act2.FindViewByID(60).(*view.EditText).Text(); got != "fragment draft" {
+		t.Fatalf("EditText = %q", got)
+	}
+	// Programmatic status text, by contrast, is NOT stock-persisted.
+	proc2 := proc
+	_ = proc2
+}
+
+func TestFragmentStatusTextLostOnStockRestartOnly(t *testing.T) {
+	sched, proc, act := launchFragmentApp(t)
+	act.Fragments().Add(act.Class().FragmentClasses["DetailFragment"], "detail", 50)
+	proc.PostApp("status", time.Millisecond, func() {
+		act.FindViewByID(61).(*view.TextView).SetText("42 items loaded")
+	})
+	sched.Advance(10 * time.Millisecond)
+
+	proc.Thread().ScheduleRuntimeChange(1, config.Portrait())
+	sched.Advance(time.Second)
+	act2 := proc.Thread().Activity(1)
+	if got := act2.FindViewByID(61).(*view.TextView).Text(); got != "idle" {
+		t.Fatalf("stock restart should lose programmatic fragment text, got %q", got)
+	}
+}
+
+func TestNestedFragmentContainers(t *testing.T) {
+	// A fragment whose layout carries another container, into which a
+	// second fragment is attached — nesting of the kind §2.2 calls
+	// "highly dynamic".
+	_, _, act := launchFragmentApp(t)
+	outer := &FragmentClass{
+		Name: "Outer",
+		OnCreateView: func(f *Fragment, host *Activity) *view.Spec {
+			return view.Group("FrameLayout", 70, view.Text(71, "outer"))
+		},
+	}
+	inner := &FragmentClass{
+		Name: "Inner",
+		OnCreateView: func(f *Fragment, host *Activity) *view.Spec {
+			return view.Linear(72, view.Edit(73, "nested"))
+		},
+	}
+	act.Class().FragmentClasses["Outer"] = outer
+	act.Class().FragmentClasses["Inner"] = inner
+
+	act.Fragments().Add(outer, "outer", 50)
+	act.Fragments().Add(inner, "inner", 70) // container provided by outer
+	if act.FindViewByID(73) == nil {
+		t.Fatal("nested fragment views missing")
+	}
+	if act.Fragments().Count() != 2 {
+		t.Fatalf("fragments = %d", act.Fragments().Count())
+	}
+	// Removing the outer fragment takes the inner's views with it
+	// (they live in its subtree) while the inner record remains — the
+	// sharp edge real FragmentManagers guard with nested managers.
+	act.Fragments().Remove("outer")
+	if act.FindViewByID(73) != nil {
+		t.Fatal("inner views should vanish with the outer subtree")
+	}
+}
+
+func TestFragmentMetaSurvivesNestedOrder(t *testing.T) {
+	// Save/restore must re-attach in the original order so containers
+	// exist before their tenants.
+	sched, proc, act := launchFragmentApp(t)
+	outer := &FragmentClass{
+		Name: "Outer",
+		OnCreateView: func(f *Fragment, host *Activity) *view.Spec {
+			return view.Group("FrameLayout", 70)
+		},
+	}
+	inner := &FragmentClass{
+		Name: "Inner",
+		OnCreateView: func(f *Fragment, host *Activity) *view.Spec {
+			return view.Linear(72, view.Edit(73, ""))
+		},
+	}
+	act.Class().FragmentClasses["Outer"] = outer
+	act.Class().FragmentClasses["Inner"] = inner
+	act.Fragments().Add(outer, "outer", 50)
+	act.Fragments().Add(inner, "inner", 70)
+	proc.PostApp("type", time.Millisecond, func() {
+		act.FindViewByID(73).(*view.EditText).Type("deep state")
+	})
+	sched.Advance(10 * time.Millisecond)
+
+	proc.Thread().ScheduleRuntimeChange(1, config.Portrait())
+	sched.Advance(time.Second)
+	act2 := proc.Thread().Activity(1)
+	if act2.Fragments().Count() != 2 {
+		t.Fatalf("fragments after restart = %d", act2.Fragments().Count())
+	}
+	if got := act2.FindViewByID(73).(*view.EditText).Text(); got != "deep state" {
+		t.Fatalf("nested state = %q", got)
+	}
+}

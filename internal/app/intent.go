@@ -1,0 +1,68 @@
+package app
+
+import "strings"
+
+// IntentFlag is a bit in an Intent's flag mask.
+type IntentFlag uint32
+
+// Intent flags. FlagSunny is the RCHDroid addition to the Intent class
+// (Table 2: 4 LoC) — it tells the ActivityStarter that this creation
+// request is a runtime-change handling request, so a second instance of
+// the same activity must be allowed.
+const (
+	FlagNewTask IntentFlag = 1 << iota
+	FlagSingleTop
+	FlagClearTop
+	FlagSunny
+)
+
+func (f IntentFlag) String() string {
+	var parts []string
+	if f&FlagNewTask != 0 {
+		parts = append(parts, "NEW_TASK")
+	}
+	if f&FlagSingleTop != 0 {
+		parts = append(parts, "SINGLE_TOP")
+	}
+	if f&FlagClearTop != 0 {
+		parts = append(parts, "CLEAR_TOP")
+	}
+	if f&FlagSunny != 0 {
+		parts = append(parts, "SUNNY")
+	}
+	if len(parts) == 0 {
+		return "DEFAULT"
+	}
+	return strings.Join(parts, "|")
+}
+
+// Has reports whether flag is set.
+func (f IntentFlag) Has(flag IntentFlag) bool { return f&flag != 0 }
+
+// Intent is an activity start request.
+type Intent struct {
+	// Package names the target app.
+	Package string
+	// Activity names the target activity within the app.
+	Activity string
+	// Flags modify start semantics.
+	Flags IntentFlag
+}
+
+// NewIntent returns an intent targeting pkg/activity with default flags.
+func NewIntent(pkg, activity string) Intent {
+	return Intent{Package: pkg, Activity: activity}
+}
+
+// WithFlags returns a copy with the given flags added.
+func (i Intent) WithFlags(f IntentFlag) Intent {
+	i.Flags |= f
+	return i
+}
+
+// Sunny reports whether the sunny flag is set.
+func (i Intent) Sunny() bool { return i.Flags.Has(FlagSunny) }
+
+func (i Intent) String() string {
+	return i.Package + "/" + i.Activity + "[" + i.Flags.String() + "]"
+}

@@ -1,0 +1,99 @@
+// Package app models the application side of the Android framework: the
+// activity lifecycle, the activity thread (UI looper) that executes
+// lifecycle transactions, app processes with crash semantics and memory
+// accounting, and asynchronous tasks. It exposes the two seams RCHDroid
+// patches — the runtime-change handler on the activity thread and the
+// invalidate hook on the view tree — so the core package can install the
+// paper's behaviour without this package knowing about it.
+package app
+
+// LifecycleState enumerates the activity lifecycle of Fig 4: the six
+// stock states plus the two RCHDroid additions drawn with dotted lines.
+type LifecycleState uint8
+
+// Lifecycle states.
+const (
+	// StateNone is an activity not yet created.
+	StateNone LifecycleState = iota
+	// StateCreated follows onCreate.
+	StateCreated
+	// StateStarted follows onStart.
+	StateStarted
+	// StateResumed is the visible, interactive state.
+	StateResumed
+	// StatePaused means another activity has focus.
+	StatePaused
+	// StateStopped means the activity is no longer visible.
+	StateStopped
+	// StateDestroyed is terminal; the view tree has been released.
+	StateDestroyed
+	// StateShadow is the RCHDroid state: invisible but alive, still able
+	// to run asynchronous callbacks against its view tree.
+	StateShadow
+	// StateSunny is the RCHDroid state: foreground and visible, with its
+	// view tree mirroring changes from the coupled shadow activity.
+	StateSunny
+)
+
+func (s LifecycleState) String() string {
+	switch s {
+	case StateCreated:
+		return "Created"
+	case StateStarted:
+		return "Started"
+	case StateResumed:
+		return "Resumed"
+	case StatePaused:
+		return "Paused"
+	case StateStopped:
+		return "Stopped"
+	case StateDestroyed:
+		return "Destroyed"
+	case StateShadow:
+		return "Shadow"
+	case StateSunny:
+		return "Sunny"
+	default:
+		return "None"
+	}
+}
+
+// Alive reports whether an activity in this state still owns a live view
+// tree (everything except None and Destroyed).
+func (s LifecycleState) Alive() bool {
+	return s != StateNone && s != StateDestroyed
+}
+
+// Visible reports whether the state is shown to the user.
+func (s LifecycleState) Visible() bool {
+	return s == StateResumed || s == StateSunny
+}
+
+// validTransitions encodes the edges of Fig 4 (solid stock edges plus the
+// dotted RCHDroid edges).
+var validTransitions = map[LifecycleState][]LifecycleState{
+	StateNone:      {StateCreated},
+	StateCreated:   {StateStarted, StateDestroyed},
+	StateStarted:   {StateResumed, StateStopped, StateSunny},
+	StateResumed:   {StatePaused, StateShadow, StateSunny},
+	StatePaused:    {StateResumed, StateStopped, StateShadow},
+	StateStopped:   {StateStarted, StateDestroyed, StateShadow},
+	StateDestroyed: {},
+	// Shadow flips back to Sunny on a coin flip, is destroyed by GC, or
+	// is demoted to plain Stopped when it loses its coupling while
+	// asynchronous work is still in flight (a "zombie").
+	StateShadow: {StateSunny, StateDestroyed, StateResumed, StateStopped},
+	// Sunny behaves as Resumed; it can pause, flip to shadow, or settle
+	// into plain Resumed when its shadow partner is garbage-collected.
+	StateSunny: {StatePaused, StateShadow, StateResumed, StateDestroyed},
+}
+
+// CanTransition reports whether from→to is a legal lifecycle edge.
+func CanTransition(from, to LifecycleState) bool {
+	for _, t := range validTransitions[from] {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,113 @@
+package app
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLifecycleStateStrings(t *testing.T) {
+	want := map[LifecycleState]string{
+		StateNone: "None", StateCreated: "Created", StateStarted: "Started",
+		StateResumed: "Resumed", StatePaused: "Paused", StateStopped: "Stopped",
+		StateDestroyed: "Destroyed", StateShadow: "Shadow", StateSunny: "Sunny",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+func TestAliveAndVisible(t *testing.T) {
+	if StateNone.Alive() || StateDestroyed.Alive() {
+		t.Error("None/Destroyed must not be alive")
+	}
+	for _, s := range []LifecycleState{StateCreated, StateResumed, StateShadow, StateSunny, StatePaused, StateStopped} {
+		if !s.Alive() {
+			t.Errorf("%v should be alive", s)
+		}
+	}
+	if !StateResumed.Visible() || !StateSunny.Visible() {
+		t.Error("Resumed/Sunny must be visible")
+	}
+	if StateShadow.Visible() || StateStopped.Visible() {
+		t.Error("Shadow/Stopped must not be visible")
+	}
+}
+
+func TestStockLifecyclePath(t *testing.T) {
+	path := []LifecycleState{StateCreated, StateStarted, StateResumed, StatePaused, StateStopped, StateDestroyed}
+	cur := StateNone
+	for _, next := range path {
+		if !CanTransition(cur, next) {
+			t.Fatalf("stock path blocked at %v → %v", cur, next)
+		}
+		cur = next
+	}
+}
+
+func TestRCHDroidLifecyclePath(t *testing.T) {
+	// Fig 4 dotted edges: Resumed → Shadow → Sunny → Shadow → Destroyed.
+	edges := [][2]LifecycleState{
+		{StateResumed, StateShadow},
+		{StateShadow, StateSunny},
+		{StateSunny, StateShadow},
+		{StateShadow, StateDestroyed},
+		{StateStarted, StateSunny},
+		{StateSunny, StateResumed},
+	}
+	for _, e := range edges {
+		if !CanTransition(e[0], e[1]) {
+			t.Errorf("RCHDroid edge %v → %v missing", e[0], e[1])
+		}
+	}
+}
+
+func TestIllegalTransitions(t *testing.T) {
+	bad := [][2]LifecycleState{
+		{StateDestroyed, StateCreated},
+		{StateDestroyed, StateResumed},
+		{StateNone, StateResumed},
+		{StateCreated, StateResumed}, // must pass through Started
+		{StateStopped, StateResumed}, // must pass through Started
+	}
+	for _, e := range bad {
+		if CanTransition(e[0], e[1]) {
+			t.Errorf("illegal edge %v → %v allowed", e[0], e[1])
+		}
+	}
+}
+
+// Property: Destroyed is terminal — no outgoing edges.
+func TestDestroyedTerminalProperty(t *testing.T) {
+	f := func(to uint8) bool {
+		return !CanTransition(StateDestroyed, LifecycleState(to%9))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntentFlags(t *testing.T) {
+	i := NewIntent("com.example", "Main")
+	if i.Sunny() {
+		t.Error("default intent must not be sunny")
+	}
+	s := i.WithFlags(FlagSunny)
+	if !s.Sunny() || !s.Flags.Has(FlagSunny) {
+		t.Error("WithFlags(FlagSunny) failed")
+	}
+	if i.Sunny() {
+		t.Error("WithFlags must not mutate the receiver")
+	}
+	if got := s.String(); got != "com.example/Main[SUNNY]" {
+		t.Errorf("String = %q", got)
+	}
+	if IntentFlag(0).String() != "DEFAULT" {
+		t.Errorf("empty flags = %q", IntentFlag(0).String())
+	}
+	all := FlagNewTask | FlagSingleTop | FlagClearTop | FlagSunny
+	if all.String() != "NEW_TASK|SINGLE_TOP|CLEAR_TOP|SUNNY" {
+		t.Errorf("all flags = %q", all.String())
+	}
+}

@@ -1,0 +1,249 @@
+package app
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rchdroid/internal/costmodel"
+	"rchdroid/internal/ipc"
+	"rchdroid/internal/looper"
+	"rchdroid/internal/metrics"
+	"rchdroid/internal/resources"
+	"rchdroid/internal/sim"
+	"rchdroid/internal/view"
+)
+
+// App is an installed application: its resources, its main activity class
+// and its baseline memory footprint (apps differ widely; the app-set
+// models set this per app).
+type App struct {
+	// Name is the package name.
+	Name string
+	// Resources is the app's configuration-qualified resource table.
+	Resources *resources.Table
+	// Main is the launcher activity class.
+	Main *ActivityClass
+	// Activities holds the app's non-launcher activity classes by name
+	// (multi-activity apps: Main → Detail → …).
+	Activities map[string]*ActivityClass
+	// ExtraBaseBytes adds to the cost model's process base, modelling
+	// app-specific heap (caches, libraries). Zero is a minimal app.
+	ExtraBaseBytes int64
+}
+
+// ClassByName resolves an activity class by name, checking the launcher
+// first.
+func (a *App) ClassByName(name string) *ActivityClass {
+	if a.Main != nil && a.Main.Name == name {
+		return a.Main
+	}
+	return a.Activities[name]
+}
+
+// CrashError wraps the exception that killed a process.
+type CrashError struct {
+	App   string
+	Cause error
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("app %s crashed: %v", e.App, e.Cause)
+}
+
+func (e *CrashError) Unwrap() error { return e.Cause }
+
+// Process is a running app process: one UI looper, an activity thread,
+// memory accounting and crash state.
+type Process struct {
+	app      *App
+	sched    *sim.Scheduler
+	model    *costmodel.Model
+	uiLooper *looper.Looper
+	endpoint *ipc.Endpoint
+	thread   *ActivityThread
+	mem      *metrics.MemoryMeter
+	cpu      *metrics.CPUMeter
+
+	crashed  bool
+	crashErr *CrashError
+
+	busyByName map[string]time.Duration
+	busyLog    []string
+	logBusy    bool
+
+	services map[string]*Service
+
+	asyncInFlight int
+}
+
+// NewProcess boots a process for app on the given scheduler and cost
+// model. The activity thread is created alongside; wire it to a system
+// server before launching activities.
+func NewProcess(sched *sim.Scheduler, model *costmodel.Model, app *App) *Process {
+	p := &Process{
+		app:      app,
+		sched:    sched,
+		model:    model,
+		uiLooper: looper.New(sched, app.Name+":ui"),
+		mem:      metrics.NewMemoryMeter(sched, app.Name+":mem"),
+		cpu:      metrics.NewCPUMeter(10 * time.Millisecond),
+	}
+	p.busyByName = make(map[string]time.Duration)
+	p.uiLooper.SetBusyObserver(func(start sim.Time, cost time.Duration, name string) {
+		p.cpu.OnBusy(start, cost, name)
+		p.busyByName[name] += cost
+		if p.logBusy {
+			p.busyLog = append(p.busyLog, start.String()+" "+name)
+		}
+	})
+	p.thread = newActivityThread(p)
+	p.mem.Set(model.ProcessBaseBytes + app.ExtraBaseBytes)
+	return p
+}
+
+// App returns the installed application.
+func (p *Process) App() *App { return p.app }
+
+// Scheduler returns the simulation scheduler.
+func (p *Process) Scheduler() *sim.Scheduler { return p.sched }
+
+// Model returns the cost model in effect.
+func (p *Process) Model() *costmodel.Model { return p.model }
+
+// UILooper returns the process's UI looper.
+func (p *Process) UILooper() *looper.Looper { return p.uiLooper }
+
+// Endpoint returns the binder endpoint targeting this process's UI
+// looper; the system server transacts lifecycle commands against it.
+func (p *Process) Endpoint() *ipc.Endpoint {
+	if p.endpoint == nil {
+		p.endpoint = ipc.NewEndpoint(p.app.Name, p.uiLooper)
+	}
+	return p.endpoint
+}
+
+// Thread returns the activity thread.
+func (p *Process) Thread() *ActivityThread { return p.thread }
+
+// Memory returns the memory meter.
+func (p *Process) Memory() *metrics.MemoryMeter { return p.mem }
+
+// CPU returns the UI-thread CPU meter.
+func (p *Process) CPU() *metrics.CPUMeter { return p.cpu }
+
+// EnableBusyLog starts recording an ordered log of every UI-thread
+// message (timestamp + name) — the message-level trace used by the
+// determinism and causal-ordering tests.
+func (p *Process) EnableBusyLog() { p.logBusy = true }
+
+// BusyLog returns the ordered message log recorded since EnableBusyLog.
+func (p *Process) BusyLog() []string {
+	out := make([]string, len(p.busyLog))
+	copy(out, p.busyLog)
+	return out
+}
+
+// BusyMatching sums UI-thread busy time across messages whose name
+// contains substr — used to attribute CPU to RCHDroid machinery
+// ("rch:" messages) separately from app and framework work.
+func (p *Process) BusyMatching(substr string) time.Duration {
+	var total time.Duration
+	for name, d := range p.busyByName {
+		if strings.Contains(name, substr) {
+			total += d
+		}
+	}
+	return total
+}
+
+// Crashed reports whether the process has died.
+func (p *Process) Crashed() bool { return p.crashed }
+
+// CrashCause returns the fatal exception, or nil.
+func (p *Process) CrashCause() *CrashError { return p.crashErr }
+
+// Crash kills the process: the looper stops, activities are released and
+// reported memory drops to zero — the Fig 9 Android-10 trace at 117 ms.
+func (p *Process) Crash(cause error) {
+	if p.crashed {
+		return
+	}
+	p.crashed = true
+	p.crashErr = &CrashError{App: p.app.Name, Cause: cause}
+	p.uiLooper.Quit()
+	for _, a := range p.thread.Activities() {
+		if a.State().Alive() {
+			a.releaseDialogs()
+			a.decor.Release()
+			a.state = StateDestroyed
+		}
+	}
+	for _, s := range p.services {
+		s.running = false
+	}
+	p.mem.Set(0)
+}
+
+// UpdateMemory recomputes the process footprint from live activities.
+func (p *Process) UpdateMemory() {
+	if p.crashed {
+		return
+	}
+	total := p.model.ProcessBaseBytes + p.app.ExtraBaseBytes
+	for _, a := range p.thread.Activities() {
+		total += a.MemoryBytes()
+	}
+	p.mem.Set(total)
+}
+
+// PostApp runs app-level code on the UI thread with crash-on-exception
+// semantics: a NullPointerError or WindowLeakedError escaping the
+// callback kills the process, exactly like an uncaught exception on the
+// Android main thread.
+func (p *Process) PostApp(name string, cost time.Duration, fn func()) {
+	if p.crashed {
+		return
+	}
+	p.uiLooper.Post(name, cost, func() {
+		defer func() {
+			if r := recover(); r != nil {
+				switch err := r.(type) {
+				case *view.NullPointerError:
+					p.Crash(err)
+				case *view.WindowLeakedError:
+					p.Crash(err)
+				default:
+					panic(r)
+				}
+			}
+		}()
+		fn()
+	})
+}
+
+// StartAsyncTask runs a background task for owner. After d of background
+// work the result event is delivered to the UI thread; the delivery
+// callback runs the app closure and then gives the runtime-change handler
+// its post-callback hook (where RCHDroid's lazy migration flushes).
+func (p *Process) StartAsyncTask(owner *Activity, name string, d time.Duration, onPost func()) {
+	if p.crashed {
+		return
+	}
+	p.asyncInFlight++
+	owner.asyncInFlight++
+	p.sched.After(d, p.app.Name+":async:"+name, func() {
+		p.asyncInFlight--
+		owner.asyncInFlight--
+		if p.crashed {
+			return
+		}
+		p.PostApp("asyncResult:"+name, p.model.AsyncCallback, func() {
+			onPost()
+			p.thread.afterUICallback(owner)
+		})
+	})
+}
+
+// AsyncInFlight returns the number of background tasks still running.
+func (p *Process) AsyncInFlight() int { return p.asyncInFlight }

@@ -1,0 +1,103 @@
+package app
+
+import "fmt"
+
+// ServiceClass is the blueprint for an app's background service. Services
+// are process-scoped: they outlive activity instances — unless the app's
+// own lifecycle code stops them. That is exactly the BlueNET bug of
+// Table 3 (#4): the developer stops the server in onDestroy, assuming
+// destruction means the user left, so the restart-based runtime change
+// handling silently turns the server off. Under RCHDroid the activity is
+// never destroyed and the service keeps running.
+type ServiceClass struct {
+	// Name identifies the service within the app.
+	Name string
+	// OnStart runs when the service starts (onStartCommand).
+	OnStart func(s *Service)
+	// OnStop runs when the service is stopped (onDestroy).
+	OnStop func(s *Service)
+}
+
+// Service is one running (or stopped) service instance.
+type Service struct {
+	class   *ServiceClass
+	proc    *Process
+	running bool
+	starts  int
+	stops   int
+}
+
+// Class returns the service blueprint.
+func (s *Service) Class() *ServiceClass { return s.class }
+
+// Running reports whether the service is active.
+func (s *Service) Running() bool { return s.running }
+
+// Starts returns how many times the service was started.
+func (s *Service) Starts() int { return s.starts }
+
+// Stops returns how many times the service was stopped.
+func (s *Service) Stops() int { return s.stops }
+
+func (s *Service) String() string {
+	state := "stopped"
+	if s.running {
+		state = "running"
+	}
+	return fmt.Sprintf("service(%s, %s)", s.class.Name, state)
+}
+
+// StartService starts (or restarts) the named service. Starting an
+// already-running service is a no-op beyond counting, as on Android.
+func (p *Process) StartService(class *ServiceClass) *Service {
+	if p.services == nil {
+		p.services = make(map[string]*Service)
+	}
+	s, ok := p.services[class.Name]
+	if !ok {
+		s = &Service{class: class, proc: p}
+		p.services[class.Name] = s
+	}
+	s.starts++
+	if !s.running {
+		s.running = true
+		if class.OnStart != nil {
+			class.OnStart(s)
+		}
+	}
+	return s
+}
+
+// StopService stops the named service if running.
+func (p *Process) StopService(name string) bool {
+	s := p.services[name]
+	if s == nil || !s.running {
+		return false
+	}
+	s.running = false
+	s.stops++
+	if s.class.OnStop != nil {
+		s.class.OnStop(s)
+	}
+	return true
+}
+
+// Service returns the named service instance, or nil.
+func (p *Process) Service(name string) *Service { return p.services[name] }
+
+// ServiceRunning reports whether the named service is active.
+func (p *Process) ServiceRunning(name string) bool {
+	s := p.services[name]
+	return s != nil && s.running
+}
+
+// RunningServices counts active services.
+func (p *Process) RunningServices() int {
+	n := 0
+	for _, s := range p.services {
+		if s.running {
+			n++
+		}
+	}
+	return n
+}

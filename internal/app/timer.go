@@ -1,0 +1,73 @@
+package app
+
+import (
+	"time"
+
+	"rchdroid/internal/sim"
+)
+
+// UITimer is a repeating Handler.postDelayed chain owned by an activity —
+// the mechanism behind the "timer state" rows of Table 5 (KJVBible's quiz
+// timer). The callback runs on the UI thread with app crash semantics.
+//
+// Like a real leaked Handler, the chain does NOT stop when the owning
+// instance is destroyed unless the app cancels it; it stops on its own
+// only when the owner reaches the Destroyed state (the closure in real
+// apps typically guards on isDestroyed()) or the process dies. An owner
+// in the Shadow state keeps ticking — which is exactly how RCHDroid keeps
+// a timer alive across a runtime change.
+type UITimer struct {
+	owner    *Activity
+	name     string
+	interval time.Duration
+	fn       func()
+	active   bool
+	ticks    int
+	event    *sim.Event
+}
+
+// StartUITimer schedules fn every interval on the UI thread, starting one
+// interval from now.
+func (a *Activity) StartUITimer(name string, interval time.Duration, fn func()) *UITimer {
+	t := &UITimer{owner: a, name: name, interval: interval, fn: fn, active: true}
+	a.timers = append(a.timers, t)
+	t.schedule()
+	return t
+}
+
+// Timers returns the activity's timers, running or cancelled.
+func (a *Activity) Timers() []*UITimer {
+	out := make([]*UITimer, len(a.timers))
+	copy(out, a.timers)
+	return out
+}
+
+func (t *UITimer) schedule() {
+	p := t.owner.proc
+	t.event = p.sched.After(t.interval, p.app.Name+":timer:"+t.name, func() {
+		if !t.active || p.crashed || t.owner.State() == StateDestroyed {
+			t.active = false
+			return
+		}
+		p.PostApp("timer:"+t.name, p.model.AsyncCallback/2, func() {
+			t.ticks++
+			t.fn()
+			p.thread.afterUICallback(t.owner)
+		})
+		t.schedule()
+	})
+}
+
+// Active reports whether the timer is still rescheduling.
+func (t *UITimer) Active() bool { return t.active }
+
+// Ticks returns how many times the callback has fired.
+func (t *UITimer) Ticks() int { return t.ticks }
+
+// Cancel stops the chain (removeCallbacks).
+func (t *UITimer) Cancel() {
+	t.active = false
+	if t.event != nil {
+		t.owner.proc.sched.Cancel(t.event)
+	}
+}

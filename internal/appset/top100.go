@@ -1,0 +1,136 @@
+package appset
+
+// Top100 returns the Google Play top-100 population of Table 5. 63 apps
+// exhibit a runtime-change issue under the default restart-based
+// handling; of the 37 without issues, 26 declare android:configChanges
+// and handle changes themselves while 11 rely on the restart but keep
+// their state in stock-persisted widgets. RCHDroid resolves 59 of the 63
+// issues; apps #2 (Filto), #57 (HaircutPrank), #66 (CastForChrome) and
+// #70 (KingJamesBible) keep the state in unsaved activity fields and
+// cannot be helped by any system-level scheme (§6).
+//
+// Row 100 (Wish) is listed "Yes / No" in the paper's table; the headline
+// count (63 issues) is only consistent when Wish is counted as
+// issue-free, so it is modelled here as a stock-persisted-input app.
+func Top100() []Model {
+	type row struct {
+		name, downloads, issue string
+		kind                   StateKind
+		declared               bool
+	}
+	rows := []row{
+		{"AmazonPrimeVideo", "100M+", "State loss (text box)", KindTextInput, false},           // 1
+		{"Filto", "5M+", "State loss (selection list)", KindExtras, false},                     // 2 ✗
+		{"TikTok", "1B+", "State loss (text box)", KindTextInput, false},                       // 3
+		{"Instagram", "1B+", "", KindNone, true},                                               // 4
+		{"WhatsApp", "5B+", "", KindNone, true},                                                // 5
+		{"CashApp", "50M+", "", KindStockInput, false},                                         // 6
+		{"DeepCleaner", "10M+", "", KindStockInput, false},                                     // 7
+		{"ZOOM", "500M+", "", KindNone, true},                                                  // 8
+		{"Disney+", "100M+", "State loss (scroll location)", KindScroll, false},                // 9
+		{"Snapchat", "1B+", "State loss (login page)", KindTextInput, false},                   // 10
+		{"AmazonShopping", "500M+", "", KindNone, true},                                        // 11
+		{"Telegram", "1B+", "State loss (text box)", KindTextInput, false},                     // 12
+		{"TorBrowser", "10M+", "", KindNone, true},                                             // 13
+		{"MaxCleaner", "5M+", "", KindStockInput, false},                                       // 14
+		{"Messenger", "5B+", "", KindNone, true},                                               // 15
+		{"PeacockTV", "10M+", "", KindNone, true},                                              // 16
+		{"WalmartShopping", "50M+", "State loss (scroll location)", KindScroll, false},         // 17
+		{"McDonald's", "10M+", "", KindStockInput, false},                                      // 18
+		{"Facebook", "5B+", "State loss (selection list)", KindListSelection, false},           // 19
+		{"NewsBreak", "50M+", "State loss (text box)", KindTextInput, false},                   // 20
+		{"CapCut", "100M+", "", KindNone, true},                                                // 21
+		{"QR&BarcodeScanner", "100M+", "State loss (zoom bar)", KindSeekBar, false},            // 22
+		{"MicrosoftTeams", "100M+", "State loss (text box)", KindTextInput, false},             // 23
+		{"Indeed", "100M+", "", KindStockInput, false},                                         // 24
+		{"Tubi", "100M+", "", KindNone, true},                                                  // 25
+		{"SHEIN", "100M+", "State loss (selection list)", KindListSelection, false},            // 26
+		{"TextNow", "50M+", "State loss (login page)", KindTextInput, false},                   // 27
+		{"Twitter", "1B+", "State loss (text box)", KindTextInput, false},                      // 28
+		{"Wonder", "1M+", "", KindStockInput, false},                                           // 29
+		{"Netflix", "1B+", "State loss (FAQ list)", KindListSelection, false},                  // 30
+		{"AllDocumentReader", "50M+", "State loss (selection list)", KindListSelection, false}, // 31
+		{"Roku", "50M+", "", KindNone, true},                                                   // 32
+		{"PlutoTV", "100M+", "", KindNone, true},                                               // 33
+		{"DoorDash", "10M+", "State loss (selection list)", KindListSelection, false},          // 34
+		{"Uber", "500M+", "", KindNone, true},                                                  // 35
+		{"Discord", "100M+", "State loss (register page)", KindTextInput, false},               // 36
+		{"Audible", "100M+", "State loss (text box)", KindTextInput, false},                    // 37
+		{"Ticketmaster", "10M+", "State loss (selection list)", KindListSelection, false},      // 38
+		{"Life360", "100M+", "", KindNone, true},                                               // 39
+		{"Hulu", "50M+", "State loss (text box)", KindTextInput, false},                        // 40
+		{"Orbot", "10M+", "State loss (selection list)", KindListSelection, false},             // 41
+		{"MovetoiOS", "100M+", "State loss (scroll location)", KindScroll, false},              // 42
+		{"DailyDiary", "10M+", "State loss (text box)", KindTextInput, false},                  // 43
+		{"Yoshion", "1M+", "State loss (selection list)", KindListSelection, false},            // 44
+		{"MSAuthenticator", "50M+", "State loss (text box)", KindTextInput, false},             // 45
+		{"PowerCleaner", "10M+", "State loss (report page)", KindStatusText, false},            // 46
+		{"SamsungSmartSwitch", "100M+", "", KindNone, true},                                    // 47
+		{"Alibaba.com", "100M+", "State loss (selection list)", KindListSelection, false},      // 48
+		{"Reddit", "100M+", "", KindNone, true},                                                // 49
+		{"Paramount+", "10M+", "", KindNone, true},                                             // 50
+		{"Lyft", "50M+", "", KindNone, true},                                                   // 51
+		{"Pinterest", "500M+", "State loss (text box)", KindTextInput, false},                  // 52
+		{"OfferUp", "50M+", "", KindNone, true},                                                // 53
+		{"BeReal", "5M+", "State loss (text box)", KindTextInput, false},                       // 54
+		{"UberEats", "100M+", "State loss (text box)", KindTextInput, false},                   // 55
+		{"FetchRewards", "10M+", "State loss (scroll location)", KindScroll, false},            // 56
+		{"HaircutPrank", "1M+", "State loss (volume bar)", KindExtras, false},                  // 57 ✗
+		{"MyBath&BodyWorks", "1M+", "State loss (scroll location)", KindScroll, false},         // 58
+		{"Wholee", "5M+", "State loss (selection list)", KindListSelection, false},             // 59
+		{"UltraCleaner", "1M+", "State loss (file number)", KindStatusText, false},             // 60
+		{"eBay", "100M+", "", KindNone, true},                                                  // 61
+		{"FacebookLite", "1B+", "State loss (text box)", KindTextInput, false},                 // 62
+		{"Adidas", "10M+", "State loss (product list)", KindListSelection, false},              // 63
+		{"Duolingo", "100M+", "", KindNone, true},                                              // 64
+		{"BravoCleaner", "10M+", "State loss (selection list)", KindListSelection, false},      // 65
+		{"CastForChrome", "10M+", "State loss (selection list)", KindExtras, false},            // 66 ✗
+		{"Waze", "100M+", "", KindNone, true},                                                  // 67
+		{"UltraSurf", "10M+", "State loss (selection list)", KindListSelection, false},         // 68
+		{"PetDiary", "500K+", "State loss (scroll location)", KindScroll, false},               // 69
+		{"KingJamesBible", "50M+", "State loss (selection list)", KindExtras, false},           // 70 ✗
+		{"EmailHome", "5M+", "", KindStockInput, false},                                        // 71
+		{"CapitalOne", "10M+", "", KindStockInput, false},                                      // 72
+		{"Plex", "10M+", "", KindStockInput, false},                                            // 73
+		{"DoordashDasher", "10M+", "State loss (text box)", KindTextInput, false},              // 74
+		{"Shop", "10M+", "", KindStockInput, false},                                            // 75
+		{"Expedia", "10M+", "State loss (text box)", KindTextInput, false},                     // 76
+		{"ESPN", "50M+", "State loss (scroll location)", KindScroll, false},                    // 77
+		{"Pandora", "100M+", "", KindNone, true},                                               // 78
+		{"Picsart", "500M+", "State loss (scroll location)", KindScroll, false},                // 79
+		{"FileRecovery", "10M+", "State loss (report page)", KindStatusText, false},            // 80
+		{"Callapp", "100M+", "State loss (selection list)", KindListSelection, false},          // 81
+		{"Tinder", "100M+", "State loss (text box)", KindTextInput, false},                     // 82
+		{"Etsy", "10M+", "State loss (text box)", KindTextInput, false},                        // 83
+		{"SiriusXM", "10M+", "", KindNone, true},                                               // 84
+		{"AliExpress", "500M+", "State loss (scroll location)", KindScroll, false},             // 85
+		{"NFL", "100M+", "", KindNone, true},                                                   // 86
+		{"Adobe", "500M+", "State loss (login page)", KindTextInput, false},                    // 87
+		{"KJVBible", "100K+", "State loss (timer state)", KindStatusText, false},               // 88
+		{"HomeDepot", "10M+", "State loss (selection list)", KindListSelection, false},         // 89
+		{"TacoBell", "10M+", "State loss (location page)", KindStatusText, false},              // 90
+		{"UberDriver", "100M+", "State loss (login page)", KindTextInput, false},               // 91
+		{"Booking.com", "500M+", "State loss (text box)", KindTextInput, false},                // 92
+		{"CCFileManager", "5M+", "State loss (selection list)", KindListSelection, false},      // 93
+		{"SpeedBooster", "5M+", "State loss (report page)", KindStatusText, false},             // 94
+		{"Firefox", "100M+", "", KindNone, true},                                               // 95
+		{"Twitch", "100M+", "", KindNone, true},                                                // 96
+		{"Target", "10M+", "State loss (check box)", KindListSelection, false},                 // 97
+		{"SmartBooster", "10M+", "State loss (report page)", KindStatusText, false},            // 98
+		{"Bumble", "10M+", "State loss (selection list)", KindListSelection, false},            // 99
+		{"Wish", "500M+", "", KindStockInput, false},                                           // 100
+	}
+	out := make([]Model, len(rows))
+	for i, r := range rows {
+		out[i] = Model{
+			Index:     i + 1,
+			Name:      r.name,
+			Downloads: r.downloads,
+			Issue:     r.issue,
+			Kind:      r.kind,
+			Declared:  r.declared,
+		}
+		out[i].materialize(true)
+	}
+	return out
+}

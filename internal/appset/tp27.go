@@ -1,0 +1,42 @@
+package appset
+
+// TP27 returns the 27 apps of Table 3: the subset of the TP-37 app-set
+// (KREfinder's study population) that runs on the evaluation board, each
+// with the runtime-change issue its row describes. Apps #9 and #10 keep
+// user state in activity fields without implementing onSaveInstanceState,
+// so neither stock Android nor RCHDroid can preserve it (the two ✗ rows).
+func TP27() []Model {
+	rows := []Model{
+		{Index: 1, Name: "AlarmClockPlus", Downloads: "5M+", Issue: "The alarm state is lost after restart", Kind: KindStatusText},
+		{Index: 2, Name: "AlarmKlock", Downloads: "500K+", Issue: "The alarm time change is gone after restart", Kind: KindStatusText},
+		{Index: 3, Name: "AndroidToken", Downloads: "5M+", Issue: "The selected token is lost after restart", Kind: KindListSelection},
+		{Index: 4, Name: "BlueNET", Downloads: "500K+", Issue: "The server is unexpectedly turned off after restart", Kind: KindServiceState},
+		{Index: 5, Name: "BrightnessProfile", Downloads: "5M+", Issue: "Brightness level is lost after restart", Kind: KindSeekBar},
+		{Index: 6, Name: "BTHFPowerSave", Downloads: "500K+", Issue: "State changes are lost after restart", Kind: KindStatusText},
+		{Index: 7, Name: "CalenMob", Downloads: "10K+", Issue: "The working date resets to current date after restart", Kind: KindListSelection},
+		{Index: 8, Name: "DateSlider", Downloads: "10K+", Issue: "The chosen date is lost after restart", Kind: KindSeekBar},
+		{Index: 9, Name: "DiskDiggerPro", Downloads: "100K+", Issue: "The percentage set by the user is lost after restart", Kind: KindExtras},
+		{Index: 10, Name: "Dock4Droid", Downloads: "10K+", Issue: "The last-added app is missing after restart", Kind: KindExtras},
+		{Index: 11, Name: "DrWebAntiVirus", Downloads: "100M+", Issue: "The check box setting is lost after restart", Kind: KindListSelection},
+		{Index: 12, Name: "Droidstack", Downloads: "100K+", Issue: "The title is not preserved after restart", Kind: KindStatusText},
+		{Index: 13, Name: "FoxFi", Downloads: "10M+", Issue: "The entered email is lost after restart", Kind: KindTextInput},
+		{Index: 14, Name: "MOBILedit", Downloads: "1K+", Issue: "The WiFi settings are not retained after restart", Kind: KindListSelection},
+		{Index: 15, Name: "OIFileManager", Downloads: "5M+", Issue: "The last-opened path is lost after restart", Kind: KindStatusText},
+		{Index: 16, Name: "OpenSudoku", Downloads: "1M+", Issue: "User-filled numbers are lost after restart", Kind: KindTextInput},
+		{Index: 17, Name: "OpenWordSearch", Downloads: "1M+", Issue: "The word filled by user is lost after restarts", Kind: KindTextInput},
+		{Index: 18, Name: "WorkRecorder", Downloads: "5K+", Issue: "The workout start time is lost after restart", Kind: KindStatusText},
+		{Index: 19, Name: "PowerToggles", Downloads: "10K+", Issue: "The notification widgets are lost after restart", Kind: KindListSelection},
+		{Index: 20, Name: "PhoneCopier", Downloads: "10K+", Issue: "The email address is lost after restart", Kind: KindTextInput},
+		{Index: 21, Name: "ScrambledNet", Downloads: "10K+", Issue: "The game state is lost after a restart", Kind: KindStatusText},
+		{Index: 22, Name: "ScrollableNews", Downloads: "1K+", Issue: "The color selection is lost after restart", Kind: KindListSelection},
+		{Index: 23, Name: "ServDroidWeb", Downloads: "1K+", Issue: "The new status is gone after restarts", Kind: KindAsyncImages},
+		{Index: 24, Name: "SouveyMusicPro", Downloads: "1K+", Issue: "The settings of Metronome are lost after restart", Kind: KindSeekBar},
+		{Index: 25, Name: "SSHTunnel", Downloads: "100K+", Issue: "SSH connection profile is lost upon restart", Kind: KindListSelection},
+		{Index: 26, Name: "VPNConnection", Downloads: "1K+", Issue: "The IPSec ID is lost upon restart", Kind: KindTextInput},
+		{Index: 27, Name: "ZircoBrowser", Downloads: "1K+", Issue: "Bookmark is lost after restart", Kind: KindStatusText},
+	}
+	for i := range rows {
+		rows[i].materialize(false)
+	}
+	return rows
+}

@@ -1,0 +1,367 @@
+package atms
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/config"
+	"rchdroid/internal/costmodel"
+	"rchdroid/internal/ipc"
+	"rchdroid/internal/logcat"
+	"rchdroid/internal/looper"
+	"rchdroid/internal/sim"
+)
+
+// ATMS is the ActivityTaskManagerService: it owns the activity stack,
+// drives lifecycle transitions over binder, and is the clock-start point
+// for the paper's "runtime change handling time" (config change arriving
+// at the ATMS → activity resumed).
+type ATMS struct {
+	sched     *sim.Scheduler
+	model     *costmodel.Model
+	bus       *ipc.Bus
+	sysLooper *looper.Looper
+	endpoint  *ipc.Endpoint
+	stack     *ActivityStack
+	starter   *ActivityStarter
+
+	globalConfig config.Configuration
+	nextToken    int
+
+	measuring     bool
+	handlingStart sim.Time
+	handlingTimes []time.Duration
+
+	log *logcat.Log
+
+	// OnHandled, if set, observes each completed runtime-change handling
+	// with its latency.
+	OnHandled func(d time.Duration)
+}
+
+// New boots a system server on sched with the given cost model. The bus
+// models binder with the model's hop latency.
+func New(sched *sim.Scheduler, model *costmodel.Model) *ATMS {
+	a := &ATMS{
+		sched:        sched,
+		model:        model,
+		bus:          ipc.NewBus(model.IPCHop),
+		sysLooper:    looper.New(sched, "system_server"),
+		stack:        NewStack(),
+		globalConfig: config.Default(),
+		nextToken:    1,
+	}
+	a.endpoint = ipc.NewEndpoint("atms", a.sysLooper)
+	a.starter = newStarter(a)
+	return a
+}
+
+// Scheduler returns the simulation scheduler.
+func (a *ATMS) Scheduler() *sim.Scheduler { return a.sched }
+
+// Model returns the cost model in effect.
+func (a *ATMS) Model() *costmodel.Model { return a.model }
+
+// SetLogcat attaches a system log; the ATMS then writes configuration
+// changes and handling times to it under the "zizhan" tag, matching the
+// artifact's `logcat | grep "zizhan"` workflow.
+func (a *ATMS) SetLogcat(l *logcat.Log) { a.log = l }
+
+// Logcat returns the attached system log, or nil.
+func (a *ATMS) Logcat() *logcat.Log { return a.log }
+
+func (a *ATMS) logf(tag, format string, args ...any) {
+	if a.log != nil {
+		a.log.I(tag, format, args...)
+	}
+}
+
+// ServerLooper exposes the system-server looper (for test observers).
+func (a *ATMS) ServerLooper() *looper.Looper { return a.sysLooper }
+
+// Bus returns the binder bus.
+func (a *ATMS) Bus() *ipc.Bus { return a.bus }
+
+// Stack returns the global activity stack.
+func (a *ATMS) Stack() *ActivityStack { return a.stack }
+
+// Starter returns the activity starter.
+func (a *ATMS) Starter() *ActivityStarter { return a.starter }
+
+// GlobalConfig returns the device configuration currently in force.
+func (a *ATMS) GlobalConfig() config.Configuration { return a.globalConfig }
+
+// HandlingTimes returns the latency of every completed runtime change.
+func (a *ATMS) HandlingTimes() []time.Duration {
+	out := make([]time.Duration, len(a.handlingTimes))
+	copy(out, a.handlingTimes)
+	return out
+}
+
+// LastHandlingTime returns the latency of the most recent completed
+// runtime change, or 0.
+func (a *ATMS) LastHandlingTime() time.Duration {
+	if len(a.handlingTimes) == 0 {
+		return 0
+	}
+	return a.handlingTimes[len(a.handlingTimes)-1]
+}
+
+// RunOnServer posts work onto the system-server looper with a cost.
+func (a *ATMS) RunOnServer(name string, cost time.Duration, fn func()) {
+	a.sysLooper.Post("atms:"+name, cost, fn)
+}
+
+// ChargeServer extends the currently-executing server message by d — used
+// for stack walks and record setup whose cost must delay the reply
+// transaction.
+func (a *ATMS) ChargeServer(d time.Duration) { a.sysLooper.Charge(d) }
+
+// LaunchApp installs the app's task, binds its activity thread to this
+// server and schedules the initial launch of its main activity. It
+// returns the token of the root record.
+func (a *ATMS) LaunchApp(proc *app.Process) int {
+	token := a.nextToken
+	a.nextToken++
+	proc.Thread().BindSystem(&threadFacade{atms: a})
+	a.RunOnServer("launchApp", a.model.ATMSRecordSetup, func() {
+		a.backgroundTopTask()
+		// Relaunching an app (e.g. after a crash) replaces its task; a
+		// dead task's records point at released instances.
+		if old := a.stack.TaskByName(proc.App().Name); old != nil {
+			a.stack.RemoveTask(old)
+		}
+		task := &TaskRecord{Name: proc.App().Name}
+		rec := &ActivityRecord{
+			Token:  token,
+			Class:  proc.App().Main,
+			Proc:   proc,
+			Config: a.globalConfig,
+		}
+		task.Push(rec)
+		a.stack.PushTask(task)
+		cfg := a.globalConfig
+		a.bus.Transact(proc.Endpoint(), "scheduleLaunch", 256, 0, func() {
+			proc.Thread().ScheduleLaunch(rec.Class, token, cfg, app.LaunchOptions{})
+		})
+	})
+	return token
+}
+
+// PushConfiguration injects a runtime configuration change (the `wm size`
+// command of the artifact appendix). The handling-time clock starts when
+// the change reaches the server looper.
+func (a *ATMS) PushConfiguration(newCfg config.Configuration) {
+	a.RunOnServer("configChange", 0, func() {
+		a.globalConfig = newCfg
+		task := a.stack.TopTask()
+		if task == nil || task.Top() == nil {
+			return
+		}
+		rec := topNonShadow(task)
+		if rec == nil {
+			return
+		}
+		a.measuring = true
+		a.handlingStart = a.sched.Now()
+		a.logf("ATMS", "configuration change arriving: %v", newCfg)
+		// ensureActivityConfiguration: deliver the change and let the
+		// activity thread decide restart vs. declared handling vs. the
+		// installed change handler. The record's Config keeps tracking
+		// the configuration its instance was actually built for; it is
+		// refreshed when the instance resumes.
+		rec.resumed = false
+		a.bus.Transact(rec.Proc.Endpoint(), "runtimeChange", 128, 0, func() {
+			rec.Proc.Thread().ScheduleRuntimeChange(rec.Token, newCfg)
+		})
+	})
+}
+
+// backgroundTopTask pauses/stops the current foreground task's visible
+// activity before another task takes the screen. Runs on the server
+// looper.
+func (a *ATMS) backgroundTopTask() {
+	task := a.stack.TopTask()
+	if task == nil {
+		return
+	}
+	rec := topNonShadow(task)
+	if rec == nil {
+		return
+	}
+	rec.resumed = false
+	a.bus.Transact(rec.Proc.Endpoint(), "moveToBackground", 64, 0, func() {
+		rec.Proc.Thread().ScheduleMoveToBackground(rec.Token)
+	})
+}
+
+// MoveTaskToFront brings the named task to the foreground: the old
+// foreground pauses and stops (releasing its shadow under RCHDroid, §3.5)
+// and the target task's top activity resumes.
+func (a *ATMS) MoveTaskToFront(name string) {
+	a.RunOnServer("moveTaskToFront", a.model.ATMSStackSearch, func() {
+		task := a.stack.TaskByName(name)
+		if task == nil || task == a.stack.TopTask() {
+			return
+		}
+		a.backgroundTopTask()
+		a.stack.MoveTaskToTop(task)
+		rec := topNonShadow(task)
+		if rec == nil {
+			return
+		}
+		a.bus.Transact(rec.Proc.Endpoint(), "moveToForeground", 64, 0, func() {
+			rec.Proc.Thread().ScheduleMoveToForeground(rec.Token)
+		})
+	})
+}
+
+// FinishTopActivity is the back-navigation transaction: the foreground
+// activity finishes (destroying its instance, and its coupled shadow
+// instance with it, §3.5) and the activity below it resumes. An emptied
+// task leaves the stack and the next task's top resumes instead.
+func (a *ATMS) FinishTopActivity() {
+	a.RunOnServer("finishTop", a.model.ATMSStackSearch, func() {
+		task := a.stack.TopTask()
+		if task == nil {
+			return
+		}
+		rec := topNonShadow(task)
+		if rec == nil {
+			return
+		}
+		// The coupled shadow record (if any) dies with the activity.
+		if sh := task.FindShadow(); sh != nil {
+			task.Remove(sh)
+			a.bus.Transact(sh.Proc.Endpoint(), "destroyShadow", 64, 0, func() {
+				sh.Proc.Thread().ScheduleDestroy(sh.Token)
+			})
+		}
+		task.Remove(rec)
+		a.bus.Transact(rec.Proc.Endpoint(), "destroyFinished", 64, 0, func() {
+			rec.Proc.Thread().ScheduleDestroy(rec.Token)
+		})
+		if task.Len() == 0 {
+			a.stack.RemoveTask(task)
+			task = a.stack.TopTask()
+			if task == nil {
+				return
+			}
+		}
+		next := topNonShadow(task)
+		if next == nil {
+			return
+		}
+		a.bus.Transact(next.Proc.Endpoint(), "moveToForeground", 64, 0, func() {
+			next.Proc.Thread().ScheduleMoveToForeground(next.Token)
+		})
+	})
+}
+
+// topNonShadow returns the topmost record that is not shadow-flagged: the
+// activity the user actually sees.
+func topNonShadow(task *TaskRecord) *ActivityRecord {
+	rs := task.Records()
+	for i := len(rs) - 1; i >= 0; i-- {
+		if !rs[i].shadow {
+			return rs[i]
+		}
+	}
+	return nil
+}
+
+// notifyResumed finalises a handling measurement.
+func (a *ATMS) notifyResumed(token int) {
+	a.RunOnServer("notifyResumed", 0, func() {
+		_, rec := a.stack.TaskOfToken(token)
+		if rec != nil {
+			rec.resumed = true
+			rec.Config = a.globalConfig
+		}
+		if a.measuring {
+			a.measuring = false
+			d := a.sched.Now().Sub(a.handlingStart)
+			// A resume that arrives implausibly late belongs to a later
+			// launch, not to the measured change — the measured handling
+			// died with its process (crash) and is discarded, as a
+			// wall-clock harness would time it out.
+			if d > 2*time.Second {
+				return
+			}
+			a.handlingTimes = append(a.handlingTimes, d)
+			a.logf("zizhan", "runtime change handling time: %.2f ms (token %d)",
+				float64(d)/float64(time.Millisecond), token)
+			if a.OnHandled != nil {
+				a.OnHandled(d)
+			}
+		}
+	})
+}
+
+// notifyShadowReleased removes a garbage-collected shadow record.
+func (a *ATMS) notifyShadowReleased(token int) {
+	a.RunOnServer("shadowReleased", 0, func() {
+		task, rec := a.stack.TaskOfToken(token)
+		if task != nil && rec != nil {
+			task.Remove(rec)
+		}
+	})
+}
+
+// requestStartActivity runs the starter on the server looper.
+func (a *ATMS) requestStartActivity(intent app.Intent, fromToken int) {
+	a.RunOnServer("startActivity", 0, func() {
+		a.starter.StartActivity(intent, fromToken)
+	})
+}
+
+// DumpStack renders the activity stack dumpsys-style: tasks bottom to
+// top, each with its records and their shadow/resumed flags.
+func (a *ATMS) DumpStack() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ACTIVITY MANAGER ACTIVITIES (dumpsys activity activities)\n")
+	fmt.Fprintf(&sb, "  globalConfig: %v\n", a.globalConfig)
+	tasks := a.stack.Tasks()
+	for i := len(tasks) - 1; i >= 0; i-- {
+		task := tasks[i]
+		marker := " "
+		if task == a.stack.TopTask() {
+			marker = "*"
+		}
+		fmt.Fprintf(&sb, "%s Task %s (%d records)\n", marker, task.Name, task.Len())
+		recs := task.Records()
+		for j := len(recs) - 1; j >= 0; j-- {
+			fmt.Fprintf(&sb, "    %v\n", recs[j])
+		}
+	}
+	return sb.String()
+}
+
+// threadFacade adapts the ATMS to app.SystemServer, paying one binder hop
+// for each upcall from an activity thread.
+type threadFacade struct {
+	atms *ATMS
+}
+
+// RequestStartActivity implements app.SystemServer.
+func (f *threadFacade) RequestStartActivity(intent app.Intent, fromToken int) {
+	f.atms.bus.Transact(f.atms.endpoint, "startActivity", 256, 0, func() {
+		f.atms.requestStartActivity(intent, fromToken)
+	})
+}
+
+// NotifyResumed implements app.SystemServer.
+func (f *threadFacade) NotifyResumed(token int) {
+	f.atms.bus.Transact(f.atms.endpoint, "activityResumed", 64, 0, func() {
+		f.atms.notifyResumed(token)
+	})
+}
+
+// NotifyShadowReleased implements app.SystemServer.
+func (f *threadFacade) NotifyShadowReleased(token int) {
+	f.atms.bus.Transact(f.atms.endpoint, "shadowReleased", 64, 0, func() {
+		f.atms.notifyShadowReleased(token)
+	})
+}

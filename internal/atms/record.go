@@ -1,0 +1,186 @@
+// Package atms reimplements the system-server side of activity
+// management: the ActivityTaskManagerService with its activity stack,
+// task records and activity records, the activity starter, and global
+// configuration pushes. The RCHDroid server-side changes (Table 2:
+// ActivityRecord +11 LoC, ActivityStack +29 LoC, ActivityStarter +41 LoC)
+// surface here as the record shadow flag, the shadow-record stack search
+// and the starter policy seam the core package plugs into.
+package atms
+
+import (
+	"fmt"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/config"
+)
+
+// ActivityRecord is the server-side bookkeeping for one activity
+// instance. The shadow field and its accessors are the RCHDroid addition.
+type ActivityRecord struct {
+	// Token identifies the record; the activity thread's instance for it
+	// carries the same token.
+	Token int
+	// Class is the activity class the record tracks.
+	Class *app.ActivityClass
+	// Proc is the process hosting the instance.
+	Proc *app.Process
+	// Config is the configuration last applied to the record.
+	Config config.Configuration
+
+	shadow  bool
+	resumed bool
+}
+
+// Shadow reports the RCHDroid shadow flag.
+func (r *ActivityRecord) Shadow() bool { return r.shadow }
+
+// SetShadow sets the RCHDroid shadow flag.
+func (r *ActivityRecord) SetShadow(on bool) { r.shadow = on }
+
+// Resumed reports whether the server believes the instance is foreground.
+func (r *ActivityRecord) Resumed() bool { return r.resumed }
+
+func (r *ActivityRecord) String() string {
+	flags := ""
+	if r.shadow {
+		flags = " shadow"
+	}
+	if r.resumed {
+		flags += " resumed"
+	}
+	return fmt.Sprintf("record(%s#%d%s)", r.Class.Name, r.Token, flags)
+}
+
+// TaskRecord is one task: a stack of activity records for one app. The
+// last element is the top of the stack.
+type TaskRecord struct {
+	// Name is the task affinity (the package name).
+	Name    string
+	records []*ActivityRecord
+}
+
+// Len returns the number of records in the task.
+func (t *TaskRecord) Len() int { return len(t.records) }
+
+// Top returns the topmost record, or nil for an empty task.
+func (t *TaskRecord) Top() *ActivityRecord {
+	if len(t.records) == 0 {
+		return nil
+	}
+	return t.records[len(t.records)-1]
+}
+
+// Push puts r on top of the task stack.
+func (t *TaskRecord) Push(r *ActivityRecord) {
+	t.records = append(t.records, r)
+}
+
+// Remove deletes r from the task if present.
+func (t *TaskRecord) Remove(r *ActivityRecord) {
+	for i, x := range t.records {
+		if x == r {
+			t.records = append(t.records[:i], t.records[i+1:]...)
+			return
+		}
+	}
+}
+
+// MoveToTop reorders r to the top of the task stack.
+func (t *TaskRecord) MoveToTop(r *ActivityRecord) {
+	t.Remove(r)
+	t.Push(r)
+}
+
+// FindShadow returns the topmost shadow-flagged record, or nil — the
+// findShadowActivityLocked addition to ActivityStack.
+func (t *TaskRecord) FindShadow() *ActivityRecord {
+	for i := len(t.records) - 1; i >= 0; i-- {
+		if t.records[i].shadow {
+			return t.records[i]
+		}
+	}
+	return nil
+}
+
+// FindToken returns the record with the given token, or nil.
+func (t *TaskRecord) FindToken(token int) *ActivityRecord {
+	for _, r := range t.records {
+		if r.Token == token {
+			return r
+		}
+	}
+	return nil
+}
+
+// Records returns the records bottom-to-top.
+func (t *TaskRecord) Records() []*ActivityRecord { return t.records }
+
+// ActivityStack is the global stack of tasks; the last task is the
+// foreground app.
+type ActivityStack struct {
+	tasks []*TaskRecord
+}
+
+// NewStack returns an empty activity stack.
+func NewStack() *ActivityStack { return &ActivityStack{} }
+
+// Len returns the number of tasks.
+func (s *ActivityStack) Len() int { return len(s.tasks) }
+
+// TopTask returns the foreground task, or nil.
+func (s *ActivityStack) TopTask() *TaskRecord {
+	if len(s.tasks) == 0 {
+		return nil
+	}
+	return s.tasks[len(s.tasks)-1]
+}
+
+// PushTask puts task in the foreground.
+func (s *ActivityStack) PushTask(task *TaskRecord) {
+	s.tasks = append(s.tasks, task)
+}
+
+// MoveTaskToTop brings task to the foreground.
+func (s *ActivityStack) MoveTaskToTop(task *TaskRecord) {
+	for i, t := range s.tasks {
+		if t == task {
+			s.tasks = append(s.tasks[:i], s.tasks[i+1:]...)
+			break
+		}
+	}
+	s.tasks = append(s.tasks, task)
+}
+
+// RemoveTask removes task from the stack.
+func (s *ActivityStack) RemoveTask(task *TaskRecord) {
+	for i, t := range s.tasks {
+		if t == task {
+			s.tasks = append(s.tasks[:i], s.tasks[i+1:]...)
+			return
+		}
+	}
+}
+
+// TaskByName returns the task with the given affinity, or nil.
+func (s *ActivityStack) TaskByName(name string) *TaskRecord {
+	for _, t := range s.tasks {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// TaskOfToken returns the task containing the record with token, and the
+// record itself; both nil when absent.
+func (s *ActivityStack) TaskOfToken(token int) (*TaskRecord, *ActivityRecord) {
+	for _, t := range s.tasks {
+		if r := t.FindToken(token); r != nil {
+			return t, r
+		}
+	}
+	return nil, nil
+}
+
+// Tasks returns the tasks bottom-to-top.
+func (s *ActivityStack) Tasks() []*TaskRecord { return s.tasks }

@@ -1,0 +1,120 @@
+// Package benchapp generates the paper's benchmark application (§5.1):
+// a main activity whose view tree contains a configurable number of
+// ImageViews and one Button; touching the button issues an AsyncTask that
+// updates every ImageView after a delay (five seconds in the paper's
+// setup, configurable here). Landscape and portrait layout variants exist
+// so a screen-size change re-resolves resources exactly as on the board.
+package benchapp
+
+import (
+	"fmt"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/bundle"
+	"rchdroid/internal/config"
+	"rchdroid/internal/resources"
+	"rchdroid/internal/view"
+)
+
+// View ids used by the generated app.
+const (
+	// ButtonID is the update button.
+	ButtonID view.ID = 1
+	// RootID is the content root.
+	RootID view.ID = 2
+	// ImageIDBase is the first ImageView id; image i has ImageIDBase+i.
+	ImageIDBase view.ID = 100
+)
+
+// InitialDrawable is the resource every ImageView starts with.
+const InitialDrawable = "drawable/init"
+
+// LoadedDrawable is the resource the AsyncTask swaps in.
+const LoadedDrawable = "drawable/loaded"
+
+// Config parameterises the generated app.
+type Config struct {
+	// Images is the number of ImageViews (the Fig 10 sweep variable).
+	Images int
+	// TaskDelay is how long the AsyncTask works before updating the
+	// views; the paper uses five seconds.
+	TaskDelay time.Duration
+	// Name overrides the package name (default benchapp-<n>).
+	Name string
+}
+
+// New generates the benchmark app.
+func New(cfg Config) *app.App {
+	if cfg.TaskDelay <= 0 {
+		cfg.TaskDelay = 5 * time.Second
+	}
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("benchapp-%d", cfg.Images)
+	}
+
+	res := resources.NewTable()
+	layout := func() *view.Spec {
+		children := []*view.Spec{view.Btn(ButtonID, "update")}
+		for i := 0; i < cfg.Images; i++ {
+			children = append(children, view.Img(ImageIDBase+view.ID(i), InitialDrawable))
+		}
+		return view.Linear(RootID, children...)
+	}
+	res.Put("layout/main", resources.Qualifiers{Orientation: config.OrientationLandscape}, layout())
+	res.Put("layout/main", resources.Qualifiers{Orientation: config.OrientationPortrait}, layout())
+	res.PutDefault("drawable/init", "bitmap:init")
+	res.PutDefault("drawable/loaded", "bitmap:loaded")
+
+	n := cfg.Images
+	delay := cfg.TaskDelay
+	cls := &app.ActivityClass{Name: "MainActivity"}
+	cls.Callbacks.OnCreate = func(a *app.Activity, saved *bundle.Bundle) {
+		a.SetContentView("layout/main")
+		btn := a.FindViewByID(ButtonID).(*view.Button)
+		btn.SetOnClick(func() {
+			// The closure captures THIS instance's ImageViews — the
+			// pattern that crashes stock Android after a restart.
+			imgs := make([]*view.ImageView, 0, n)
+			for i := 0; i < n; i++ {
+				imgs = append(imgs, a.FindViewByID(ImageIDBase+view.ID(i)).(*view.ImageView))
+			}
+			a.StartAsyncTask("updateImages", delay, func() {
+				for _, iv := range imgs {
+					iv.SetDrawable(LoadedDrawable)
+				}
+			})
+		})
+	}
+	return &app.App{Name: name, Resources: res, Main: cls}
+}
+
+// TouchButton taps the benchmark app's update button on the UI thread of
+// the foreground instance. It reports whether a foreground instance
+// existed.
+func TouchButton(proc *app.Process) bool {
+	fg := proc.Thread().ForegroundActivity()
+	if fg == nil {
+		return false
+	}
+	btn, ok := fg.FindViewByID(ButtonID).(*view.Button)
+	if !ok {
+		return false
+	}
+	proc.PostApp("touchButton", time.Millisecond, btn.Click)
+	return true
+}
+
+// ImagesLoaded counts how many of the foreground instance's ImageViews
+// show the loaded drawable.
+func ImagesLoaded(a *app.Activity) int {
+	n := 0
+	view.Walk(a.Decor(), func(v view.View) bool {
+		if iv, ok := v.(*view.ImageView); ok && iv.Drawable() == LoadedDrawable {
+			n++
+		}
+		return true
+	})
+	return n
+}

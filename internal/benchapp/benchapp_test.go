@@ -1,0 +1,108 @@
+package benchapp
+
+import (
+	"testing"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/atms"
+	"rchdroid/internal/config"
+	"rchdroid/internal/core"
+	"rchdroid/internal/costmodel"
+	"rchdroid/internal/sim"
+	"rchdroid/internal/view"
+)
+
+func bootBench(t *testing.T, images int, delay time.Duration, rch bool) (*sim.Scheduler, *atms.ATMS, *app.Process) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	model := costmodel.Default()
+	sys := atms.New(sched, model)
+	proc := app.NewProcess(sched, model, New(Config{Images: images, TaskDelay: delay}))
+	if rch {
+		core.Install(sys, proc, core.DefaultOptions())
+	}
+	sys.LaunchApp(proc)
+	sched.Advance(time.Second)
+	return sched, sys, proc
+}
+
+func TestGeneratedTreeShape(t *testing.T) {
+	_, _, proc := bootBench(t, 8, time.Second, false)
+	fg := proc.Thread().ForegroundActivity()
+	if fg == nil {
+		t.Fatal("no foreground")
+	}
+	byType := view.CountByType(fg.Decor())
+	if byType["ImageView"] != 8 || byType["Button"] != 1 {
+		t.Fatalf("tree = %v", byType)
+	}
+	// ViewCount = root layout + button + images.
+	if fg.ViewCount() != 10 {
+		t.Fatalf("ViewCount = %d", fg.ViewCount())
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	a := New(Config{Images: 2})
+	if a.Name != "benchapp-2" {
+		t.Fatalf("name = %q", a.Name)
+	}
+	b := New(Config{Images: 2, Name: "custom"})
+	if b.Name != "custom" {
+		t.Fatalf("name = %q", b.Name)
+	}
+}
+
+func TestTouchButtonStartsTask(t *testing.T) {
+	sched, _, proc := bootBench(t, 4, 200*time.Millisecond, false)
+	if !TouchButton(proc) {
+		t.Fatal("TouchButton failed")
+	}
+	sched.Advance(50 * time.Millisecond)
+	if proc.AsyncInFlight() != 1 {
+		t.Fatalf("inflight = %d", proc.AsyncInFlight())
+	}
+	sched.Advance(time.Second)
+	fg := proc.Thread().ForegroundActivity()
+	if got := ImagesLoaded(fg); got != 4 {
+		t.Fatalf("ImagesLoaded = %d", got)
+	}
+}
+
+func TestTouchButtonWithoutForeground(t *testing.T) {
+	sched := sim.NewScheduler()
+	proc := app.NewProcess(sched, costmodel.Default(), New(Config{Images: 1}))
+	if TouchButton(proc) {
+		t.Fatal("TouchButton should fail with no foreground activity")
+	}
+}
+
+func TestFig9ScenarioCrashOnStockSurviveOnRCHDroid(t *testing.T) {
+	// Touch the button, then change configuration before the task
+	// returns: stock crashes, RCHDroid migrates.
+	run := func(rch bool) (*app.Process, int) {
+		sched, sys, proc := bootBench(t, 4, 300*time.Millisecond, rch)
+		TouchButton(proc)
+		sched.Advance(50 * time.Millisecond)
+		sys.PushConfiguration(config.Portrait())
+		sched.Advance(2 * time.Second)
+		fg := proc.Thread().ForegroundActivity()
+		loaded := 0
+		if fg != nil {
+			loaded = ImagesLoaded(fg)
+		}
+		return proc, loaded
+	}
+	stock, _ := run(false)
+	if !stock.Crashed() {
+		t.Fatal("stock run should crash")
+	}
+	rch, loaded := run(true)
+	if rch.Crashed() {
+		t.Fatalf("RCHDroid run crashed: %v", rch.CrashCause())
+	}
+	if loaded != 4 {
+		t.Fatalf("loaded images on sunny tree = %d, want 4", loaded)
+	}
+}

@@ -1,0 +1,348 @@
+// Package bundle reimplements the Android Bundle: the typed key/value
+// container that carries saved instance state between an activity that is
+// going away and its replacement. RCHDroid funnels all shadow→sunny state
+// transfer through a Bundle, exactly as onSaveInstanceState does on stock
+// Android, so fidelity here matters for the Table 3 / Table 5 results
+// (state survives iff it was placed in a view or in the bundle).
+package bundle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a stored value.
+type Kind uint8
+
+// The supported value kinds. They mirror the Bundle putX/getX families the
+// paper's migration path exercises (text, numbers, flags, nested state for
+// view subtrees and string lists for adapters).
+const (
+	KindInvalid Kind = iota
+	KindString
+	KindInt
+	KindFloat
+	KindBool
+	KindStringSlice
+	KindIntSlice
+	KindBundle
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindStringSlice:
+		return "[]string"
+	case KindIntSlice:
+		return "[]int"
+	case KindBundle:
+		return "bundle"
+	default:
+		return "invalid"
+	}
+}
+
+type entry struct {
+	kind    Kind
+	str     string
+	num     int64
+	flt     float64
+	boolean bool
+	strs    []string
+	ints    []int64
+	nested  *Bundle
+}
+
+// Bundle is a typed key/value map. The zero value is not usable; call New.
+// Bundles are not safe for concurrent use — like the Android original they
+// live on a single (virtual) UI thread.
+type Bundle struct {
+	m map[string]entry
+}
+
+// New returns an empty Bundle.
+func New() *Bundle {
+	return &Bundle{m: make(map[string]entry)}
+}
+
+// Len returns the number of keys, not counting keys inside nested bundles.
+func (b *Bundle) Len() int { return len(b.m) }
+
+// IsEmpty reports whether the bundle holds no keys.
+func (b *Bundle) IsEmpty() bool { return len(b.m) == 0 }
+
+// Keys returns the keys in sorted order, for deterministic iteration.
+func (b *Bundle) Keys() []string {
+	keys := make([]string, 0, len(b.m))
+	for k := range b.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Has reports whether key is present with any kind.
+func (b *Bundle) Has(key string) bool {
+	_, ok := b.m[key]
+	return ok
+}
+
+// KindOf returns the kind stored under key, or KindInvalid if absent.
+func (b *Bundle) KindOf(key string) Kind { return b.m[key].kind }
+
+// Remove deletes key if present.
+func (b *Bundle) Remove(key string) { delete(b.m, key) }
+
+// Clear removes all keys.
+func (b *Bundle) Clear() { b.m = make(map[string]entry) }
+
+// PutString stores a string value.
+func (b *Bundle) PutString(key, v string) { b.m[key] = entry{kind: KindString, str: v} }
+
+// GetString returns the string under key, or def if absent or mistyped.
+func (b *Bundle) GetString(key, def string) string {
+	if e, ok := b.m[key]; ok && e.kind == KindString {
+		return e.str
+	}
+	return def
+}
+
+// PutInt stores an integer value.
+func (b *Bundle) PutInt(key string, v int64) { b.m[key] = entry{kind: KindInt, num: v} }
+
+// GetInt returns the integer under key, or def if absent or mistyped.
+func (b *Bundle) GetInt(key string, def int64) int64 {
+	if e, ok := b.m[key]; ok && e.kind == KindInt {
+		return e.num
+	}
+	return def
+}
+
+// PutFloat stores a float value.
+func (b *Bundle) PutFloat(key string, v float64) { b.m[key] = entry{kind: KindFloat, flt: v} }
+
+// GetFloat returns the float under key, or def if absent or mistyped.
+func (b *Bundle) GetFloat(key string, def float64) float64 {
+	if e, ok := b.m[key]; ok && e.kind == KindFloat {
+		return e.flt
+	}
+	return def
+}
+
+// PutBool stores a boolean value.
+func (b *Bundle) PutBool(key string, v bool) { b.m[key] = entry{kind: KindBool, boolean: v} }
+
+// GetBool returns the boolean under key, or def if absent or mistyped.
+func (b *Bundle) GetBool(key string, def bool) bool {
+	if e, ok := b.m[key]; ok && e.kind == KindBool {
+		return e.boolean
+	}
+	return def
+}
+
+// PutStringSlice stores a copy of a string slice.
+func (b *Bundle) PutStringSlice(key string, v []string) {
+	cp := make([]string, len(v))
+	copy(cp, v)
+	b.m[key] = entry{kind: KindStringSlice, strs: cp}
+}
+
+// GetStringSlice returns a copy of the slice under key, or nil if absent.
+func (b *Bundle) GetStringSlice(key string) []string {
+	if e, ok := b.m[key]; ok && e.kind == KindStringSlice {
+		cp := make([]string, len(e.strs))
+		copy(cp, e.strs)
+		return cp
+	}
+	return nil
+}
+
+// PutIntSlice stores a copy of an int64 slice.
+func (b *Bundle) PutIntSlice(key string, v []int64) {
+	cp := make([]int64, len(v))
+	copy(cp, v)
+	b.m[key] = entry{kind: KindIntSlice, ints: cp}
+}
+
+// GetIntSlice returns a copy of the slice under key, or nil if absent.
+func (b *Bundle) GetIntSlice(key string) []int64 {
+	if e, ok := b.m[key]; ok && e.kind == KindIntSlice {
+		cp := make([]int64, len(e.ints))
+		copy(cp, e.ints)
+		return cp
+	}
+	return nil
+}
+
+// PutBundle stores a nested bundle. The nested bundle is stored by
+// reference, matching Android; callers that need isolation should store a
+// Clone.
+func (b *Bundle) PutBundle(key string, v *Bundle) { b.m[key] = entry{kind: KindBundle, nested: v} }
+
+// GetBundle returns the nested bundle under key, or nil if absent.
+func (b *Bundle) GetBundle(key string) *Bundle {
+	if e, ok := b.m[key]; ok && e.kind == KindBundle {
+		return e.nested
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the bundle; nested bundles and slices are
+// copied recursively.
+func (b *Bundle) Clone() *Bundle {
+	out := New()
+	for k, e := range b.m {
+		switch e.kind {
+		case KindStringSlice:
+			out.PutStringSlice(k, e.strs)
+		case KindIntSlice:
+			out.PutIntSlice(k, e.ints)
+		case KindBundle:
+			out.PutBundle(k, e.nested.Clone())
+		default:
+			out.m[k] = e
+		}
+	}
+	return out
+}
+
+// Merge copies every key of other into b, overwriting duplicates. Nested
+// bundles are deep-copied.
+func (b *Bundle) Merge(other *Bundle) {
+	if other == nil {
+		return
+	}
+	for k, e := range other.m {
+		switch e.kind {
+		case KindStringSlice:
+			b.PutStringSlice(k, e.strs)
+		case KindIntSlice:
+			b.PutIntSlice(k, e.ints)
+		case KindBundle:
+			b.PutBundle(k, e.nested.Clone())
+		default:
+			b.m[k] = e
+		}
+	}
+}
+
+// SizeBytes estimates the serialized footprint of the bundle, used by the
+// memory model to charge the shadow-state snapshot.
+func (b *Bundle) SizeBytes() int {
+	const entryOverhead = 16
+	total := 0
+	for k, e := range b.m {
+		total += len(k) + entryOverhead
+		switch e.kind {
+		case KindString:
+			total += len(e.str)
+		case KindStringSlice:
+			for _, s := range e.strs {
+				total += len(s) + 8
+			}
+		case KindIntSlice:
+			total += 8 * len(e.ints)
+		case KindBundle:
+			total += e.nested.SizeBytes()
+		default:
+			total += 8
+		}
+	}
+	return total
+}
+
+// Equal reports whether two bundles hold the same keys with the same kinds
+// and values, recursively.
+func (b *Bundle) Equal(other *Bundle) bool {
+	if b == nil || other == nil {
+		return b == other
+	}
+	if len(b.m) != len(other.m) {
+		return false
+	}
+	for k, e := range b.m {
+		o, ok := other.m[k]
+		if !ok || o.kind != e.kind {
+			return false
+		}
+		switch e.kind {
+		case KindString:
+			if e.str != o.str {
+				return false
+			}
+		case KindInt:
+			if e.num != o.num {
+				return false
+			}
+		case KindFloat:
+			if e.flt != o.flt {
+				return false
+			}
+		case KindBool:
+			if e.boolean != o.boolean {
+				return false
+			}
+		case KindStringSlice:
+			if len(e.strs) != len(o.strs) {
+				return false
+			}
+			for i := range e.strs {
+				if e.strs[i] != o.strs[i] {
+					return false
+				}
+			}
+		case KindIntSlice:
+			if len(e.ints) != len(o.ints) {
+				return false
+			}
+			for i := range e.ints {
+				if e.ints[i] != o.ints[i] {
+					return false
+				}
+			}
+		case KindBundle:
+			if !e.nested.Equal(o.nested) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the bundle deterministically for logs and golden tests.
+func (b *Bundle) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range b.Keys() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		e := b.m[k]
+		switch e.kind {
+		case KindString:
+			fmt.Fprintf(&sb, "%s=%q", k, e.str)
+		case KindInt:
+			fmt.Fprintf(&sb, "%s=%d", k, e.num)
+		case KindFloat:
+			fmt.Fprintf(&sb, "%s=%g", k, e.flt)
+		case KindBool:
+			fmt.Fprintf(&sb, "%s=%t", k, e.boolean)
+		case KindStringSlice:
+			fmt.Fprintf(&sb, "%s=%q", k, e.strs)
+		case KindIntSlice:
+			fmt.Fprintf(&sb, "%s=%v", k, e.ints)
+		case KindBundle:
+			fmt.Fprintf(&sb, "%s=%s", k, e.nested.String())
+		}
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,269 @@
+package bundle
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	b := New()
+	b.PutString("s", "hello")
+	b.PutInt("i", 42)
+	b.PutFloat("f", 3.5)
+	b.PutBool("b", true)
+	b.PutStringSlice("ss", []string{"a", "b"})
+	b.PutIntSlice("is", []int64{1, 2, 3})
+
+	if got := b.GetString("s", ""); got != "hello" {
+		t.Errorf("GetString = %q", got)
+	}
+	if got := b.GetInt("i", 0); got != 42 {
+		t.Errorf("GetInt = %d", got)
+	}
+	if got := b.GetFloat("f", 0); got != 3.5 {
+		t.Errorf("GetFloat = %v", got)
+	}
+	if !b.GetBool("b", false) {
+		t.Error("GetBool = false")
+	}
+	if got := b.GetStringSlice("ss"); len(got) != 2 || got[1] != "b" {
+		t.Errorf("GetStringSlice = %v", got)
+	}
+	if got := b.GetIntSlice("is"); len(got) != 3 || got[2] != 3 {
+		t.Errorf("GetIntSlice = %v", got)
+	}
+	if b.Len() != 6 {
+		t.Errorf("Len = %d, want 6", b.Len())
+	}
+}
+
+func TestDefaultsOnMissingOrMistyped(t *testing.T) {
+	b := New()
+	b.PutInt("x", 1)
+	if got := b.GetString("x", "def"); got != "def" {
+		t.Errorf("mistyped GetString = %q, want def", got)
+	}
+	if got := b.GetString("absent", "def"); got != "def" {
+		t.Errorf("missing GetString = %q, want def", got)
+	}
+	if got := b.GetInt("absent", -7); got != -7 {
+		t.Errorf("missing GetInt = %d, want -7", got)
+	}
+	if b.GetStringSlice("absent") != nil {
+		t.Error("missing GetStringSlice != nil")
+	}
+	if b.GetBundle("absent") != nil {
+		t.Error("missing GetBundle != nil")
+	}
+}
+
+func TestKindOfAndHas(t *testing.T) {
+	b := New()
+	b.PutBool("flag", false)
+	if !b.Has("flag") {
+		t.Error("Has(flag) = false")
+	}
+	if b.Has("nope") {
+		t.Error("Has(nope) = true")
+	}
+	if b.KindOf("flag") != KindBool {
+		t.Errorf("KindOf = %v", b.KindOf("flag"))
+	}
+	if b.KindOf("nope") != KindInvalid {
+		t.Errorf("KindOf missing = %v", b.KindOf("nope"))
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		KindString: "string", KindInt: "int", KindFloat: "float",
+		KindBool: "bool", KindStringSlice: "[]string", KindIntSlice: "[]int",
+		KindBundle: "bundle", KindInvalid: "invalid",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestSlicesAreCopiedOnPutAndGet(t *testing.T) {
+	src := []string{"a", "b"}
+	b := New()
+	b.PutStringSlice("s", src)
+	src[0] = "mutated"
+	got := b.GetStringSlice("s")
+	if got[0] != "a" {
+		t.Error("Put did not copy the slice")
+	}
+	got[1] = "mutated"
+	if b.GetStringSlice("s")[1] != "b" {
+		t.Error("Get did not copy the slice")
+	}
+}
+
+func TestNestedBundle(t *testing.T) {
+	inner := New()
+	inner.PutString("k", "v")
+	outer := New()
+	outer.PutBundle("view:1", inner)
+	if got := outer.GetBundle("view:1").GetString("k", ""); got != "v" {
+		t.Errorf("nested get = %q", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	inner := New()
+	inner.PutInt("n", 1)
+	b := New()
+	b.PutBundle("in", inner)
+	b.PutStringSlice("ss", []string{"x"})
+
+	c := b.Clone()
+	inner.PutInt("n", 2)
+	if got := c.GetBundle("in").GetInt("n", 0); got != 1 {
+		t.Errorf("clone shares nested bundle: n = %d", got)
+	}
+	if !b.Equal(b.Clone()) {
+		t.Error("clone not Equal to original")
+	}
+}
+
+func TestMergeOverwritesAndDeepCopies(t *testing.T) {
+	a := New()
+	a.PutString("k", "old")
+	inner := New()
+	inner.PutBool("f", true)
+	o := New()
+	o.PutString("k", "new")
+	o.PutBundle("in", inner)
+	a.Merge(o)
+	if got := a.GetString("k", ""); got != "new" {
+		t.Errorf("merge did not overwrite: %q", got)
+	}
+	inner.PutBool("f", false)
+	if !a.GetBundle("in").GetBool("f", false) {
+		t.Error("merge shared nested bundle")
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestEqual(t *testing.T) {
+	mk := func() *Bundle {
+		b := New()
+		b.PutString("s", "x")
+		b.PutIntSlice("is", []int64{1, 2})
+		n := New()
+		n.PutFloat("f", 1.25)
+		b.PutBundle("n", n)
+		return b
+	}
+	a, b := mk(), mk()
+	if !a.Equal(b) {
+		t.Fatal("identical bundles not Equal")
+	}
+	b.PutString("s", "y")
+	if a.Equal(b) {
+		t.Fatal("different bundles Equal")
+	}
+	var nilB *Bundle
+	if a.Equal(nilB) {
+		t.Fatal("Equal(nil) = true")
+	}
+}
+
+func TestRemoveAndClear(t *testing.T) {
+	b := New()
+	b.PutInt("a", 1)
+	b.PutInt("b", 2)
+	b.Remove("a")
+	if b.Has("a") || !b.Has("b") {
+		t.Fatal("Remove misbehaved")
+	}
+	b.Clear()
+	if !b.IsEmpty() {
+		t.Fatal("Clear left keys")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	b := New()
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		b.PutInt(k, 0)
+	}
+	keys := b.Keys()
+	if keys[0] != "alpha" || keys[1] != "mid" || keys[2] != "zeta" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestSizeBytesGrowsWithContent(t *testing.T) {
+	b := New()
+	empty := b.SizeBytes()
+	if empty != 0 {
+		t.Fatalf("empty size = %d", empty)
+	}
+	b.PutString("k", "0123456789")
+	small := b.SizeBytes()
+	if small <= empty {
+		t.Fatal("size did not grow")
+	}
+	b.PutString("k2", strings.Repeat("x", 1000))
+	if b.SizeBytes() <= small+900 {
+		t.Fatalf("size %d did not account for large string", b.SizeBytes())
+	}
+	n := New()
+	n.PutIntSlice("is", []int64{1, 2, 3, 4})
+	b.PutBundle("nested", n)
+	if b.SizeBytes() < small+1000+32 {
+		t.Fatal("nested bundle not accounted")
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	b := New()
+	b.PutInt("b", 2)
+	b.PutString("a", "x")
+	want := `{a="x", b=2}`
+	if got := b.String(); got != want {
+		t.Fatalf("String = %s, want %s", got, want)
+	}
+}
+
+// Property: Clone always Equals the original, and mutating the clone never
+// affects the original.
+func TestCloneProperty(t *testing.T) {
+	f := func(keys []string, vals []int64) bool {
+		b := New()
+		for i, k := range keys {
+			if i < len(vals) {
+				b.PutInt(k, vals[i])
+			} else {
+				b.PutString(k, k)
+			}
+		}
+		c := b.Clone()
+		if !b.Equal(c) {
+			return false
+		}
+		c.PutInt("__new__", 1)
+		return !b.Has("__new__")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: last Put wins for any interleaving of two writes to one key.
+func TestLastPutWinsProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		bd := New()
+		bd.PutInt("k", a)
+		bd.PutInt("k", b)
+		return bd.GetInt("k", 0) == b && bd.Len() == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package bundle_test
+
+import (
+	"fmt"
+
+	"rchdroid/internal/bundle"
+)
+
+// Example shows the onSaveInstanceState round trip a runtime change
+// performs: typed values in, typed values out, nested sections per view.
+func Example() {
+	state := bundle.New()
+	state.PutString("draft", "dear reviewer…")
+	state.PutInt("scroll", 1480)
+
+	viewSection := bundle.New()
+	viewSection.PutBool("checked", true)
+	state.PutBundle("view:42", viewSection)
+
+	restored := state.Clone()
+	fmt.Println(restored.GetString("draft", ""))
+	fmt.Println(restored.GetInt("scroll", 0))
+	fmt.Println(restored.GetBundle("view:42").GetBool("checked", false))
+	// Output:
+	// dear reviewer…
+	// 1480
+	// true
+}
+
+// ExampleBundle_GetString shows type-safe access with defaults.
+func ExampleBundle_GetString() {
+	b := bundle.New()
+	b.PutInt("n", 7)
+	fmt.Println(b.GetString("n", "not a string"))
+	fmt.Println(b.GetString("missing", "absent"))
+	// Output:
+	// not a string
+	// absent
+}

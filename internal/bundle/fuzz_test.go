@@ -1,0 +1,78 @@
+package bundle
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzBundleAgainstModel interprets the fuzz input as a little op program
+// run against both a Bundle and a plain-map reference model, then checks
+// that the two agree and that a Clone of the final bundle is Equal to it.
+// `go test` runs the seed corpus; `go test -fuzz=FuzzBundle` explores.
+func FuzzBundleAgainstModel(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{9, 9, 9, 1, 1, 0, 255, 42, 17})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		b := New()
+		type modelVal struct {
+			kind Kind
+			str  string
+			num  int64
+			flag bool
+		}
+		model := map[string]modelVal{}
+		keyOf := func(x byte) string { return fmt.Sprintf("k%d", x%8) }
+
+		for i := 0; i+1 < len(program); i += 2 {
+			op, arg := program[i], program[i+1]
+			key := keyOf(arg)
+			switch op % 5 {
+			case 0:
+				v := fmt.Sprintf("s%d", arg)
+				b.PutString(key, v)
+				model[key] = modelVal{kind: KindString, str: v}
+			case 1:
+				b.PutInt(key, int64(arg))
+				model[key] = modelVal{kind: KindInt, num: int64(arg)}
+			case 2:
+				b.PutBool(key, arg%2 == 0)
+				model[key] = modelVal{kind: KindBool, flag: arg%2 == 0}
+			case 3:
+				b.Remove(key)
+				delete(model, key)
+			case 4:
+				if arg%16 == 0 {
+					b.Clear()
+					model = map[string]modelVal{}
+				}
+			}
+		}
+
+		if b.Len() != len(model) {
+			t.Fatalf("len %d vs model %d", b.Len(), len(model))
+		}
+		for k, mv := range model {
+			if b.KindOf(k) != mv.kind {
+				t.Fatalf("key %s kind %v vs %v", k, b.KindOf(k), mv.kind)
+			}
+			switch mv.kind {
+			case KindString:
+				if b.GetString(k, "") != mv.str {
+					t.Fatalf("key %s string mismatch", k)
+				}
+			case KindInt:
+				if b.GetInt(k, -1) != mv.num {
+					t.Fatalf("key %s int mismatch", k)
+				}
+			case KindBool:
+				if b.GetBool(k, !mv.flag) != mv.flag {
+					t.Fatalf("key %s bool mismatch", k)
+				}
+			}
+		}
+		if !b.Equal(b.Clone()) {
+			t.Fatal("clone not equal")
+		}
+	})
+}

@@ -1,0 +1,25 @@
+package config_test
+
+import (
+	"fmt"
+
+	"rchdroid/internal/config"
+)
+
+// Example shows how a rotation diff decides whether an activity restarts:
+// the change mask must be fully covered by android:configChanges.
+func Example() {
+	before := config.Default()
+	after := before.Rotated()
+
+	diff := before.Diff(after)
+	fmt.Println("changed:", diff)
+
+	declared := config.ChangeOrientation // app declared orientation only
+	fmt.Println("handled by app:", diff.HandledBy(declared))
+	fmt.Println("handled by app:", diff.HandledBy(declared|config.ChangeScreenSize))
+	// Output:
+	// changed: orientation|screenSize
+	// handled by app: false
+	// handled by app: true
+}

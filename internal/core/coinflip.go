@@ -1,0 +1,85 @@
+package core
+
+import (
+	"rchdroid/internal/atms"
+	"rchdroid/internal/config"
+)
+
+// CoinFlipPolicy is RCHDroid's ATMS side (§3.4): on a sunny start request
+// it searches the task stack for a still-alive shadow record. If one
+// matches the new configuration it is reordered to the top and its state
+// flipped with the requester's; otherwise a second record for the same
+// activity is created — the modification that relaxes the stock
+// "same-activity start creates nothing" rule.
+type CoinFlipPolicy struct {
+	// Counters for reports.
+	searches int
+	flips    int
+	creates  int
+}
+
+// NewCoinFlipPolicy returns the RCHDroid starter policy.
+func NewCoinFlipPolicy() *CoinFlipPolicy { return &CoinFlipPolicy{} }
+
+// Searches returns how many shadow-record stack searches ran.
+func (p *CoinFlipPolicy) Searches() int { return p.searches }
+
+// Flips returns how many requests were served by a coin flip.
+func (p *CoinFlipPolicy) Flips() int { return p.flips }
+
+// Creates returns how many requests needed a fresh record.
+func (p *CoinFlipPolicy) Creates() int { return p.creates }
+
+// HandleSunnyStart implements atms.StarterPolicy.
+func (p *CoinFlipPolicy) HandleSunnyStart(a *atms.ATMS, task *atms.TaskRecord, from *atms.ActivityRecord, newCfg config.Configuration) {
+	p.searches++
+	shadowRec := task.FindShadow()
+	model := a.Model()
+
+	if shadowRec != nil && shadowRec.Config.Equal(newCfg) {
+		// Coin flip: reorder the shadow record to the top, clear its
+		// shadow state, and push the requester into the shadow state.
+		p.flips++
+		a.Starter().CountFlip()
+		task.MoveToTop(shadowRec)
+		shadowRec.SetShadow(false)
+		from.SetShadow(true)
+		// Charge the stack search, then answer in a follow-up server
+		// message so the charge delays the reply.
+		a.ChargeServer(model.ATMSStackSearch)
+		a.RunOnServer("flipReply", 0, func() {
+			a.Bus().Transact(shadowRec.Proc.Endpoint(), "scheduleFlip", 128, 0, func() {
+				shadowRec.Proc.Thread().ScheduleFlip(shadowRec.Token, newCfg)
+			})
+		})
+		return
+	}
+
+	// First-time change (or stale/missing shadow): create a second record
+	// for the same activity class and mark the requester shadow.
+	p.creates++
+	a.ChargeServer(model.ATMSStackSearch)
+	rec := a.Starter().CreateRecord(from.Class, from.Proc, task)
+	from.SetShadow(true)
+	a.RunOnServer("sunnyLaunchReply", 0, func() {
+		a.Bus().Transact(from.Proc.Endpoint(), "scheduleSunnyLaunch", 256, 0, func() {
+			from.Proc.Thread().ScheduleSunnyLaunch(rec.Class, rec.Token, newCfg)
+		})
+	})
+}
+
+// alwaysCreatePolicy is the coin-flip ablation: every sunny start creates
+// a fresh record, so every runtime change pays the RCHDroid-init cost.
+type alwaysCreatePolicy struct{}
+
+// HandleSunnyStart implements atms.StarterPolicy.
+func (alwaysCreatePolicy) HandleSunnyStart(a *atms.ATMS, task *atms.TaskRecord, from *atms.ActivityRecord, newCfg config.Configuration) {
+	a.ChargeServer(a.Model().ATMSStackSearch)
+	rec := a.Starter().CreateRecord(from.Class, from.Proc, task)
+	from.SetShadow(true)
+	a.RunOnServer("sunnyLaunchReply", 0, func() {
+		a.Bus().Transact(from.Proc.Endpoint(), "scheduleSunnyLaunch", 256, 0, func() {
+			from.Proc.Thread().ScheduleSunnyLaunch(rec.Class, rec.Token, newCfg)
+		})
+	})
+}

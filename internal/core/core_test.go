@@ -1,0 +1,909 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/appset"
+	"rchdroid/internal/atms"
+	"rchdroid/internal/bundle"
+	"rchdroid/internal/config"
+	"rchdroid/internal/costmodel"
+	"rchdroid/internal/resources"
+	"rchdroid/internal/sim"
+	"rchdroid/internal/view"
+)
+
+// benchApp builds the paper's benchmark app: n ImageViews plus a Button
+// that starts an AsyncTask updating every ImageView after taskDelay.
+func benchApp(n int, taskDelay time.Duration) *app.App {
+	res := resources.NewTable()
+	mkLayout := func() *view.Spec {
+		children := []*view.Spec{view.Btn(1, "update")}
+		for i := 0; i < n; i++ {
+			children = append(children, view.Img(view.ID(100+i), "drawable/init"))
+		}
+		return view.Linear(2, children...)
+	}
+	res.Put("layout/main", resources.Qualifiers{Orientation: config.OrientationLandscape}, mkLayout())
+	res.Put("layout/main", resources.Qualifiers{Orientation: config.OrientationPortrait}, mkLayout())
+
+	cls := &app.ActivityClass{Name: "MainActivity"}
+	cls.Callbacks.OnCreate = func(a *app.Activity, saved *bundle.Bundle) {
+		a.SetContentView("layout/main")
+		btn := a.FindViewByID(1).(*view.Button)
+		btn.SetOnClick(func() {
+			// Capture the current instance's ImageViews, as real apps do.
+			var imgs []*view.ImageView
+			for i := 0; i < n; i++ {
+				imgs = append(imgs, a.FindViewByID(view.ID(100+i)).(*view.ImageView))
+			}
+			a.StartAsyncTask("updateImages", taskDelay, func() {
+				for _, iv := range imgs {
+					iv.SetDrawable("drawable/loaded")
+				}
+			})
+		})
+	}
+	return &app.App{Name: "benchapp", Resources: res, Main: cls}
+}
+
+type rig struct {
+	sched *sim.Scheduler
+	model *costmodel.Model
+	sys   *atms.ATMS
+	proc  *app.Process
+	rch   *RCHDroid // nil in stock mode
+}
+
+func newRig(t *testing.T, a *app.App, install bool) *rig {
+	t.Helper()
+	sched := sim.NewScheduler()
+	model := costmodel.Default()
+	sys := atms.New(sched, model)
+	proc := app.NewProcess(sched, model, a)
+	r := &rig{sched: sched, model: model, sys: sys, proc: proc}
+	if install {
+		r.rch = Install(sys, proc, DefaultOptions())
+	}
+	sys.LaunchApp(proc)
+	sched.Advance(2 * time.Second)
+	return r
+}
+
+func (r *rig) change(t *testing.T, cfg config.Configuration) time.Duration {
+	t.Helper()
+	before := len(r.sys.HandlingTimes())
+	r.sys.PushConfiguration(cfg)
+	r.sched.Advance(2 * time.Second)
+	times := r.sys.HandlingTimes()
+	if len(times) != before+1 {
+		t.Fatalf("expected a completed handling, have %d (was %d)", len(times), before)
+	}
+	return times[len(times)-1]
+}
+
+// Rotate2 pushes a rotation and returns its handling latency.
+func (r *rig) Rotate2() (time.Duration, error) {
+	before := len(r.sys.HandlingTimes())
+	r.sys.PushConfiguration(r.sys.GlobalConfig().Rotated())
+	r.sched.Advance(3 * time.Second)
+	times := r.sys.HandlingTimes()
+	if len(times) != before+1 {
+		return 0, fmt.Errorf("handling did not complete")
+	}
+	return times[len(times)-1], nil
+}
+
+func (r *rig) clickButton(t *testing.T) {
+	t.Helper()
+	fg := r.proc.Thread().ForegroundActivity()
+	if fg == nil {
+		t.Fatal("no foreground activity")
+	}
+	btn := fg.FindViewByID(1).(*view.Button)
+	r.proc.PostApp("tap", time.Millisecond, btn.Click)
+	r.sched.Advance(100 * time.Millisecond)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func TestStockRestartPreservesViewStateButLosesExtras(t *testing.T) {
+	a := benchApp(4, 50*time.Millisecond)
+	r := newRig(t, a, false)
+
+	fg := r.proc.Thread().ForegroundActivity()
+	if fg == nil || fg.State() != app.StateResumed {
+		t.Fatalf("foreground = %v", fg)
+	}
+	first := fg
+	fg.PutExtra("unsavedCounter", 42)
+
+	d := r.change(t, config.Portrait())
+	t.Logf("stock restart handling time: %.2f ms", ms(d))
+
+	fg2 := r.proc.Thread().ForegroundActivity()
+	if fg2 == nil || fg2 == first {
+		t.Fatal("stock change must create a new instance")
+	}
+	if first.State() != app.StateDestroyed {
+		t.Fatalf("old instance state = %v, want Destroyed", first.State())
+	}
+	if fg2.Config().Orientation != config.OrientationPortrait {
+		t.Fatal("new instance has stale configuration")
+	}
+	if fg2.Extra("unsavedCounter") != nil {
+		t.Fatal("extras must be lost across a stock restart")
+	}
+}
+
+func TestStockAsyncTaskCrashesAfterRestart(t *testing.T) {
+	a := benchApp(4, 500*time.Millisecond)
+	r := newRig(t, a, false)
+	r.clickButton(t) // async task still in flight during the change
+	r.change(t, config.Portrait())
+	r.sched.Advance(time.Second)
+	if !r.proc.Crashed() {
+		t.Fatal("stock Android must crash when the async task touches released views")
+	}
+	cause := r.proc.CrashCause()
+	if cause == nil {
+		t.Fatal("no crash cause")
+	}
+	var npe *view.NullPointerError
+	if !asErr(cause, &npe) {
+		t.Fatalf("crash cause = %v, want NullPointerException", cause)
+	}
+	if r.proc.Memory().CurrentMB() != 0 {
+		t.Fatal("crashed process must report zero memory (Fig 9)")
+	}
+}
+
+func asErr(err error, target *(*view.NullPointerError)) bool {
+	for err != nil {
+		if npe, ok := err.(*view.NullPointerError); ok {
+			*target = npe
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestRCHDroidSurvivesAsyncTaskAndMigrates(t *testing.T) {
+	a := benchApp(4, 500*time.Millisecond)
+	r := newRig(t, a, true)
+	r.clickButton(t)
+	d := r.change(t, config.Portrait()) // init path while task in flight
+	t.Logf("rchdroid-init handling time: %.2f ms", ms(d))
+	r.sched.Advance(time.Second)
+
+	if r.proc.Crashed() {
+		t.Fatalf("RCHDroid crashed: %v", r.proc.CrashCause())
+	}
+	// The async result must have been migrated to the sunny tree.
+	sunny := r.proc.Thread().CurrentSunny()
+	if sunny == nil {
+		t.Fatal("no sunny activity")
+	}
+	for i := 0; i < 4; i++ {
+		iv := sunny.FindViewByID(view.ID(100 + i)).(*view.ImageView)
+		if iv.Drawable() != "drawable/loaded" {
+			t.Fatalf("sunny ImageView %d not migrated: %q", i, iv.Drawable())
+		}
+	}
+	if r.rch.Migrator.Migrations() != 1 || r.rch.Migrator.ViewsMigrated() != 4 {
+		t.Fatalf("migrations=%d views=%d", r.rch.Migrator.Migrations(), r.rch.Migrator.ViewsMigrated())
+	}
+	mt := r.rch.MigrationTimes()
+	if len(mt) != 1 {
+		t.Fatalf("migration times = %v", mt)
+	}
+	t.Logf("async migration time (4 views): %.2f ms", ms(mt[0]))
+
+	// The shadow instance is still alive and flagged.
+	shadow := r.proc.Thread().CurrentShadow()
+	if shadow == nil || shadow.State() != app.StateShadow {
+		t.Fatalf("shadow = %v", shadow)
+	}
+	if !shadow.Decor().Children()[0].Base().Shadow() {
+		t.Fatal("shadow flags not dispatched")
+	}
+}
+
+func TestRCHDroidCoinFlipReusesShadowInstance(t *testing.T) {
+	a := benchApp(4, 50*time.Millisecond)
+	r := newRig(t, a, true)
+
+	dInit := r.change(t, config.Portrait())
+	shadowAfterInit := r.proc.Thread().CurrentShadow()
+	sunnyAfterInit := r.proc.Thread().CurrentSunny()
+
+	dFlip := r.change(t, config.Default()) // back to landscape → flip
+	t.Logf("init=%.2f ms flip=%.2f ms", ms(dInit), ms(dFlip))
+
+	if r.rch.Handler.Flips() != 1 || r.rch.Handler.InitLaunches() != 1 {
+		t.Fatalf("flips=%d inits=%d", r.rch.Handler.Flips(), r.rch.Handler.InitLaunches())
+	}
+	if r.rch.Policy.Flips() != 1 {
+		t.Fatalf("policy flips = %d", r.rch.Policy.Flips())
+	}
+	// Roles must have swapped: the old shadow is now sunny and vice versa.
+	if r.proc.Thread().CurrentSunny() != shadowAfterInit {
+		t.Fatal("flip did not promote the shadow instance")
+	}
+	if r.proc.Thread().CurrentShadow() != sunnyAfterInit {
+		t.Fatal("flip did not demote the sunny instance")
+	}
+	if dFlip >= dInit {
+		t.Fatalf("flip (%v) must be faster than init (%v)", dFlip, dInit)
+	}
+	// No third instance was created.
+	if got := len(r.proc.Thread().Activities()); got != 2 {
+		t.Fatalf("instances = %d, want 2", got)
+	}
+}
+
+func TestRCHDroidStatePreservedWithoutAppSupport(t *testing.T) {
+	// An EditText whose content the app never saves explicitly: stock
+	// Android preserves it via automatic view state, and so must RCHDroid
+	// through the shadow snapshot.
+	res := resources.NewTable()
+	layout := func() *view.Spec { return view.Linear(1, view.Edit(2, "")) }
+	res.Put("layout/main", resources.Qualifiers{Orientation: config.OrientationLandscape}, layout())
+	res.Put("layout/main", resources.Qualifiers{Orientation: config.OrientationPortrait}, layout())
+	cls := &app.ActivityClass{Name: "MainActivity"}
+	cls.Callbacks.OnCreate = func(a *app.Activity, saved *bundle.Bundle) { a.SetContentView("layout/main") }
+	application := &app.App{Name: "editor", Resources: res, Main: cls}
+
+	r := newRig(t, application, true)
+	fg := r.proc.Thread().ForegroundActivity()
+	et := fg.FindViewByID(2).(*view.EditText)
+	r.proc.PostApp("type", time.Millisecond, func() { et.Type("draft text") })
+	r.sched.Advance(10 * time.Millisecond)
+
+	r.change(t, config.Portrait())
+	sunny := r.proc.Thread().CurrentSunny()
+	et2 := sunny.FindViewByID(2).(*view.EditText)
+	if et2.Text() != "draft text" {
+		t.Fatalf("text after change = %q", et2.Text())
+	}
+	if et2 == et {
+		t.Fatal("sunny instance must own a fresh EditText")
+	}
+}
+
+func TestThresholdGCReclaimsColdShadow(t *testing.T) {
+	a := benchApp(2, time.Hour)
+	r := newRig(t, a, true)
+	r.change(t, config.Portrait())
+	if r.proc.Thread().CurrentShadow() == nil {
+		t.Fatal("no shadow after init")
+	}
+	memWithShadow := r.proc.Memory().CurrentMB()
+
+	// One change total: frequency 1/min < THRESH_F=4; after THRESH_T=50s
+	// the shadow must be collected.
+	r.sched.Advance(70 * time.Second)
+	if r.proc.Thread().CurrentShadow() != nil {
+		t.Fatal("cold shadow not collected after THRESH_T")
+	}
+	if r.rch.GC.Collected() != 1 {
+		t.Fatalf("collected = %d", r.rch.GC.Collected())
+	}
+	if got := r.proc.Memory().CurrentMB(); got >= memWithShadow {
+		t.Fatalf("memory after GC (%v MB) not below with-shadow (%v MB)", got, memWithShadow)
+	}
+	// The sunny activity settles to plain Resumed.
+	fg := r.proc.Thread().ForegroundActivity()
+	if fg == nil || fg.State() != app.StateResumed {
+		t.Fatalf("foreground state = %v", fg.State())
+	}
+	// And the next change is an init again, not a flip.
+	r.change(t, config.Default())
+	if r.rch.Handler.InitLaunches() != 2 {
+		t.Fatalf("init launches = %d, want 2", r.rch.Handler.InitLaunches())
+	}
+}
+
+func TestHotShadowSurvivesGC(t *testing.T) {
+	a := benchApp(2, time.Hour)
+	r := newRig(t, a, true)
+	// Six changes per minute keeps shadow_frequency ≥ THRESH_F.
+	for i := 0; i < 12; i++ {
+		if i%2 == 0 {
+			r.sys.PushConfiguration(config.Portrait())
+		} else {
+			r.sys.PushConfiguration(config.Default())
+		}
+		r.sched.Advance(10 * time.Second)
+	}
+	if r.proc.Thread().CurrentShadow() == nil {
+		t.Fatal("hot shadow should not be collected")
+	}
+	if r.rch.GC.Collected() != 0 {
+		t.Fatalf("collected = %d, want 0", r.rch.GC.Collected())
+	}
+	if r.rch.Handler.Flips() < 10 {
+		t.Fatalf("flips = %d, want >= 10", r.rch.Handler.Flips())
+	}
+}
+
+func TestDeclaredChangesBypassHandlerInBothModes(t *testing.T) {
+	res := resources.NewTable()
+	res.PutDefault("layout/main", view.Linear(1, view.Text(2, "x")))
+	cls := &app.ActivityClass{
+		Name:            "MainActivity",
+		DeclaredChanges: config.ChangeOrientation | config.ChangeScreenSize,
+	}
+	delivered := 0
+	cls.Callbacks.OnCreate = func(a *app.Activity, saved *bundle.Bundle) { a.SetContentView("layout/main") }
+	cls.Callbacks.OnConfigurationChanged = func(a *app.Activity, c config.Configuration) { delivered++ }
+	application := &app.App{Name: "selfhandler", Resources: res, Main: cls}
+
+	for _, install := range []bool{false, true} {
+		delivered = 0
+		r := newRig(t, application, install)
+		first := r.proc.Thread().ForegroundActivity()
+		d := r.change(t, config.Portrait())
+		if delivered != 1 {
+			t.Fatalf("install=%v: onConfigurationChanged delivered %d times", install, delivered)
+		}
+		if r.proc.Thread().ForegroundActivity() != first {
+			t.Fatalf("install=%v: declared change must not replace the instance", install)
+		}
+		if d > 30*time.Millisecond {
+			t.Fatalf("install=%v: declared handling too slow: %v", install, d)
+		}
+	}
+}
+
+func TestHandlingTimeCalibration(t *testing.T) {
+	// Fig 10a anchors: stock ≈ 141.8 ms at 4 views; init 154.6 ms at 1
+	// view and 180.2 ms at 16 views; flip ≈ 89.2 ms independent of views.
+	within := func(name string, got time.Duration, wantMS, tolPct float64) {
+		g := ms(got)
+		if g < wantMS*(1-tolPct/100) || g > wantMS*(1+tolPct/100) {
+			t.Errorf("%s = %.2f ms, want %.1f ±%.0f%%", name, g, wantMS, tolPct)
+		} else {
+			t.Logf("%s = %.2f ms (target %.1f)", name, g, wantMS)
+		}
+	}
+
+	rStock := newRig(t, benchApp(4, time.Hour), false)
+	within("stock(4 views)", rStock.change(t, config.Portrait()), 141.8, 3)
+
+	r1 := newRig(t, benchApp(1, time.Hour), true)
+	within("init(1 view)", r1.change(t, config.Portrait()), 154.6+1.0 /* button adds one view */, 3)
+	within("flip(1 view)", r1.change(t, config.Default()), 89.2, 3)
+
+	r16 := newRig(t, benchApp(16, time.Hour), true)
+	within("init(16 views)", r16.change(t, config.Portrait()), 180.2+2.0, 3)
+	within("flip(16 views)", r16.change(t, config.Default()), 89.2, 3)
+}
+
+func TestShadowReleasedImmediatelyOnAppSwitch(t *testing.T) {
+	// §3.5: "If the foreground activity instance is terminated or
+	// switched, the corresponding shadow-state activity will be released
+	// immediately."
+	sched := sim.NewScheduler()
+	model := costmodel.Default()
+	sys := atms.New(sched, model)
+	p1 := app.NewProcess(sched, model, benchApp(4, time.Hour))
+	rch := Install(sys, p1, DefaultOptions())
+	sys.LaunchApp(p1)
+	sched.Advance(2 * time.Second)
+
+	sys.PushConfiguration(config.Portrait())
+	sched.Advance(2 * time.Second)
+	if p1.Thread().CurrentShadow() == nil {
+		t.Fatal("no shadow after change")
+	}
+	memWithShadow := p1.Memory().CurrentMB()
+
+	// Launch a second app: the first task leaves the foreground.
+	other := benchApp(2, time.Hour)
+	other.Name = "otherapp"
+	p2 := app.NewProcess(sched, model, other)
+	sys.LaunchApp(p2)
+	sched.Advance(2 * time.Second)
+
+	if p1.Thread().CurrentShadow() != nil {
+		t.Fatal("shadow must be released immediately on app switch")
+	}
+	if got := p1.Memory().CurrentMB(); got >= memWithShadow {
+		t.Fatalf("memory %.2f MB not reduced from %.2f MB", got, memWithShadow)
+	}
+	if rch.GC != nil && rch.GC.Collected() != 0 {
+		t.Fatal("release must come from the switch, not the GC")
+	}
+	// Returning to the app and rotating again pays the init path.
+	sys.MoveTaskToFront(p1.App().Name)
+	sched.Advance(2 * time.Second)
+	sys.PushConfiguration(config.Default())
+	sched.Advance(2 * time.Second)
+	if rch.Handler.InitLaunches() != 2 {
+		t.Fatalf("init launches = %d, want 2 (post-switch change re-inits)", rch.Handler.InitLaunches())
+	}
+	if p1.Crashed() {
+		t.Fatalf("crashed: %v", p1.CrashCause())
+	}
+}
+
+// fragmentHostApp builds an activity hosting a dynamically attached
+// fragment — the §2.2 scenario static app patching cannot handle.
+func fragmentHostApp() *app.App {
+	res := resources.NewTable()
+	layout := func() *view.Spec {
+		return view.Linear(1, view.Text(2, "host"), view.Group("FrameLayout", 50))
+	}
+	res.Put("layout/main", resources.Qualifiers{Orientation: config.OrientationLandscape}, layout())
+	res.Put("layout/main", resources.Qualifiers{Orientation: config.OrientationPortrait}, layout())
+	detail := &app.FragmentClass{
+		Name: "DetailFragment",
+		OnCreateView: func(f *app.Fragment, host *app.Activity) *view.Spec {
+			return view.Linear(55,
+				&view.Spec{Type: "CustomTextView", ID: 60},
+				view.Img(61, "drawable/init"),
+			)
+		},
+	}
+	cls := &app.ActivityClass{
+		Name:            "Host",
+		FragmentClasses: map[string]*app.FragmentClass{"DetailFragment": detail},
+	}
+	cls.Callbacks.OnCreate = func(a *app.Activity, saved *bundle.Bundle) {
+		a.SetContentView("layout/main")
+	}
+	return &app.App{Name: "fraghost", Resources: res, Main: cls}
+}
+
+func TestRCHDroidMigratesDynamicFragmentState(t *testing.T) {
+	r := newRig(t, fragmentHostApp(), true)
+	fg := r.proc.Thread().ForegroundActivity()
+	r.proc.PostApp("attach+type", time.Millisecond, func() {
+		fg.Fragments().Add(fg.Class().FragmentClasses["DetailFragment"], "detail", 50)
+		fg.FindViewByID(60).(*view.CustomTextView).SetText("typed in fragment")
+	})
+	r.sched.Advance(10 * time.Millisecond)
+
+	// Async task updates the fragment's ImageView across the change.
+	r.proc.PostApp("startTask", time.Millisecond, func() {
+		iv := fg.FindViewByID(61).(*view.ImageView)
+		fg.StartAsyncTask("load", 400*time.Millisecond, func() {
+			iv.SetDrawable("drawable/fresh")
+		})
+	})
+	r.sched.Advance(10 * time.Millisecond)
+
+	r.change(t, config.Portrait())
+	r.sched.Advance(time.Second)
+	if r.proc.Crashed() {
+		t.Fatalf("crashed: %v", r.proc.CrashCause())
+	}
+	sunny := r.proc.Thread().CurrentSunny()
+	f := sunny.Fragments().FindByTag("detail")
+	if f == nil {
+		t.Fatal("fragment not recreated on the sunny instance")
+	}
+	if got := sunny.FindViewByID(60).(*view.CustomTextView).Text(); got != "typed in fragment" {
+		t.Fatalf("fragment text = %q (stock Android would lose this)", got)
+	}
+	if got := sunny.FindViewByID(61).(*view.ImageView).Drawable(); got != "drawable/fresh" {
+		t.Fatalf("fragment async update not migrated: %q", got)
+	}
+	// And the coin flip path keeps fragments intact too.
+	r.change(t, config.Default())
+	fg2 := r.proc.Thread().CurrentSunny()
+	if fg2.Fragments().FindByTag("detail") == nil {
+		t.Fatal("fragment lost across coin flip")
+	}
+	if got := fg2.FindViewByID(60).(*view.CustomTextView).Text(); got != "typed in fragment" {
+		t.Fatalf("fragment text after flip = %q", got)
+	}
+}
+
+func TestStockLosesDynamicFragmentRichState(t *testing.T) {
+	r := newRig(t, fragmentHostApp(), false)
+	fg := r.proc.Thread().ForegroundActivity()
+	r.proc.PostApp("attach+type", time.Millisecond, func() {
+		fg.Fragments().Add(fg.Class().FragmentClasses["DetailFragment"], "detail", 50)
+		fg.FindViewByID(60).(*view.CustomTextView).SetText("typed in fragment")
+	})
+	r.sched.Advance(10 * time.Millisecond)
+	r.change(t, config.Portrait())
+	fg2 := r.proc.Thread().ForegroundActivity()
+	if fg2.Fragments().FindByTag("detail") == nil {
+		t.Fatal("stock restart should still re-attach fragments")
+	}
+	if got := fg2.FindViewByID(60).(*view.CustomTextView).Text(); got == "typed in fragment" {
+		t.Fatal("stock restart should lose custom-view text")
+	}
+}
+
+func TestRCHDroidSurvivesShowingDialogAcrossChange(t *testing.T) {
+	// The WindowLeaked crash mode of §2.3 disappears under RCHDroid: the
+	// dialog's owner is never destroyed, so its window never leaks.
+	r := newRig(t, fragmentHostApp(), true)
+	fg := r.proc.Thread().ForegroundActivity()
+	var dlg *app.Dialog
+	r.proc.PostApp("showDialog", time.Millisecond, func() {
+		dlg = fg.ShowDialog("Progress", view.Linear(70, view.Text(71, "working…")))
+	})
+	r.sched.Advance(10 * time.Millisecond)
+
+	r.change(t, config.Portrait())
+	if r.proc.Crashed() {
+		t.Fatalf("crashed: %v", r.proc.CrashCause())
+	}
+	if !dlg.Showing() {
+		t.Fatal("dialog should still be alive on the shadow instance")
+	}
+	// A late dismissal (async callback) works because the window was
+	// never released.
+	r.proc.PostApp("lateDismiss", time.Millisecond, dlg.Dismiss)
+	r.sched.Advance(10 * time.Millisecond)
+	if r.proc.Crashed() {
+		t.Fatalf("late dismiss crashed: %v", r.proc.CrashCause())
+	}
+}
+
+func TestStockShowingDialogCrashesButRCHDroidDoesNot(t *testing.T) {
+	run := func(install bool) bool {
+		r := newRig(t, fragmentHostApp(), install)
+		fg := r.proc.Thread().ForegroundActivity()
+		r.proc.PostApp("showDialog", time.Millisecond, func() {
+			fg.ShowDialog("Progress", nil)
+		})
+		r.sched.Advance(10 * time.Millisecond)
+		r.sys.PushConfiguration(config.Portrait())
+		r.sched.Advance(2 * time.Second)
+		return r.proc.Crashed()
+	}
+	if !run(false) {
+		t.Fatal("stock must crash (WindowLeaked)")
+	}
+	if run(true) {
+		t.Fatal("RCHDroid must survive")
+	}
+}
+
+func TestLocaleSwitchReResolvesStringsAndKeepsState(t *testing.T) {
+	// Language switching (§1) re-resolves string resources on the sunny
+	// instance while user state carries over.
+	res := resources.NewTable()
+	layout := func() *view.Spec {
+		return view.Linear(1, view.Text(2, "greeting"), view.Edit(3, ""))
+	}
+	res.PutDefault("layout/main", layout())
+	res.PutDefault("string/greet", "Hello")
+	res.Put("string/greet", resources.Qualifiers{Locale: "fr-FR"}, "Bonjour")
+	cls := &app.ActivityClass{Name: "Main"}
+	cls.Callbacks.OnCreate = func(a *app.Activity, saved *bundle.Bundle) {
+		a.SetContentView("layout/main")
+		// App sets the greeting from resources at create time — the
+		// canonical pattern; a restartless path must still refresh it.
+		a.FindViewByID(2).(*view.TextView).SetText(a.GetString("string/greet", "?"))
+	}
+	application := &app.App{Name: "localized", Resources: res, Main: cls}
+
+	r := newRig(t, application, true)
+	fg := r.proc.Thread().ForegroundActivity()
+	if got := fg.FindViewByID(2).(*view.TextView).Text(); got != "Hello" {
+		t.Fatalf("initial greeting %q", got)
+	}
+	r.proc.PostApp("type", time.Millisecond, func() {
+		fg.FindViewByID(3).(*view.EditText).Type("mon brouillon")
+	})
+	r.sched.Advance(10 * time.Millisecond)
+
+	r.change(t, config.Default().WithLocale("fr-FR"))
+	sunny := r.proc.Thread().CurrentSunny()
+	if got := sunny.FindViewByID(3).(*view.EditText).Text(); got != "mon brouillon" {
+		t.Fatalf("draft lost: %q", got)
+	}
+	if got := sunny.GetString("string/greet", "?"); got != "Bonjour" {
+		t.Fatalf("resources not re-resolved: %q", got)
+	}
+}
+
+func TestRandomSequencesStockNeverCrashesWithoutAsync(t *testing.T) {
+	// Sanity for the baseline: without async tasks or dialogs, stock
+	// restarting never crashes either — the issues are state loss, not
+	// unconditional crashes.
+	rng := sim.NewRNG(4242)
+	r := newRig(t, benchApp(6, time.Hour), false)
+	for step := 0; step < 20; step++ {
+		r.sys.PushConfiguration(r.sys.GlobalConfig().Rotated())
+		r.sched.Advance(2 * time.Second)
+		if rng.Intn(2) == 0 {
+			r.sched.Advance(10 * time.Second)
+		}
+		if r.proc.Crashed() {
+			t.Fatalf("stock crashed at step %d: %v", step, r.proc.CrashCause())
+		}
+	}
+	if got := len(r.sys.HandlingTimes()); got != 20 {
+		t.Fatalf("handled %d changes", got)
+	}
+}
+
+// twoActivityApp has a Main list screen and a Detail editor screen.
+func twoActivityApp() *app.App {
+	res := resources.NewTable()
+	mainLayout := func() *view.Spec {
+		return view.Linear(1, &view.Spec{Type: "ListView", ID: 10, Items: []string{"a", "b", "c"}})
+	}
+	detailLayout := func() *view.Spec {
+		return view.Linear(2, &view.Spec{Type: "CustomTextView", ID: 20})
+	}
+	res.Put("layout/list", resources.Qualifiers{Orientation: config.OrientationLandscape}, mainLayout())
+	res.Put("layout/list", resources.Qualifiers{Orientation: config.OrientationPortrait}, mainLayout())
+	res.Put("layout/detail", resources.Qualifiers{Orientation: config.OrientationLandscape}, detailLayout())
+	res.Put("layout/detail", resources.Qualifiers{Orientation: config.OrientationPortrait}, detailLayout())
+
+	mainCls := &app.ActivityClass{Name: "MainActivity"}
+	mainCls.Callbacks.OnCreate = func(a *app.Activity, saved *bundle.Bundle) { a.SetContentView("layout/list") }
+	detailCls := &app.ActivityClass{Name: "DetailActivity"}
+	detailCls.Callbacks.OnCreate = func(a *app.Activity, saved *bundle.Bundle) { a.SetContentView("layout/detail") }
+	return &app.App{
+		Name:       "twoact",
+		Resources:  res,
+		Main:       mainCls,
+		Activities: map[string]*app.ActivityClass{"DetailActivity": detailCls},
+	}
+}
+
+func TestActivitySwitchReleasesShadowAndBackResumes(t *testing.T) {
+	r := newRig(t, twoActivityApp(), true)
+	main := r.proc.Thread().ForegroundActivity()
+
+	// Rotate: Main gets a shadow partner.
+	r.change(t, config.Portrait())
+	if r.proc.Thread().CurrentShadow() == nil {
+		t.Fatal("no shadow after rotate")
+	}
+	sunnyMain := r.proc.Thread().CurrentSunny()
+
+	// Open the Detail screen: §3.5 releases Main's shadow immediately.
+	r.proc.PostApp("open", time.Millisecond, func() { sunnyMain.StartActivity("DetailActivity") })
+	r.sched.Advance(2 * time.Second)
+	if r.proc.Thread().CurrentShadow() != nil {
+		t.Fatal("shadow must be released on intra-task activity switch")
+	}
+	detail := r.proc.Thread().ForegroundActivity()
+	if detail == nil || detail.Class().Name != "DetailActivity" {
+		t.Fatalf("foreground = %v", detail)
+	}
+	if sunnyMain.State() != app.StateStopped {
+		t.Fatalf("covered activity state = %v, want Stopped", sunnyMain.State())
+	}
+
+	// Rotate on Detail: Detail gets its own shadow.
+	r.change(t, config.Default())
+	if sh := r.proc.Thread().CurrentShadow(); sh == nil || sh.Class().Name != "DetailActivity" {
+		t.Fatalf("detail shadow = %v", sh)
+	}
+
+	// Back: Detail (and its shadow) die; Main resumes.
+	r.sys.FinishTopActivity()
+	r.sched.Advance(2 * time.Second)
+	if r.proc.Thread().CurrentShadow() != nil {
+		t.Fatal("finished activity's shadow must die with it")
+	}
+	fg := r.proc.Thread().ForegroundActivity()
+	if fg == nil || fg.Class().Name != "MainActivity" {
+		t.Fatalf("foreground after back = %v", fg)
+	}
+	if fg.State() != app.StateResumed {
+		t.Fatalf("main state = %v", fg.State())
+	}
+	// Main's list selection survived the detour in the live instance.
+	if fg.FindViewByID(10) == nil {
+		t.Fatal("main tree missing")
+	}
+	if r.proc.Crashed() {
+		t.Fatalf("crashed: %v", r.proc.CrashCause())
+	}
+	_ = main
+}
+
+func TestBackOnLastActivityEmptiesTask(t *testing.T) {
+	r := newRig(t, twoActivityApp(), true)
+	r.sys.FinishTopActivity()
+	r.sched.Advance(2 * time.Second)
+	if got := len(r.proc.Thread().Activities()); got != 0 {
+		t.Fatalf("instances after finishing the only activity = %d", got)
+	}
+	if r.sys.Stack().Len() != 0 {
+		t.Fatal("task should be removed from the stack")
+	}
+	r.sys.FinishTopActivity() // empty stack: no-op
+	r.sched.Advance(time.Second)
+}
+
+func TestServiceKeptRunningByRCHDroid(t *testing.T) {
+	// Table 3 #4 (BlueNET): the app stops its server in onDestroy. A
+	// stock restart kills the server; RCHDroid never destroys, so the
+	// server stays up.
+	m := appset.TP27()[3] // BlueNET
+	run := func(install bool) bool {
+		sched := sim.NewScheduler()
+		model := costmodel.Default()
+		sys := atms.New(sched, model)
+		proc := app.NewProcess(sched, model, m.Build())
+		if install {
+			Install(sys, proc, DefaultOptions())
+		}
+		sys.LaunchApp(proc)
+		sched.Advance(2 * time.Second)
+		m.PlantState(proc, time.Second)
+		sched.Advance(100 * time.Millisecond)
+		sys.PushConfiguration(config.Portrait())
+		sched.Advance(3 * time.Second)
+		return proc.ServiceRunning("server")
+	}
+	if run(false) {
+		t.Fatal("stock restart should stop the server (onDestroy ran)")
+	}
+	if !run(true) {
+		t.Fatal("RCHDroid should keep the server running")
+	}
+}
+
+func TestGCFrequencyBoundaryExactlyAtThreshold(t *testing.T) {
+	// Algorithm 1 keeps a shadow whose rate is >= THRESH_F and collects
+	// only strictly-below; probe both sides of the boundary.
+	// Default: THRESH_F=4/min over a 12 s window → 1 entry in the window
+	// is a rate of 5/min (kept); 0 entries is 0/min (collected once old).
+	a := benchApp(2, time.Hour)
+	r := newRig(t, a, true)
+
+	// Rotate every 11 s: each flip re-enters shadow within the window,
+	// rate 5/min >= 4 → never collected despite age > THRESH_T... age
+	// resets on every entry too, so use the frequency gate by aging past
+	// THRESH_T with entries still inside the window: impossible by
+	// construction (window < THRESH_T), so assert the supported behaviour:
+	// steady rotation keeps the shadow alive indefinitely.
+	for i := 0; i < 12; i++ {
+		r.change(t, r.sys.GlobalConfig().Rotated())
+		r.sched.Advance(11 * time.Second)
+		if r.proc.Thread().CurrentShadow() == nil {
+			t.Fatalf("shadow collected at iteration %d despite steady use", i)
+		}
+	}
+	// Now stop rotating: age exceeds THRESH_T with rate 0 → collected.
+	r.sched.Advance(70 * time.Second)
+	if r.proc.Thread().CurrentShadow() != nil {
+		t.Fatal("idle shadow not collected")
+	}
+}
+
+func TestGCDisarmsWhenNoShadow(t *testing.T) {
+	r := newRig(t, benchApp(2, time.Hour), true)
+	r.change(t, config.Portrait())
+	sweepsBefore := r.rch.GC.Sweeps()
+	r.sched.Advance(70 * time.Second) // collects, then disarms
+	collectedSweeps := r.rch.GC.Sweeps()
+	if collectedSweeps <= sweepsBefore {
+		t.Fatal("no sweeps ran")
+	}
+	r.sched.Advance(5 * time.Minute)
+	if r.rch.GC.Sweeps() != collectedSweeps {
+		t.Fatalf("GC kept sweeping with no shadow: %d → %d", collectedSweeps, r.rch.GC.Sweeps())
+	}
+}
+
+func TestStaleShadowWithInFlightTaskIsDemotedNotDestroyed(t *testing.T) {
+	// Rotate (A1→shadow, A2 sunny), touch on A2, flip back (A2→shadow,
+	// A1 sunny), touch on A1... simpler: create the stale-shadow case by
+	// rotating, touching the sunny instance, then resizing to a THIRD
+	// configuration: the coupled shadow can't flip and must be released —
+	// but the sunny-turned-shadow partner's task must still land safely.
+	r := newRig(t, benchApp(4, 600*time.Millisecond), true)
+	r.change(t, config.Portrait()) // init: A1 shadow, A2 sunny
+	benchapp := r.proc.Thread().CurrentSunny()
+	_ = benchapp
+
+	// Task in flight on the current shadow (A1): flip back first so A1 is
+	// sunny, touch it, then resize to a third size so A1 (entering
+	// shadow) can't be flipped next time.
+	r.change(t, config.Default()) // flip: A1 sunny, A2 shadow
+	a1 := r.proc.Thread().CurrentSunny()
+	r.clickButton(t) // task on A1, 600ms
+	// Resize to a third configuration: A2 (shadow, portrait) is stale →
+	// released; A1 enters shadow with the task still in flight.
+	r.change(t, config.Default().Resized(1280, 720))
+	// Now resize again to yet another config while A1's task is pending:
+	// A1 becomes the stale shadow WITH an in-flight task → must be
+	// demoted to a zombie, not destroyed.
+	r.change(t, config.Default().Resized(2560, 1440))
+	if r.proc.Crashed() {
+		t.Fatalf("crashed: %v", r.proc.CrashCause())
+	}
+	r.sched.Advance(2 * time.Second) // task drains; zombie reaped
+	if r.proc.Crashed() {
+		t.Fatalf("late crash: %v", r.proc.CrashCause())
+	}
+	if got := r.rch.Handler.Zombies(); got != 0 {
+		t.Fatalf("zombies not reaped: %d", got)
+	}
+	if a1.State() != app.StateDestroyed {
+		t.Fatalf("demoted shadow should be destroyed after drain, state=%v", a1.State())
+	}
+	if got := len(r.proc.Thread().Activities()); got > 2 {
+		t.Fatalf("instances = %d", got)
+	}
+}
+
+func TestBackToBackChangesBothModes(t *testing.T) {
+	for _, install := range []bool{false, true} {
+		r := newRig(t, benchApp(4, time.Hour), install)
+		// Three changes 10 ms apart — far faster than one handling.
+		r.sys.PushConfiguration(config.Portrait())
+		r.sched.Advance(10 * time.Millisecond)
+		r.sys.PushConfiguration(config.Default().Resized(1280, 720))
+		r.sched.Advance(10 * time.Millisecond)
+		r.sys.PushConfiguration(config.Default())
+		r.sched.Advance(3 * time.Second)
+		if r.proc.Crashed() {
+			t.Fatalf("install=%v: crashed: %v", install, r.proc.CrashCause())
+		}
+		fg := r.proc.Thread().ForegroundActivity()
+		if fg == nil {
+			t.Fatalf("install=%v: no foreground", install)
+		}
+		// One more orderly change must still work end to end.
+		d, err := r.Rotate2()
+		if err != nil || d <= 0 {
+			t.Fatalf("install=%v: post-race change broken: %v", install, err)
+		}
+	}
+}
+
+func TestMigrationDirectionSurvivesRepeatedFlips(t *testing.T) {
+	// After every flip the essence mapping must point from the CURRENT
+	// shadow to the CURRENT sunny; async results started before any given
+	// change always surface on whatever instance the user is looking at.
+	r := newRig(t, benchApp(3, 400*time.Millisecond), true)
+	r.change(t, config.Portrait()) // init: A1 shadow, A2 sunny
+
+	for round := 0; round < 4; round++ {
+		// Touch the current sunny instance, then rotate while in flight.
+		r.clickButton(t) // advances 100ms; task (400ms) in flight
+		cfg := config.Default()
+		if round%2 == 0 {
+			cfg = config.Default() // back to landscape
+		} else {
+			cfg = config.Portrait()
+		}
+		r.change(t, cfg)
+		r.sched.Advance(time.Second) // task returns on the new shadow
+		if r.proc.Crashed() {
+			t.Fatalf("round %d: crashed: %v", round, r.proc.CrashCause())
+		}
+		sunny := r.proc.Thread().CurrentSunny()
+		for i := 0; i < 3; i++ {
+			iv := sunny.FindViewByID(view.ID(100 + i)).(*view.ImageView)
+			if iv.Drawable() != "drawable/loaded" {
+				t.Fatalf("round %d: image %d not migrated to the visible tree", round, i)
+			}
+		}
+		// Reset drawables so the next round re-verifies migration anew.
+		r.proc.PostApp("reset", time.Millisecond, func() {
+			for i := 0; i < 3; i++ {
+				sunny.FindViewByID(view.ID(100 + i)).(*view.ImageView).SetDrawable("drawable/init")
+			}
+		})
+		r.sched.Advance(50 * time.Millisecond)
+	}
+	if r.rch.Handler.Flips() < 3 {
+		t.Fatalf("flips = %d, want repeated coin flips", r.rch.Handler.Flips())
+	}
+}

@@ -1,0 +1,25 @@
+// Package core implements RCHDroid, the paper's contribution: transparent
+// runtime-change handling for Android apps at the system level.
+//
+// The package plugs into the two seams the substrates expose, mirroring
+// where the 348-LoC Android patch lands (Table 2):
+//
+//   - the activity thread's ChangeHandler (ActivityThread's
+//     performActivityConfigurationChanged / performLaunchActivity /
+//     handleResumeActivity modifications) — ShadowHandler here;
+//   - the ATMS starter's StarterPolicy (ActivityStarter's
+//     startActivityUnchecked / setTaskFromIntentActivity modifications) —
+//     CoinFlipPolicy here;
+//   - the View invalidate hook (View.invalidate modification) — Migrator
+//     here;
+//   - the activity thread's GC routine (doGcForShadowIfNeeded) —
+//     ThresholdGC here.
+//
+// Install wires all four onto a process and its system server:
+//
+//	sys := atms.New(sched, costmodel.Default())
+//	proc := app.NewProcess(sched, model, myApp)
+//	rch := core.Install(sys, proc, core.DefaultOptions())
+//	sys.LaunchApp(proc)
+//	sys.PushConfiguration(config.Portrait()) // no restart, no state loss
+package core

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/bundle"
+	"rchdroid/internal/config"
+)
+
+// ShadowHandler is RCHDroid's activity-thread side: instead of restarting
+// on a runtime change it moves the current activity into the Shadow state
+// and asks the ATMS for a sunny-state instance (Fig 3, steps ①–③).
+type ShadowHandler struct {
+	migrator *Migrator
+	gc       *ThresholdGC
+
+	// quadraticMapping selects the O(n²) matcher (ablation only).
+	quadraticMapping bool
+
+	// pendingShadow is the activity that entered the shadow state for the
+	// change currently in flight, until the ATMS answers with a flip or a
+	// fresh record. It reconciles the thread's flip prediction with the
+	// server's actual decision.
+	pendingShadow *app.Activity
+
+	// zombies are former shadow activities kept alive only because they
+	// still have asynchronous tasks in flight; they are destroyed as soon
+	// as those tasks drain.
+	zombies []*app.Activity
+
+	// Counters for reports.
+	initLaunches int
+	flips        int
+}
+
+// NewShadowHandler returns a handler using the given migrator and GC.
+func NewShadowHandler(m *Migrator, gc *ThresholdGC) *ShadowHandler {
+	return &ShadowHandler{migrator: m, gc: gc}
+}
+
+// Name implements app.ChangeHandler.
+func (h *ShadowHandler) Name() string { return "RCHDroid" }
+
+// InitLaunches returns how many first-time (RCHDroid-init) handlings ran.
+func (h *ShadowHandler) InitLaunches() int { return h.initLaunches }
+
+// Flips returns how many coin-flip handlings ran.
+func (h *ShadowHandler) Flips() int { return h.flips }
+
+// Migrator returns the lazy-migration engine.
+func (h *ShadowHandler) Migrator() *Migrator { return h.migrator }
+
+// HandleRuntimeChange implements app.ChangeHandler: step ① of Fig 3. The
+// current activity enters the Shadow state — with a full snapshot when no
+// live partner exists (the ATMS will have to create a sunny instance), or
+// with the cheap flip transition when the coupled shadow instance already
+// matches the new configuration (the ATMS will coin-flip it back).
+func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activity, newCfg config.Configuration) {
+	m := t.Process().Model()
+	partner := t.CurrentShadow()
+	flipLikely := partner != nil && partner != a &&
+		partner.State() == app.StateShadow && partner.Config().Equal(newCfg)
+
+	// The phases below are queued messages; a second change delivered
+	// back-to-back may already have moved this activity out of the
+	// foreground by the time they run. Such a stale handling aborts at
+	// the first phase and never contacts the ATMS.
+	aborted := false
+
+	if flipLikely {
+		t.RunCharged("rch:enterShadow(flip)", func() time.Duration {
+			if !a.State().Visible() {
+				aborted = true
+				return 0
+			}
+			a.EnterShadow(t.Process().Scheduler().Now())
+			h.migrator.InstallHook(a)
+			h.pendingShadow = a
+			return m.ShadowFlipTransition
+		})
+	} else {
+		// A stale shadow instance (configuration mismatch or post-GC
+		// leftover) cannot be flipped; release it first — at most one
+		// shadow instance exists system-wide (§3.2).
+		if partner != nil && partner != a {
+			h.releaseShadow(t, partner)
+		}
+		t.RunCharged("rch:enterShadow", func() time.Duration {
+			if !a.State().Visible() {
+				aborted = true
+				return 0
+			}
+			n := a.ViewCount()
+			a.SetShadowSnapshot(a.SaveInstanceState())
+			a.EnterShadow(t.Process().Scheduler().Now())
+			t.SetCurrentShadow(a)
+			h.migrator.InstallHook(a)
+			h.pendingShadow = a
+			return m.ShadowTransition + m.SaveState(n)
+		})
+	}
+
+	// Step ②: request a sunny-state start from the ATMS.
+	t.RunCharged("rch:requestSunny", func() time.Duration {
+		if aborted {
+			return 0
+		}
+		intent := app.NewIntent(t.Process().App().Name, a.Class().Name).WithFlags(app.FlagSunny)
+		t.System().RequestStartActivity(intent, a.Token())
+		return 0
+	})
+}
+
+// releaseShadow removes the shadow coupling of a and either destroys the
+// instance or, when asynchronous work started by it is still in flight,
+// demotes it to a stopped "zombie" that stays alive until the tasks
+// drain — destroying it immediately would re-create the very crash
+// RCHDroid exists to prevent.
+func (h *ShadowHandler) releaseShadow(t *app.ActivityThread, a *app.Activity) {
+	if a == nil || a.State() != app.StateShadow {
+		return
+	}
+	h.migrator.RemoveHook(a)
+	if a.AsyncInFlight() == 0 {
+		t.PerformDestroy(a)
+		return
+	}
+	a.DemoteShadowToStopped()
+	if t.CurrentShadow() == a {
+		t.SetCurrentShadow(nil)
+	}
+	h.zombies = append(h.zombies, a)
+	if t.System() != nil {
+		t.System().NotifyShadowReleased(a.Token())
+	}
+}
+
+// reapZombies destroys demoted shadows whose async work has drained.
+func (h *ShadowHandler) reapZombies(t *app.ActivityThread) {
+	remaining := h.zombies[:0]
+	for _, z := range h.zombies {
+		if z.State() != app.StateStopped {
+			continue // already destroyed elsewhere
+		}
+		if z.AsyncInFlight() == 0 {
+			t.PerformDestroy(z)
+			continue
+		}
+		remaining = append(remaining, z)
+	}
+	h.zombies = remaining
+}
+
+// Zombies reports how many demoted shadows are awaiting their tasks.
+func (h *ShadowHandler) Zombies() int { return len(h.zombies) }
+
+// HandleSunnyLaunch implements app.ChangeHandler: the RCHDroid-init path.
+// A new sunny instance is created under the new configuration, restored
+// from the shadow snapshot, and the essence mapping is built before the
+// resume (the handleResumeActivity modification).
+func (h *ShadowHandler) HandleSunnyLaunch(t *app.ActivityThread, class *app.ActivityClass, token int, newCfg config.Configuration) {
+	h.initLaunches++
+	m := t.Process().Model()
+	// Reconcile a mispredicted flip: the thread expected the server to
+	// reuse its shadow partner, but the server created a record instead
+	// (coin flip disabled, or the shadow record raced away). The previous
+	// partner is released — at most one shadow instance exists — and the
+	// activity that just entered the shadow state becomes the snapshot
+	// source.
+	if pending := h.pendingShadow; pending != nil {
+		h.pendingShadow = nil
+		if prev := t.CurrentShadow(); prev != nil && prev != pending {
+			h.releaseShadow(t, prev)
+		}
+		if pending.State() == app.StateShadow {
+			if pending.ShadowSnapshot() == nil {
+				pending.SetShadowSnapshot(pending.SaveInstanceState())
+			}
+			t.SetCurrentShadow(pending)
+		}
+	}
+	shadow := t.CurrentShadow()
+	var saved *bundle.Bundle
+	if shadow != nil {
+		saved = shadow.ShadowSnapshot()
+	}
+
+	t.PerformLaunch(class, token, newCfg, app.LaunchOptions{
+		Sunny: true,
+		Saved: saved,
+		ExtraPhase: func(sunny *app.Activity) (string, time.Duration, func()) {
+			n := sunny.ViewCount()
+			cost := m.SunnySetup + m.BuildMapping(n)
+			if h.quadraticMapping {
+				cost = m.SunnySetup + m.BuildMappingQuadratic(n)
+			}
+			return "rch:buildMapping", cost, func() {
+				if shadow == nil {
+					return
+				}
+				if h.quadraticMapping {
+					BuildEssenceMappingQuadratic(shadow.Decor(), sunny.Decor())
+				} else {
+					BuildEssenceMapping(shadow.Decor(), sunny.Decor())
+				}
+			}
+		},
+		OnResumed: func(sunny *app.Activity) {
+			t.SetCurrentSunny(sunny)
+			if h.gc != nil {
+				h.gc.Arm(t)
+			}
+		},
+	})
+}
+
+// HandleFlip implements app.ChangeHandler: the coin-flip path. The live
+// shadow instance is brought back to the foreground under the new
+// configuration; no inflation, no restore, no mapping build (§3.4).
+func (h *ShadowHandler) HandleFlip(t *app.ActivityThread, shadowToken int, newCfg config.Configuration) {
+	h.flips++
+	m := t.Process().Model()
+	incoming := t.Activity(shadowToken)
+	outgoing := t.CurrentSunny()
+	if h.pendingShadow != nil {
+		outgoing = h.pendingShadow
+		h.pendingShadow = nil
+	}
+
+	t.RunCharged("rch:flip", func() time.Duration {
+		if incoming == nil || incoming.State() != app.StateShadow {
+			return 0
+		}
+		h.migrator.RemoveHook(incoming)
+		incoming.ApplyConfiguration(newCfg)
+		incoming.FlipToSunny()
+		if outgoing != nil {
+			// The outgoing activity already entered the shadow state in
+			// HandleRuntimeChange; re-aim the essence mapping at it.
+			InvertMapping(incoming.Decor())
+		}
+		t.SetCurrentShadow(outgoing)
+		t.SetCurrentSunny(incoming)
+		return m.ConfigApply + m.SunnySetup
+	})
+	t.RunCharged("rch:flipResume", func() time.Duration {
+		extra := time.Duration(0)
+		if incoming != nil {
+			extra = incoming.Class().ExtraResumeCost
+		}
+		return m.ResumeBase + extra + m.WindowRelayout
+	})
+	t.RunCharged("rch:flipDone", func() time.Duration {
+		t.Process().UpdateMemory()
+		if h.gc != nil {
+			h.gc.Arm(t)
+		}
+		if t.System() != nil {
+			t.System().NotifyResumed(shadowToken)
+		}
+		return 0
+	})
+}
+
+// AfterUICallback implements app.ChangeHandler: the lazy-migration flush
+// point (§3.3). Any views the callback dirtied on the shadow tree are
+// migrated to their sunny peers now.
+func (h *ShadowHandler) AfterUICallback(t *app.ActivityThread, a *app.Activity) {
+	h.migrator.Flush()
+	if len(h.zombies) > 0 {
+		h.reapZombies(t)
+	}
+}
+
+// HandleForegroundSwitch implements app.ChangeHandler: when the
+// foreground activity is switched away, the coupled shadow activity is
+// released immediately (§3.5) — shadow instances only ever back the
+// activity the user is looking at.
+func (h *ShadowHandler) HandleForegroundSwitch(t *app.ActivityThread) {
+	h.releaseShadow(t, t.CurrentShadow())
+}

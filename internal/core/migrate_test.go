@@ -1,0 +1,289 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rchdroid/internal/view"
+)
+
+func TestMigratePolicyMatrix(t *testing.T) {
+	// Every Table 1 policy, exercised directly.
+	t.Run("TextView→setText", func(t *testing.T) {
+		dst := view.NewTextView(1, "old")
+		src := view.NewTextView(1, "")
+		src.Base().SetSunnyPeer(dst)
+		src.SetText("fresh")
+		if got := MigrateView(src); got != "setText" {
+			t.Fatalf("policy = %q", got)
+		}
+		if dst.Text() != "fresh" {
+			t.Fatalf("dst text = %q", dst.Text())
+		}
+	})
+
+	t.Run("EditText inherits setText with cursor-bearing text", func(t *testing.T) {
+		src := view.NewEditText(1, "abc")
+		dst := view.NewEditText(1, "")
+		src.Base().SetSunnyPeer(dst)
+		src.Type("def")
+		if got := MigrateView(src); got != "setText" {
+			t.Fatalf("policy = %q", got)
+		}
+		if dst.Text() != "abcdef" {
+			t.Fatalf("dst = %q", dst.Text())
+		}
+	})
+
+	t.Run("Button inherits setText", func(t *testing.T) {
+		src := view.NewButton(1, "Pay $5")
+		dst := view.NewButton(1, "Pay")
+		src.Base().SetSunnyPeer(dst)
+		if MigrateView(src) != "setText" || dst.Text() != "Pay $5" {
+			t.Fatal("button migration failed")
+		}
+	})
+
+	t.Run("CheckBox carries checked flag", func(t *testing.T) {
+		src := view.NewCheckBox(1, "opt")
+		dst := view.NewCheckBox(1, "opt")
+		src.Base().SetSunnyPeer(dst)
+		src.SetChecked(true)
+		if MigrateView(src) != "setText" || !dst.Checked() {
+			t.Fatal("checkbox migration failed")
+		}
+	})
+
+	t.Run("Switch carries on flag", func(t *testing.T) {
+		src := view.NewSwitch(1, "wifi")
+		dst := view.NewSwitch(1, "wifi")
+		src.Base().SetSunnyPeer(dst)
+		src.Toggle()
+		MigrateView(src)
+		if !dst.On() {
+			t.Fatal("switch migration failed")
+		}
+	})
+
+	t.Run("ImageView→setDrawable", func(t *testing.T) {
+		src := view.NewImageView(1, "a")
+		dst := view.NewImageView(1, "b")
+		src.Base().SetSunnyPeer(dst)
+		src.SetDrawable("c")
+		if MigrateView(src) != "setDrawable" || dst.Drawable() != "c" {
+			t.Fatal("image migration failed")
+		}
+	})
+
+	t.Run("ListView→positionSelector with checked items and scroll", func(t *testing.T) {
+		items := []string{"a", "b", "c", "d"}
+		src := view.NewListView(1, items)
+		dst := view.NewListView(1, items)
+		src.Base().SetSunnyPeer(dst)
+		src.PositionSelector(2)
+		src.SetItemChecked(1, true)
+		src.SetItemChecked(3, true)
+		src.ScrollTo(99)
+		if MigrateView(src) != "positionSelector" {
+			t.Fatal("policy wrong")
+		}
+		if dst.SelectorPosition() != 2 || !dst.ItemChecked(1) || !dst.ItemChecked(3) || dst.ScrollOffset() != 99 {
+			t.Fatal("list migration incomplete")
+		}
+	})
+
+	t.Run("GridView and ScrollView inherit AbsListView", func(t *testing.T) {
+		g1, g2 := view.NewGridView(1, []string{"x", "y"}), view.NewGridView(1, []string{"x", "y"})
+		g1.Base().SetSunnyPeer(g2)
+		g1.PositionSelector(1)
+		if MigrateView(g1) != "positionSelector" || g2.SelectorPosition() != 1 {
+			t.Fatal("grid migration failed")
+		}
+		s1, s2 := view.NewScrollView(1, nil), view.NewScrollView(1, nil)
+		s1.Base().SetSunnyPeer(s2)
+		s1.ScrollTo(500)
+		if MigrateView(s1) != "positionSelector" || s2.ScrollOffset() != 500 {
+			t.Fatal("scrollview migration failed")
+		}
+	})
+
+	t.Run("Spinner inherits AbsListView", func(t *testing.T) {
+		s1 := view.NewSpinner(1, []string{"a", "b"})
+		s2 := view.NewSpinner(1, []string{"a", "b"})
+		s1.Base().SetSunnyPeer(s2)
+		s1.Select(1)
+		MigrateView(s1)
+		if s2.Selected() != "b" {
+			t.Fatal("spinner migration failed")
+		}
+	})
+
+	t.Run("VideoView→setVideoURI preserves position and playback", func(t *testing.T) {
+		src := view.NewVideoView(1, "video/a")
+		dst := view.NewVideoView(1, "")
+		src.Base().SetSunnyPeer(dst)
+		src.SeekTo(12345)
+		src.SetPlaying(true)
+		if MigrateView(src) != "setVideoURI" {
+			t.Fatal("policy wrong")
+		}
+		if dst.VideoURI() != "video/a" || dst.PositionMS() != 12345 || !dst.Playing() {
+			t.Fatalf("video migration incomplete: %q %d %v", dst.VideoURI(), dst.PositionMS(), dst.Playing())
+		}
+	})
+
+	t.Run("ProgressBar→setProgress", func(t *testing.T) {
+		src := view.NewProgressBar(1, 100)
+		dst := view.NewProgressBar(1, 100)
+		src.Base().SetSunnyPeer(dst)
+		src.SetProgress(42)
+		if MigrateView(src) != "setProgress" || dst.Progress() != 42 {
+			t.Fatal("progress migration failed")
+		}
+	})
+
+	t.Run("SeekBar and RatingBar inherit setProgress", func(t *testing.T) {
+		sb1, sb2 := view.NewSeekBar(1, 10), view.NewSeekBar(1, 10)
+		sb1.Base().SetSunnyPeer(sb2)
+		sb1.SetProgress(7)
+		if MigrateView(sb1) != "setProgress" || sb2.Progress() != 7 {
+			t.Fatal("seekbar migration failed")
+		}
+		rb1, rb2 := view.NewRatingBar(1, 5), view.NewRatingBar(1, 5)
+		rb1.Base().SetSunnyPeer(rb2)
+		rb1.SetRating(4)
+		if MigrateView(rb1) != "setProgress" || rb2.Rating() != 4 {
+			t.Fatal("ratingbar migration failed")
+		}
+	})
+
+	t.Run("Chronometer→setBase keeps running state", func(t *testing.T) {
+		src := view.NewChronometer(1)
+		dst := view.NewChronometer(1)
+		src.Base().SetSunnyPeer(dst)
+		src.Start()
+		src.Tick()
+		src.Tick()
+		if MigrateView(src) != "setBase" {
+			t.Fatal("policy wrong")
+		}
+		if dst.ElapsedSec() != 2 || !dst.Running() {
+			t.Fatal("chronometer migration incomplete")
+		}
+	})
+
+	t.Run("no peer → no policy", func(t *testing.T) {
+		if MigrateView(view.NewTextView(1, "x")) != "" {
+			t.Fatal("migration without peer should be a no-op")
+		}
+	})
+
+	t.Run("plain group → no policy", func(t *testing.T) {
+		g1, g2 := view.NewLinearLayout(1), view.NewLinearLayout(1)
+		g1.Base().SetSunnyPeer(g2)
+		if MigrateView(g1) != "" {
+			t.Fatal("groups have no migration policy")
+		}
+	})
+}
+
+func buildTree(ids []uint8) view.View {
+	root := view.NewLinearLayout(1)
+	seen := map[view.ID]bool{1: true}
+	for _, raw := range ids {
+		id := view.ID(raw)
+		if id == view.NoID || seen[id] {
+			root.AddChild(view.NewTextView(view.NoID, "anon"))
+			continue
+		}
+		seen[id] = true
+		root.AddChild(view.NewTextView(id, "x"))
+	}
+	return root
+}
+
+// Property: the hash mapping and the quadratic matcher map exactly the
+// same pairs, for arbitrary trees with duplicate and missing ids.
+func TestMappingStrategiesEquivalentProperty(t *testing.T) {
+	f := func(shadowIDs, sunnyIDs []uint8) bool {
+		s1 := buildTree(shadowIDs)
+		s2 := buildTree(sunnyIDs)
+		hashMapped := BuildEssenceMapping(s1, s2)
+
+		s1b := buildTree(shadowIDs)
+		s2b := buildTree(sunnyIDs)
+		quadMapped := BuildEssenceMappingQuadratic(s1b, s2b)
+		if hashMapped != quadMapped {
+			return false
+		}
+		// And the peers point at the matching ids.
+		ok := true
+		view.Walk(s1, func(v view.View) bool {
+			if p := v.Base().SunnyPeer(); p != nil && p.ID() != v.ID() {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inverting a mapping twice restores the original link
+// direction and count.
+func TestInvertMappingInvolutionProperty(t *testing.T) {
+	f := func(ids []uint8) bool {
+		a := buildTree(ids)
+		b := buildTree(ids)
+		mapped := BuildEssenceMapping(a, b)
+		inv1 := InvertMapping(a) // links now b→a
+		inv2 := InvertMapping(b) // links back a→b
+		if mapped != inv1 || inv1 != inv2 {
+			return false
+		}
+		ok := true
+		view.Walk(a, func(v view.View) bool {
+			if p := v.Base().SunnyPeer(); p != nil && p.ID() != v.ID() {
+				ok = false
+			}
+			return true
+		})
+		view.Walk(b, func(v view.View) bool {
+			if v.Base().SunnyPeer() != nil {
+				ok = false // direction a→b means b holds no links
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMappingSkipsNoIDAndMissing(t *testing.T) {
+	shadow := view.NewLinearLayout(1)
+	shadow.AddChild(view.NewTextView(view.NoID, "anon"))
+	shadow.AddChild(view.NewTextView(5, "five"))
+	shadow.AddChild(view.NewTextView(6, "six"))
+	sunny := view.NewLinearLayout(1)
+	sunny.AddChild(view.NewTextView(5, ""))
+	// id 6 absent in the sunny layout (portrait variant dropped it).
+	mapped := BuildEssenceMapping(shadow, sunny)
+	if mapped != 2 { // root + id 5
+		t.Fatalf("mapped = %d, want 2", mapped)
+	}
+	var six view.View
+	view.Walk(shadow, func(v view.View) bool {
+		if v.ID() == 6 {
+			six = v
+		}
+		return true
+	})
+	if six.Base().SunnyPeer() != nil {
+		t.Fatal("unmatched view should have no peer")
+	}
+}

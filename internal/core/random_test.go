@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/config"
+	"rchdroid/internal/sim"
+	"rchdroid/internal/view"
+)
+
+// TestRandomChangeSequencesInvariants drives the full system through
+// randomized operation sequences — rotations, resizes to odd sizes,
+// locale/night-mode/font-scale switches, button touches that launch
+// async tasks, short and long idles (the long ones cross the GC
+// threshold) — and checks the RCHDroid invariants after every step:
+//
+//   - the app never crashes,
+//   - at most two activity instances exist (sunny + shadow),
+//   - at most one of them is in the Shadow state (§3.2),
+//   - at most one activity is visible,
+//   - every runtime change completes within a bounded virtual time,
+//   - process memory never falls below the process base.
+func TestRandomChangeSequencesInvariants(t *testing.T) {
+	const seeds = 40
+	const opsPerSeed = 25
+
+	for seed := uint64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := sim.NewRNG(seed * 7919)
+			r := newRig(t, benchApp(int(1+rng.Intn(12)), 300*time.Millisecond), true)
+
+			checkInvariants := func(step int, op string) {
+				t.Helper()
+				if r.proc.Crashed() {
+					t.Fatalf("step %d (%s): crashed: %v", step, op, r.proc.CrashCause())
+				}
+				acts := r.proc.Thread().Activities()
+				if len(acts) > 2 {
+					t.Fatalf("step %d (%s): %d instances alive, want ≤ 2", step, op, len(acts))
+				}
+				shadows, visible := 0, 0
+				for _, a := range acts {
+					switch a.State() {
+					case app.StateShadow:
+						shadows++
+					case app.StateResumed, app.StateSunny:
+						visible++
+					case app.StateDestroyed, app.StateNone:
+						t.Fatalf("step %d (%s): dead instance %v still tracked", step, op, a)
+					}
+				}
+				if shadows > 1 {
+					t.Fatalf("step %d (%s): %d shadow instances, want ≤ 1", step, op, shadows)
+				}
+				if visible > 1 {
+					t.Fatalf("step %d (%s): %d visible instances, want ≤ 1", step, op, visible)
+				}
+				if r.proc.Memory().CurrentBytes() < r.model.ProcessBaseBytes {
+					t.Fatalf("step %d (%s): memory below process base", step, op)
+				}
+			}
+
+			ops := []string{"rotate", "resize", "locale", "night", "fontscale", "touch", "idleShort", "idleLong"}
+			for step := 0; step < opsPerSeed; step++ {
+				op := ops[rng.Intn(len(ops))]
+				switch op {
+				case "rotate":
+					r.sys.PushConfiguration(r.sys.GlobalConfig().Rotated())
+					r.sched.Advance(2 * time.Second)
+				case "resize":
+					sizes := [][2]int{{1920, 1080}, {1080, 1920}, {1280, 720}, {2560, 1440}, {720, 1280}}
+					sz := sizes[rng.Intn(len(sizes))]
+					r.sys.PushConfiguration(r.sys.GlobalConfig().Resized(sz[0], sz[1]))
+					r.sched.Advance(2 * time.Second)
+				case "locale":
+					locales := []string{"en-US", "fr-FR", "ja-JP", "de-DE"}
+					r.sys.PushConfiguration(r.sys.GlobalConfig().WithLocale(locales[rng.Intn(len(locales))]))
+					r.sched.Advance(2 * time.Second)
+				case "night":
+					mode := config.UIModeDay
+					if rng.Intn(2) == 0 {
+						mode = config.UIModeNight
+					}
+					r.sys.PushConfiguration(r.sys.GlobalConfig().WithUIMode(mode))
+					r.sched.Advance(2 * time.Second)
+				case "fontscale":
+					scales := []float64{1.0, 1.15, 1.3}
+					r.sys.PushConfiguration(r.sys.GlobalConfig().WithFontScale(scales[rng.Intn(len(scales))]))
+					r.sched.Advance(2 * time.Second)
+				case "touch":
+					// The async task may straddle the next change.
+					touchForeground(r)
+					r.sched.Advance(50 * time.Millisecond)
+				case "idleShort":
+					r.sched.Advance(5 * time.Second)
+				case "idleLong":
+					r.sched.Advance(70 * time.Second) // crosses THRESH_T
+				}
+				checkInvariants(step, op)
+			}
+
+			// Every completed handling stayed within a bounded latency.
+			for i, d := range r.sys.HandlingTimes() {
+				if d <= 0 || d > time.Second {
+					t.Fatalf("handling %d took %v", i, d)
+				}
+			}
+		})
+	}
+}
+
+// touchForeground clicks the benchmark app's button if present.
+func touchForeground(r *rig) {
+	fg := r.proc.Thread().ForegroundActivity()
+	if fg == nil {
+		return
+	}
+	btn, ok := fg.FindViewByID(1).(*view.Button)
+	if !ok {
+		return
+	}
+	r.proc.PostApp("randomTouch", time.Millisecond, btn.Click)
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/atms"
+)
+
+// Options configure an RCHDroid installation.
+type Options struct {
+	// GC holds the threshold-GC parameters; DefaultGCConfig gives the
+	// paper's values (THRESH_T = 50 s, THRESH_F = 4/min).
+	GC GCConfig
+	// DisableGC keeps every shadow activity alive forever (an ablation
+	// configuration; it maximises flip hits at maximal memory cost).
+	DisableGC bool
+	// QuadraticMapping swaps the O(n) essence-mapping hash table for the
+	// naive O(n²) tree matcher (ablation for the §3.3 design choice).
+	QuadraticMapping bool
+	// DisableCoinFlip always creates a fresh sunny instance instead of
+	// reusing the shadow one (ablation for §3.4; every change becomes
+	// RCHDroid-init).
+	DisableCoinFlip bool
+	// EagerMigration migrates the whole mapped tree after every
+	// asynchronous callback instead of only the dirtied views (ablation
+	// for the §3.3 lazy scheme).
+	EagerMigration bool
+}
+
+// DefaultOptions returns the configuration the paper evaluates.
+func DefaultOptions() Options {
+	return Options{GC: DefaultGCConfig()}
+}
+
+// RCHDroid bundles the installed components for one process, giving
+// experiments access to the counters and statistics.
+type RCHDroid struct {
+	Handler  *ShadowHandler
+	Migrator *Migrator
+	GC       *ThresholdGC
+	Policy   *CoinFlipPolicy
+}
+
+// Install wires RCHDroid onto a process and its system server:
+// the shadow-state change handler on the activity thread, the coin-flip
+// policy on the ATMS starter (shared; installing twice reuses it), the
+// essence-mapping migrator on the view layer, and the threshold GC.
+func Install(sys *atms.ATMS, proc *app.Process, opts Options) *RCHDroid {
+	migrator := NewMigrator(proc.Thread())
+	migrator.eager = opts.EagerMigration
+	var gc *ThresholdGC
+	if !opts.DisableGC {
+		gc = NewThresholdGC(opts.GC, migrator)
+	}
+	handler := NewShadowHandler(migrator, gc)
+	handler.quadraticMapping = opts.QuadraticMapping
+	proc.Thread().SetChangeHandler(handler)
+
+	var policy *CoinFlipPolicy
+	if opts.DisableCoinFlip {
+		sys.Starter().SetPolicy(alwaysCreatePolicy{})
+	} else {
+		policy, _ = sys.Starter().Policy().(*CoinFlipPolicy)
+		if policy == nil {
+			policy = NewCoinFlipPolicy()
+			sys.Starter().SetPolicy(policy)
+		}
+	}
+	return &RCHDroid{Handler: handler, Migrator: migrator, GC: gc, Policy: policy}
+}
+
+// MigrationTimes returns the lazy-migration batch durations (Fig 10b).
+func (r *RCHDroid) MigrationTimes() []time.Duration {
+	return r.Migrator.MigrationTimes()
+}

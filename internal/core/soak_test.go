@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/atms"
+	"rchdroid/internal/bundle"
+	"rchdroid/internal/costmodel"
+	"rchdroid/internal/sim"
+	"rchdroid/internal/view"
+)
+
+// TestSoakMultiAppTorture drives two RCHDroid apps — one with fragments,
+// dialogs, timers and a service, one benchmark app — through hundreds of
+// interleaved operations: rotations, resizes, app switches, activity
+// pushes and pops, touches, timer ticks, long idles. It asserts the
+// global invariants after every step. This is the everything-at-once net
+// the per-feature tests can't weave.
+func TestSoakMultiAppTorture(t *testing.T) {
+	const steps = 300
+	rng := sim.NewRNG(987654321)
+
+	sched := sim.NewScheduler()
+	model := costmodel.Default()
+	sys := atms.New(sched, model)
+
+	rich := fragmentHostApp()
+	rich.Activities = map[string]*app.ActivityClass{}
+	// Give the rich app a second activity so pushes/pops are exercised.
+	detailCls := &app.ActivityClass{Name: "SettingsActivity"}
+	detailCls.Callbacks.OnCreate = func(a *app.Activity, saved *bundle.Bundle) {
+		a.SetContentSpec(view.Linear(90, &view.Spec{Type: "Switch", ID: 91, Text: "dark mode"}))
+	}
+	rich.Activities["SettingsActivity"] = detailCls
+
+	procRich := app.NewProcess(sched, model, rich)
+	Install(sys, procRich, DefaultOptions())
+
+	bench := benchApp(6, 200*time.Millisecond)
+	bench.Name = "benchapp-soak"
+	procBench := app.NewProcess(sched, model, bench)
+	Install(sys, procBench, DefaultOptions())
+
+	sys.LaunchApp(procRich)
+	sched.Advance(2 * time.Second)
+	sys.LaunchApp(procBench)
+	sched.Advance(2 * time.Second)
+
+	procs := []*app.Process{procRich, procBench}
+	invariants := func(step int, op string) {
+		t.Helper()
+		for _, p := range procs {
+			if p.Crashed() {
+				t.Fatalf("step %d (%s): %s crashed: %v", step, op, p.App().Name, p.CrashCause())
+			}
+			shadows := 0
+			for _, a := range p.Thread().Activities() {
+				if a.State() == app.StateShadow {
+					shadows++
+				}
+			}
+			if shadows > 1 {
+				t.Fatalf("step %d (%s): %s has %d shadows", step, op, p.App().Name, shadows)
+			}
+		}
+		// Globally at most one visible activity.
+		visible := 0
+		for _, p := range procs {
+			for _, a := range p.Thread().Activities() {
+				if a.State().Visible() {
+					visible++
+				}
+			}
+		}
+		if visible > 1 {
+			t.Fatalf("step %d (%s): %d visible activities system-wide", step, op, visible)
+		}
+	}
+
+	fgProc := func() *app.Process {
+		task := sys.Stack().TopTask()
+		if task == nil {
+			return nil
+		}
+		for _, p := range procs {
+			if p.App().Name == task.Name {
+				return p
+			}
+		}
+		return nil
+	}
+
+	settingsOpen := false
+	for step := 0; step < steps; step++ {
+		op := []string{"rotate", "resize", "switch", "pushPop", "touch", "interact", "idle", "longIdle"}[rng.Intn(8)]
+		switch op {
+		case "rotate":
+			sys.PushConfiguration(sys.GlobalConfig().Rotated())
+			sched.Advance(2 * time.Second)
+		case "resize":
+			sizes := [][2]int{{1920, 1080}, {1080, 1920}, {1366, 768}, {800, 1280}}
+			sz := sizes[rng.Intn(len(sizes))]
+			sys.PushConfiguration(sys.GlobalConfig().Resized(sz[0], sz[1]))
+			sched.Advance(2 * time.Second)
+		case "switch":
+			target := procs[rng.Intn(len(procs))]
+			sys.MoveTaskToFront(target.App().Name)
+			sched.Advance(2 * time.Second)
+		case "pushPop":
+			p := fgProc()
+			if p != procRich {
+				break
+			}
+			if settingsOpen {
+				sys.FinishTopActivity()
+				settingsOpen = false
+			} else if fg := p.Thread().ForegroundActivity(); fg != nil && fg.Class().Name == "Host" {
+				p.PostApp("openSettings", time.Millisecond, func() { fg.StartActivity("SettingsActivity") })
+				settingsOpen = true
+			}
+			sched.Advance(2 * time.Second)
+		case "touch":
+			if p := fgProc(); p == procBench {
+				touchForeground(rigFor(sched, sys, p))
+				sched.Advance(100 * time.Millisecond)
+			}
+		case "interact":
+			p := fgProc()
+			if p == nil {
+				break
+			}
+			fg := p.Thread().ForegroundActivity()
+			if fg == nil {
+				break
+			}
+			p.PostApp("poke", time.Millisecond, func() {
+				if tv, ok := fg.FindViewByID(60).(*view.CustomTextView); ok {
+					tv.SetText(fmt.Sprintf("poke-%d", step))
+				}
+				if sw, ok := fg.FindViewByID(91).(*view.Switch); ok {
+					sw.Toggle()
+				}
+			})
+			sched.Advance(50 * time.Millisecond)
+		case "idle":
+			sched.Advance(3 * time.Second)
+		case "longIdle":
+			sched.Advance(65 * time.Second)
+		}
+		invariants(step, op)
+	}
+
+	for i, d := range sys.HandlingTimes() {
+		if d <= 0 || d > time.Second {
+			t.Fatalf("handling %d took %v", i, d)
+		}
+	}
+	if len(sys.HandlingTimes()) < steps/8 {
+		t.Fatalf("suspiciously few handlings completed: %d", len(sys.HandlingTimes()))
+	}
+}
+
+// rigFor adapts a raw process to the touch helper's rig shape.
+func rigFor(sched *sim.Scheduler, sys *atms.ATMS, p *app.Process) *rig {
+	return &rig{sched: sched, sys: sys, proc: p}
+}

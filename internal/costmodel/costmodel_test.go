@@ -1,0 +1,166 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultIsFullyPopulated(t *testing.T) {
+	m := Default()
+	durations := map[string]time.Duration{
+		"IPCHop": m.IPCHop, "ATMSStackSearch": m.ATMSStackSearch,
+		"ATMSRecordSetup": m.ATMSRecordSetup, "ActivityInstantiate": m.ActivityInstantiate,
+		"OnCreateBase": m.OnCreateBase, "ResourceLoadBase": m.ResourceLoadBase,
+		"ResourceLoadPerView": m.ResourceLoadPerView, "InflateBase": m.InflateBase,
+		"InflatePerView": m.InflatePerView, "ResumeBase": m.ResumeBase,
+		"WindowRelayout": m.WindowRelayout, "DestroyBase": m.DestroyBase,
+		"DestroyPerView": m.DestroyPerView, "ConfigApply": m.ConfigApply,
+		"SaveStateBase": m.SaveStateBase, "SaveStatePerView": m.SaveStatePerView,
+		"RestoreStateBase": m.RestoreStateBase, "RestoreStatePerView": m.RestoreStatePerView,
+		"ShadowTransition": m.ShadowTransition, "SunnySetup": m.SunnySetup,
+		"ShadowFlipTransition": m.ShadowFlipTransition,
+		"MappingBase":          m.MappingBase, "MappingPerView": m.MappingPerView,
+		"MigrateBase": m.MigrateBase, "MigratePerView": m.MigratePerView,
+		"GCSweep": m.GCSweep, "ShadowRelease": m.ShadowRelease,
+		"AsyncCallback": m.AsyncCallback,
+	}
+	for name, d := range durations {
+		if d <= 0 {
+			t.Errorf("%s = %v, want > 0", name, d)
+		}
+	}
+	if m.ProcessBaseBytes <= 0 || m.ActivityBaseBytes <= 0 || m.ViewBytes <= 0 || m.ImageViewBytes <= 0 {
+		t.Error("memory constants must be positive")
+	}
+	if m.BoardIdleWatts <= 0 {
+		t.Error("energy constants must be positive")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := Default()
+	c := m.Clone()
+	c.IPCHop = 99 * time.Second
+	if m.IPCHop == c.IPCHop {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestHelpersAreAffine(t *testing.T) {
+	m := Default()
+	type fn struct {
+		name string
+		f    func(int) time.Duration
+		base time.Duration
+		per  time.Duration
+	}
+	fns := []fn{
+		{"InflateTree", m.InflateTree, m.InflateBase, m.InflatePerView},
+		{"LoadResources", m.LoadResources, m.ResourceLoadBase, m.ResourceLoadPerView},
+		{"SaveState", m.SaveState, m.SaveStateBase, m.SaveStatePerView},
+		{"RestoreState", m.RestoreState, m.RestoreStateBase, m.RestoreStatePerView},
+		{"DestroyTree", m.DestroyTree, m.DestroyBase, m.DestroyPerView},
+		{"BuildMapping", m.BuildMapping, m.MappingBase, m.MappingPerView},
+		{"MigrateViews", m.MigrateViews, m.MigrateBase, m.MigratePerView},
+	}
+	for _, x := range fns {
+		if x.f(0) != x.base {
+			t.Errorf("%s(0) = %v, want base %v", x.name, x.f(0), x.base)
+		}
+		if x.f(10)-x.f(0) != 10*x.per {
+			t.Errorf("%s slope wrong: %v", x.name, x.f(10)-x.f(0))
+		}
+	}
+}
+
+func TestQuadraticMappingGrowsFasterThanLinear(t *testing.T) {
+	m := Default()
+	// At small n the O(n) hash strategy may lose on constants, but by
+	// n=64 the quadratic matcher must be clearly slower — that is the
+	// design rationale the paper gives for the hash table.
+	if m.BuildMappingQuadratic(64) <= m.BuildMapping(64) {
+		t.Fatalf("quadratic(64)=%v should exceed linear(64)=%v",
+			m.BuildMappingQuadratic(64), m.BuildMapping(64))
+	}
+}
+
+// Calibration guard: the async migration helper must reproduce the Fig 10b
+// endpoints (8.6 ms at 1 view, 20.2 ms at 16 views) within 5%.
+func TestAsyncMigrationCalibration(t *testing.T) {
+	m := Default()
+	within := func(got time.Duration, wantMS float64) bool {
+		g := float64(got) / float64(time.Millisecond)
+		return g > wantMS*0.95 && g < wantMS*1.05
+	}
+	if got := m.MigrateViews(1); !within(got, 8.6) {
+		t.Errorf("MigrateViews(1) = %v, want ≈8.6ms", got)
+	}
+	if got := m.MigrateViews(16); !within(got, 20.2) {
+		t.Errorf("MigrateViews(16) = %v, want ≈20.2ms", got)
+	}
+}
+
+// Property: helper costs are monotonically non-decreasing in view count.
+func TestMonotonicity(t *testing.T) {
+	m := Default()
+	f := func(a, b uint8) bool {
+		lo, hi := int(a), int(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return m.InflateTree(lo) <= m.InflateTree(hi) &&
+			m.SaveState(lo) <= m.SaveState(hi) &&
+			m.MigrateViews(lo) <= m.MigrateViews(hi) &&
+			m.BuildMapping(lo) <= m.BuildMapping(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyModelMatchesPaper(t *testing.T) {
+	m := Default()
+	// §5.6: energy is 4.03 W with and without RCHDroid because the shadow
+	// activity is inactive.
+	if m.BoardIdleWatts != m.BoardActiveWatts {
+		t.Fatal("idle and active watts must match per §5.6")
+	}
+	if m.BoardIdleWatts != 4.03 {
+		t.Fatalf("watts = %v, want 4.03", m.BoardIdleWatts)
+	}
+}
+
+func TestJitteredStaysInBandAndIsDeterministic(t *testing.T) {
+	base := Default()
+	j1 := base.Jittered(42, 0.04)
+	j2 := base.Jittered(42, 0.04)
+	j3 := base.Jittered(43, 0.04)
+
+	check := func(name string, orig, got time.Duration) {
+		lo := time.Duration(float64(orig) * 0.96)
+		hi := time.Duration(float64(orig) * 1.04)
+		if got < lo || got > hi {
+			t.Errorf("%s jittered to %v, outside [%v, %v]", name, got, lo, hi)
+		}
+	}
+	check("IPCHop", base.IPCHop, j1.IPCHop)
+	check("OnCreateBase", base.OnCreateBase, j1.OnCreateBase)
+	check("WindowRelayout", base.WindowRelayout, j1.WindowRelayout)
+	check("MigrateBase", base.MigrateBase, j1.MigrateBase)
+	check("GCSweep", base.GCSweep, j1.GCSweep)
+
+	if j1.IPCHop != j2.IPCHop || j1.ResumeBase != j2.ResumeBase {
+		t.Fatal("same seed must jitter identically")
+	}
+	if j1.IPCHop == j3.IPCHop && j1.ResumeBase == j3.ResumeBase && j1.OnCreateBase == j3.OnCreateBase {
+		t.Fatal("different seeds should diverge")
+	}
+	if base.IPCHop != Default().IPCHop {
+		t.Fatal("Jittered mutated the base model")
+	}
+	// Memory and energy fields are not jittered.
+	if j1.ProcessBaseBytes != base.ProcessBaseBytes || j1.BoardIdleWatts != base.BoardIdleWatts {
+		t.Fatal("non-duration fields must pass through")
+	}
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rchdroid/internal/appset"
+)
+
+// AppPerfRow is one app's measurement across both modes.
+type AppPerfRow struct {
+	Name string
+	// StockMS is the mean restart-based handling time (Android-10).
+	StockMS float64
+	// RCHMS is the mean steady-state (coin-flip) handling time.
+	RCHMS float64
+	// InitMS is the first-change (RCHDroid-init) handling time.
+	InitMS float64
+	// StockMemMB / RCHMemMB are the post-change memory footprints.
+	StockMemMB float64
+	RCHMemMB   float64
+}
+
+// AppSetPerfResult aggregates a population's performance comparison; it
+// backs Fig 7 + Fig 8 (TP-27) and Fig 14 (top-100).
+type AppSetPerfResult struct {
+	Name    string
+	Figure  string
+	PerApp  []AppPerfRow
+	Changes int
+}
+
+// RunAppSetPerf measures handling time and memory for every model across
+// both modes. Each app undergoes `changes` alternating rotations; under
+// RCHDroid the first is the init path and the rest are coin flips, which
+// is the steady state the paper's RCHDroid columns report (RCHDroid-init
+// is reported separately, §5).
+func RunAppSetPerf(models []appset.Model, changes int, figure, name string) *AppSetPerfResult {
+	if changes < 2 {
+		changes = 2
+	}
+	res := &AppSetPerfResult{Name: name, Figure: figure, Changes: changes}
+	for _, m := range models {
+		row := AppPerfRow{Name: m.Name}
+
+		stock := NewRig(m.Build(), ModeStock)
+		var stockTimes []float64
+		for c := 0; c < changes; c++ {
+			d, err := stock.Rotate()
+			if err != nil {
+				break
+			}
+			stockTimes = append(stockTimes, ms(d))
+		}
+		row.StockMS = mean(stockTimes)
+		row.StockMemMB = stock.MemoryMB()
+
+		rch := NewRig(m.Build(), ModeRCHDroid)
+		var flipTimes []float64
+		for c := 0; c < changes; c++ {
+			d, err := rch.Rotate()
+			if err != nil {
+				break
+			}
+			if c == 0 {
+				row.InitMS = ms(d)
+			} else {
+				flipTimes = append(flipTimes, ms(d))
+			}
+		}
+		row.RCHMS = mean(flipTimes)
+		row.RCHMemMB = rch.MemoryMB()
+
+		res.PerApp = append(res.PerApp, row)
+	}
+	return res
+}
+
+// AvgStockMS returns the population mean of the Android-10 handling time.
+func (r *AppSetPerfResult) AvgStockMS() float64 {
+	xs := make([]float64, len(r.PerApp))
+	for i, a := range r.PerApp {
+		xs[i] = a.StockMS
+	}
+	return mean(xs)
+}
+
+// AvgRCHMS returns the population mean of the RCHDroid handling time.
+func (r *AppSetPerfResult) AvgRCHMS() float64 {
+	xs := make([]float64, len(r.PerApp))
+	for i, a := range r.PerApp {
+		xs[i] = a.RCHMS
+	}
+	return mean(xs)
+}
+
+// AvgInitMS returns the population mean of the RCHDroid-init time.
+func (r *AppSetPerfResult) AvgInitMS() float64 {
+	xs := make([]float64, len(r.PerApp))
+	for i, a := range r.PerApp {
+		xs[i] = a.InitMS
+	}
+	return mean(xs)
+}
+
+// SavingPct returns the handling-time saving of RCHDroid vs Android-10.
+func (r *AppSetPerfResult) SavingPct() float64 {
+	s := r.AvgStockMS()
+	if s == 0 {
+		return 0
+	}
+	return 100 * (1 - r.AvgRCHMS()/s)
+}
+
+// SavingVsInitPct returns the saving of steady-state RCHDroid vs the
+// init path.
+func (r *AppSetPerfResult) SavingVsInitPct() float64 {
+	i := r.AvgInitMS()
+	if i == 0 {
+		return 0
+	}
+	return 100 * (1 - r.AvgRCHMS()/i)
+}
+
+// AvgStockMemMB returns the mean Android-10 memory footprint.
+func (r *AppSetPerfResult) AvgStockMemMB() float64 {
+	xs := make([]float64, len(r.PerApp))
+	for i, a := range r.PerApp {
+		xs[i] = a.StockMemMB
+	}
+	return mean(xs)
+}
+
+// AvgRCHMemMB returns the mean RCHDroid memory footprint.
+func (r *AppSetPerfResult) AvgRCHMemMB() float64 {
+	xs := make([]float64, len(r.PerApp))
+	for i, a := range r.PerApp {
+		xs[i] = a.RCHMemMB
+	}
+	return mean(xs)
+}
+
+// MemOverheadPct returns RCHDroid's relative memory overhead.
+func (r *AppSetPerfResult) MemOverheadPct() float64 {
+	s := r.AvgStockMemMB()
+	if s == 0 {
+		return 0
+	}
+	return 100 * (r.AvgRCHMemMB()/s - 1)
+}
+
+// Title implements Result.
+func (r *AppSetPerfResult) Title() string { return r.Figure + " — " + r.Name }
+
+// Header implements Result.
+func (r *AppSetPerfResult) Header() []string {
+	return []string{"App", "Android-10 (ms)", "RCHDroid (ms)", "RCHDroid-init (ms)", "Mem A10 (MB)", "Mem RCH (MB)"}
+}
+
+// Rows implements Result.
+func (r *AppSetPerfResult) Rows() [][]string {
+	out := make([][]string, len(r.PerApp))
+	for i, a := range r.PerApp {
+		out[i] = []string{
+			a.Name,
+			fmt.Sprintf("%.1f", a.StockMS),
+			fmt.Sprintf("%.1f", a.RCHMS),
+			fmt.Sprintf("%.1f", a.InitMS),
+			fmt.Sprintf("%.2f", a.StockMemMB),
+			fmt.Sprintf("%.2f", a.RCHMemMB),
+		}
+	}
+	return out
+}
+
+// Summary implements Result.
+func (r *AppSetPerfResult) Summary() string {
+	return fmt.Sprintf(
+		"avg handling: Android-10 %.2f ms, RCHDroid %.2f ms (saves %.2f%%; %.2f%% vs init %.2f ms); "+
+			"avg memory: Android-10 %.2f MB, RCHDroid %.2f MB (%.2f%% / %.3fx overhead)",
+		r.AvgStockMS(), r.AvgRCHMS(), r.SavingPct(), r.SavingVsInitPct(), r.AvgInitMS(),
+		r.AvgStockMemMB(), r.AvgRCHMemMB(), r.MemOverheadPct(), r.AvgRCHMemMB()/r.AvgStockMemMB())
+}
+
+// Fig7and8 runs the 27-app comparison (handling time and memory).
+func Fig7and8() *AppSetPerfResult {
+	return RunAppSetPerf(appset.TP27(), 4, "Figures 7+8", "TP-27 app set")
+}
+
+// Fig14 runs the top-100 comparison over the 59 apps whose issues
+// RCHDroid resolves, matching §6's protocol.
+func Fig14() *AppSetPerfResult {
+	var fixable []appset.Model
+	for _, m := range appset.Top100() {
+		if m.HasIssue() && m.FixedByRCHDroid() {
+			fixable = append(fixable, m)
+		}
+	}
+	return RunAppSetPerf(fixable, 4, "Figure 14", "Google Play top-100 (59 fixable apps)")
+}

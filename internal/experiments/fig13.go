@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/bundle"
+	"rchdroid/internal/config"
+	"rchdroid/internal/resources"
+	"rchdroid/internal/view"
+)
+
+// Fig13Case is one of the four worked examples of Fig 13.
+type Fig13Case struct {
+	App      string
+	Aspect   string
+	Before   string
+	AfterA10 string
+	AfterRCH string
+	// LostOnStock / KeptOnRCH are the verdicts the figure's red boxes mark.
+	LostOnStock bool
+	KeptOnRCH   bool
+}
+
+// Fig13Result reproduces the figure's four runtime-change issue examples
+// as before/after state comparisons: Twitter's login box, Disney+'s
+// privacy-policy scroll position, KJVBible's quiz timer and Orbot's
+// bridge selection.
+type Fig13Result struct {
+	Cases []Fig13Case
+}
+
+// fig13App bundles a bespoke app model with its interaction and probe.
+type fig13App struct {
+	name    string
+	aspect  string
+	build   func() *app.App
+	act     func(proc *app.Process)      // the user interaction
+	settle  time.Duration                // time between interaction and change
+	probe   func(a *app.Activity) string // reads the aspect's state
+	initial string                       // the reset value after a stock restart
+}
+
+func fig13Apps() []fig13App {
+	dual := func(res *resources.Table, name string, layout func() *view.Spec) {
+		res.Put(name, resources.Qualifiers{Orientation: config.OrientationLandscape}, layout())
+		res.Put(name, resources.Qualifiers{Orientation: config.OrientationPortrait}, layout())
+	}
+	return []fig13App{
+		{
+			name:   "Twitter",
+			aspect: "login name box",
+			build: func() *app.App {
+				res := resources.NewTable()
+				dual(res, "layout/main", func() *view.Spec {
+					return view.Linear(1,
+						view.Text(2, "Log in to Twitter"),
+						&view.Spec{Type: "CustomTextView", ID: 10}, // custom-styled input
+						view.Btn(11, "Log in"),
+					)
+				})
+				cls := &app.ActivityClass{Name: "LoginActivity"}
+				cls.Callbacks.OnCreate = func(a *app.Activity, saved *bundle.Bundle) { a.SetContentView("layout/main") }
+				return &app.App{Name: "twitter", Resources: res, Main: cls}
+			},
+			act: func(proc *app.Process) {
+				fg := proc.Thread().ForegroundActivity()
+				proc.PostApp("type", time.Millisecond, func() {
+					fg.FindViewByID(10).(*view.CustomTextView).SetText("@asplos_attendee")
+				})
+			},
+			probe: func(a *app.Activity) string {
+				return a.FindViewByID(10).(*view.CustomTextView).Text()
+			},
+			initial: "",
+		},
+		{
+			name:   "Disney+",
+			aspect: "privacy-policy scroll location",
+			build: func() *app.App {
+				res := resources.NewTable()
+				dual(res, "layout/main", func() *view.Spec {
+					return view.Linear(1, &view.Spec{
+						Type: "ScrollView", ID: 10,
+						Items: []string{"§1 Introduction", "§2 Data we collect", "§3 Sharing", "§4 Your rights"},
+					})
+				})
+				cls := &app.ActivityClass{Name: "PolicyActivity"}
+				cls.Callbacks.OnCreate = func(a *app.Activity, saved *bundle.Bundle) { a.SetContentView("layout/main") }
+				return &app.App{Name: "disneyplus", Resources: res, Main: cls}
+			},
+			act: func(proc *app.Process) {
+				fg := proc.Thread().ForegroundActivity()
+				proc.PostApp("scroll", time.Millisecond, func() {
+					fg.FindViewByID(10).(*view.ScrollView).ScrollTo(1480)
+				})
+			},
+			probe: func(a *app.Activity) string {
+				return fmt.Sprintf("offset=%d", a.FindViewByID(10).(*view.ScrollView).ScrollOffset())
+			},
+			initial: "offset=0",
+		},
+		{
+			name:   "KJVBible",
+			aspect: "quiz timer",
+			build: func() *app.App {
+				res := resources.NewTable()
+				dual(res, "layout/main", func() *view.Spec {
+					return view.Linear(1,
+						view.Text(2, "Question 3 of 10"),
+						&view.Spec{Type: "Chronometer", ID: 10},
+					)
+				})
+				cls := &app.ActivityClass{Name: "QuizActivity"}
+				cls.Callbacks.OnCreate = func(a *app.Activity, saved *bundle.Bundle) {
+					a.SetContentView("layout/main")
+					// The quiz timer ticks the chronometer every second;
+					// the closure guards on its own instance staying
+					// alive, the common (crash-free but reset-prone)
+					// pattern.
+					a.StartUITimer("quiz", time.Second, func() {
+						if a.State().Alive() {
+							if c, ok := a.FindViewByID(10).(*view.Chronometer); ok {
+								c.Tick()
+							}
+						}
+					})
+					if c, ok := a.FindViewByID(10).(*view.Chronometer); ok {
+						c.Start()
+					}
+				}
+				return &app.App{Name: "kjvbible", Resources: res, Main: cls}
+			},
+			act:    func(proc *app.Process) {}, // the timer runs by itself
+			settle: 9 * time.Second,            // let it count
+			probe: func(a *app.Activity) string {
+				return fmt.Sprintf("%ds", a.FindViewByID(10).(*view.Chronometer).ElapsedSec())
+			},
+			initial: "0s",
+		},
+		{
+			name:   "Orbot",
+			aspect: "bridge selection",
+			build: func() *app.App {
+				res := resources.NewTable()
+				dual(res, "layout/main", func() *view.Spec {
+					return view.Linear(1,
+						view.Text(2, "Select network bridge"),
+						&view.Spec{Type: "Spinner", ID: 10, Items: []string{"Direct", "obfs4", "meek", "snowflake"}},
+					)
+				})
+				cls := &app.ActivityClass{Name: "BridgeActivity"}
+				cls.Callbacks.OnCreate = func(a *app.Activity, saved *bundle.Bundle) { a.SetContentView("layout/main") }
+				return &app.App{Name: "orbot", Resources: res, Main: cls}
+			},
+			act: func(proc *app.Process) {
+				fg := proc.Thread().ForegroundActivity()
+				proc.PostApp("select", time.Millisecond, func() {
+					fg.FindViewByID(10).(*view.Spinner).Select(2) // meek
+				})
+			},
+			probe: func(a *app.Activity) string {
+				return a.FindViewByID(10).(*view.Spinner).Selected()
+			},
+			initial: "Direct",
+		},
+	}
+}
+
+// Fig13 replays the four examples under both systems.
+func Fig13() *Fig13Result {
+	res := &Fig13Result{}
+	for _, c := range fig13Apps() {
+		runOne := func(mode Mode) (before, after string) {
+			rig := NewRig(c.build(), mode)
+			c.act(rig.Proc)
+			settle := c.settle
+			if settle == 0 {
+				settle = 100 * time.Millisecond
+			}
+			rig.Sched.Advance(settle)
+			before = c.probe(rig.Proc.Thread().ForegroundActivity())
+			rig.Sys.PushConfiguration(config.Portrait())
+			rig.Sched.Advance(2 * time.Second)
+			if rig.Proc.Crashed() {
+				return before, "CRASHED"
+			}
+			after = c.probe(rig.Proc.Thread().ForegroundActivity())
+			return before, after
+		}
+		before, afterStock := runOne(ModeStock)
+		_, afterRCH := runOne(ModeRCHDroid)
+		res.Cases = append(res.Cases, Fig13Case{
+			App:         c.name,
+			Aspect:      c.aspect,
+			Before:      before,
+			AfterA10:    afterStock,
+			AfterRCH:    afterRCH,
+			LostOnStock: afterStock != before,
+			KeptOnRCH:   keptEquivalent(c.name, before, afterRCH),
+		})
+	}
+	return res
+}
+
+// keptEquivalent compares the RCHDroid after-state with the before-state;
+// the timer keeps *running* under RCHDroid, so its count may have
+// advanced — that counts as kept.
+func keptEquivalent(name, before, after string) bool {
+	if after == before {
+		return true
+	}
+	if name == "KJVBible" && after != "0s" && after != "CRASHED" {
+		return true
+	}
+	return false
+}
+
+// Title implements Result.
+func (r *Fig13Result) Title() string { return "Figure 13 — runtime change issue examples" }
+
+// Header implements Result.
+func (r *Fig13Result) Header() []string {
+	return []string{"App", "Aspect", "Before", "After (Android-10)", "After (RCHDroid)", "Verdict"}
+}
+
+// Rows implements Result.
+func (r *Fig13Result) Rows() [][]string {
+	out := make([][]string, len(r.Cases))
+	for i, c := range r.Cases {
+		verdict := "RCHDroid preserves"
+		if !c.KeptOnRCH {
+			verdict = "lost in both"
+		}
+		if !c.LostOnStock {
+			verdict = "no issue"
+		}
+		out[i] = []string{c.App, c.Aspect, c.Before, c.AfterA10, c.AfterRCH, verdict}
+	}
+	return out
+}
+
+// Summary implements Result.
+func (r *Fig13Result) Summary() string {
+	lost, kept := 0, 0
+	for _, c := range r.Cases {
+		if c.LostOnStock {
+			lost++
+		}
+		if c.LostOnStock && c.KeptOnRCH {
+			kept++
+		}
+	}
+	var names []string
+	for _, c := range r.Cases {
+		names = append(names, c.App)
+	}
+	return fmt.Sprintf("%s: %d/%d states lost after the stock restart, %d/%d preserved by RCHDroid",
+		strings.Join(names, ", "), lost, len(r.Cases), kept, lost)
+}

@@ -1,0 +1,168 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§5 and §6). Each driver builds the workload, runs
+// it on the discrete-event simulator under both handling schemes, and
+// returns a typed result whose Rows/Summary render the same series the
+// paper reports. The cmd/rchbench binary and the repository's benchmarks
+// are thin wrappers over these drivers.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/atms"
+	"rchdroid/internal/config"
+	"rchdroid/internal/core"
+	"rchdroid/internal/costmodel"
+	"rchdroid/internal/sim"
+)
+
+// Mode selects the runtime-change handling scheme under test.
+type Mode int
+
+// Modes.
+const (
+	// ModeStock is unmodified Android 10 (restart-based handling).
+	ModeStock Mode = iota
+	// ModeRCHDroid is the paper's system.
+	ModeRCHDroid
+)
+
+func (m Mode) String() string {
+	if m == ModeRCHDroid {
+		return "RCHDroid"
+	}
+	return "Android-10"
+}
+
+// Rig is one booted device: scheduler, system server, and a single
+// foreground app, optionally with RCHDroid installed.
+type Rig struct {
+	Sched *sim.Scheduler
+	Model *costmodel.Model
+	Sys   *atms.ATMS
+	Proc  *app.Process
+	RCH   *core.RCHDroid // nil in stock mode
+	Token int
+}
+
+// NewRig boots a device running application under the given mode with
+// the default cost model.
+func NewRig(application *app.App, mode Mode) *Rig {
+	return NewRigWithOptions(application, mode, costmodel.Default(), core.DefaultOptions())
+}
+
+// NewRigWithOptions boots a device with an explicit cost model and
+// RCHDroid options (for ablations and the GC sweep).
+func NewRigWithOptions(application *app.App, mode Mode, model *costmodel.Model, opts core.Options) *Rig {
+	sched := sim.NewScheduler()
+	sys := atms.New(sched, model)
+	proc := app.NewProcess(sched, model, application)
+	r := &Rig{Sched: sched, Model: model, Sys: sys, Proc: proc}
+	if mode == ModeRCHDroid {
+		r.RCH = core.Install(sys, proc, opts)
+	}
+	r.Token = sys.LaunchApp(proc)
+	sched.Advance(3 * time.Second)
+	return r
+}
+
+// Change pushes a configuration change and runs the simulation until the
+// handling completes, returning its latency.
+func (r *Rig) Change(cfg config.Configuration) (time.Duration, error) {
+	before := len(r.Sys.HandlingTimes())
+	r.Sys.PushConfiguration(cfg)
+	r.Sched.Advance(3 * time.Second)
+	times := r.Sys.HandlingTimes()
+	if len(times) != before+1 {
+		if r.Proc.Crashed() {
+			return 0, fmt.Errorf("experiments: app crashed during handling: %w", r.Proc.CrashCause())
+		}
+		return 0, fmt.Errorf("experiments: handling did not complete")
+	}
+	return times[len(times)-1], nil
+}
+
+// Rotate alternates between landscape and portrait starting from the
+// current global configuration.
+func (r *Rig) Rotate() (time.Duration, error) {
+	return r.Change(r.Sys.GlobalConfig().Rotated())
+}
+
+// MemoryMB samples the app's reported memory footprint.
+func (r *Rig) MemoryMB() float64 { return r.Proc.Memory().CurrentMB() }
+
+// ms converts to the float milliseconds used in reports.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// simTime converts a duration-since-start into a point on the virtual
+// timeline.
+func simTime(d time.Duration) sim.Time { return sim.Time(d) }
+
+// mean averages a float slice (0 for empty).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Result is the common shape every experiment driver returns.
+type Result interface {
+	// Title names the table/figure ("Figure 7", …).
+	Title() string
+	// Header returns the column names.
+	Header() []string
+	// Rows returns the data rows, formatted.
+	Rows() [][]string
+	// Summary returns the headline comparison the paper states in prose.
+	Summary() string
+}
+
+// FormatResult renders a result as an aligned text table.
+func FormatResult(r Result) string {
+	head := r.Header()
+	rows := r.Rows()
+	widths := make([]int, len(head))
+	for i, h := range head {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	out := "== " + r.Title() + " ==\n"
+	line := ""
+	for i, h := range head {
+		line += pad(h, widths[i]) + "  "
+	}
+	out += line + "\n"
+	for _, row := range rows {
+		line = ""
+		for i, cell := range row {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			line += pad(cell, w) + "  "
+		}
+		out += line + "\n"
+	}
+	out += r.Summary() + "\n"
+	return out
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import "fmt"
+
+// SummaryRow is one headline quantity of the reproduction.
+type SummaryRow struct {
+	Quantity string
+	Paper    string
+	Measured string
+}
+
+// SummaryResult aggregates every experiment's headline numbers against
+// the paper's — the EXPERIMENTS.md table, regenerated live.
+type SummaryResult struct {
+	PerRow []SummaryRow
+}
+
+// Summary runs every experiment and assembles the paper-vs-measured
+// headline table.
+func Summary() *SummaryResult {
+	res := &SummaryResult{}
+	add := func(q, paper, measured string) {
+		res.PerRow = append(res.PerRow, SummaryRow{Quantity: q, Paper: paper, Measured: measured})
+	}
+
+	f78 := Fig7and8()
+	add("Fig 7: handling saving, 27 apps", "25.46 %", fmt.Sprintf("%.2f %%", f78.SavingPct()))
+	add("Fig 8: memory, 27 apps", "47.56 → 53.53 MB (1.12×)",
+		fmt.Sprintf("%.2f → %.2f MB (%.3f×)", f78.AvgStockMemMB(), f78.AvgRCHMemMB(),
+			f78.AvgRCHMemMB()/f78.AvgStockMemMB()))
+
+	f9 := Fig9()
+	add("Fig 9: async return after change", "Android-10 crashes; RCHDroid migrates",
+		fmt.Sprintf("crash=%v; migrated=%v", f9.StockCrashed, !f9.RCHCrashed && f9.RCHMigrations == 1))
+
+	f10 := Fig10()
+	first, last := f10.Sweep[0], f10.Sweep[len(f10.Sweep)-1]
+	add("Fig 10a: Android-10 @4 views", "141.8 ms", fmt.Sprintf("%.1f ms", f10.Sweep[2].StockMS))
+	add("Fig 10a: RCHDroid steady", "89.2 ms flat", fmt.Sprintf("%.1f–%.1f ms", first.FlipMS, last.FlipMS))
+	add("Fig 10a: RCHDroid-init 1→16", "154.6 → 180.2 ms", fmt.Sprintf("%.1f → %.1f ms", first.InitMS, last.InitMS))
+	add("Fig 10b: migration 1→16", "8.6 → 20.2 ms", fmt.Sprintf("%.2f → %.2f ms", first.MigrateMS, last.MigrateMS))
+
+	f11 := Fig11()
+	knee := f11.Sweep[len(f11.Sweep)-1].ThreshTSec
+	best := f11.Sweep[len(f11.Sweep)-1].AvgHandlingMS
+	for _, row := range f11.Sweep {
+		if row.AvgHandlingMS <= best*1.01 {
+			knee = row.ThreshTSec
+			break
+		}
+	}
+	add("Fig 11: GC knee", "THRESH_T = 50 s", fmt.Sprintf("THRESH_T = %d s", knee))
+
+	f13 := Fig13()
+	lost, kept := 0, 0
+	for _, c := range f13.Cases {
+		if c.LostOnStock {
+			lost++
+		}
+		if c.KeptOnRCH {
+			kept++
+		}
+	}
+	add("Fig 13: issue examples", "4 lost on stock, preserved by RCHDroid",
+		fmt.Sprintf("%d lost, %d preserved", lost, kept))
+
+	t3 := Table3()
+	add("Table 3: 27-app issues fixed", "25/27", fmt.Sprintf("%d/%d", t3.Fixed(), t3.Issues()))
+	t5 := Table5()
+	add("Table 5: top-100 issues / fixed", "63/100, 59/63", fmt.Sprintf("%d/100, %d/%d", t5.Issues(), t5.Fixed(), t5.Issues()))
+
+	f14 := Fig14()
+	add("Fig 14a: top-100 handling", "420.58 / 250.39 ms",
+		fmt.Sprintf("%.2f / %.2f ms", f14.AvgStockMS(), f14.AvgRCHMS()))
+	add("Fig 14b: top-100 memory overhead", "+7.13 %", fmt.Sprintf("%+.2f %%", f14.MemOverheadPct()))
+
+	en := Energy()
+	add("§5.6: energy", "4.03 W unchanged",
+		fmt.Sprintf("%.2f / %.2f W", mean(en.StockWatts), mean(en.RCHWatts)))
+
+	return res
+}
+
+// Title implements Result.
+func (r *SummaryResult) Title() string { return "Summary — paper vs. measured, all experiments" }
+
+// Header implements Result.
+func (r *SummaryResult) Header() []string { return []string{"Quantity", "Paper", "Measured"} }
+
+// Rows implements Result.
+func (r *SummaryResult) Rows() [][]string {
+	out := make([][]string, len(r.PerRow))
+	for i, row := range r.PerRow {
+		out[i] = []string{row.Quantity, row.Paper, row.Measured}
+	}
+	return out
+}
+
+// Summary implements Result.
+func (r *SummaryResult) Summary() string {
+	return fmt.Sprintf("%d headline quantities regenerated; see EXPERIMENTS.md for the full index", len(r.PerRow))
+}

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rchdroid/internal/appset"
+	"rchdroid/internal/core"
+	"rchdroid/internal/view"
+)
+
+// ───────────────────────────── Table 1 ──────────────────────────────────
+
+// Table1Row is one view type's migration policy, demonstrated live.
+type Table1Row struct {
+	ViewType    string
+	Description string
+	Policy      string
+}
+
+// Table1Result enumerates the per-type migration policies by actually
+// migrating an instance of each basic type (and a user-defined subclass)
+// through core.MigrateView.
+type Table1Result struct {
+	PerType []Table1Row
+}
+
+// Table1 demonstrates each policy of Table 1 plus inheritance for
+// user-defined views.
+func Table1() *Table1Result {
+	res := &Table1Result{}
+	demo := func(typeName, desc string, src, dst view.View) {
+		src.Base().SetSunnyPeer(dst)
+		policy := core.MigrateView(src)
+		res.PerType = append(res.PerType, Table1Row{ViewType: typeName, Description: desc, Policy: policy})
+	}
+	demo("TextView", "Displays text to the user",
+		view.NewTextView(1, "hello"), view.NewTextView(1, ""))
+	demo("ImageView", "Displays image resources",
+		view.NewImageView(1, "drawable/a"), view.NewImageView(1, ""))
+	demo("AbsListView", "Displays a scrollable collection of views",
+		view.NewListView(1, []string{"a", "b"}), view.NewListView(1, []string{"a", "b"}))
+	demo("VideoView", "Displays a video file",
+		view.NewVideoView(1, "video/v"), view.NewVideoView(1, ""))
+	demo("ProgressBar", "Indicates progress of an operation",
+		view.NewProgressBar(1, 100), view.NewProgressBar(1, 100))
+	demo("CustomTextView (user-defined)", "Migrated by its basic type",
+		view.NewCustomTextView(1, "x"), view.NewCustomTextView(1, ""))
+	return res
+}
+
+// Title implements Result.
+func (r *Table1Result) Title() string { return "Table 1 — migration policy based on view types" }
+
+// Header implements Result.
+func (r *Table1Result) Header() []string {
+	return []string{"View Type", "Description", "Migration Policy"}
+}
+
+// Rows implements Result.
+func (r *Table1Result) Rows() [][]string {
+	out := make([][]string, len(r.PerType))
+	for i, t := range r.PerType {
+		out[i] = []string{t.ViewType, t.Description, t.Policy}
+	}
+	return out
+}
+
+// Summary implements Result.
+func (r *Table1Result) Summary() string {
+	return "each basic view type migrates via its essential-attribute setter; user-defined views inherit the policy of the basic type they extend"
+}
+
+// ───────────────────────────── Table 2 ──────────────────────────────────
+
+// Table2Row maps one patched Android class to this reproduction.
+type Table2Row struct {
+	Class      string
+	Change     string
+	PaperLoC   int
+	GoLocation string
+}
+
+// Table2Result is the modification inventory: what the 348-LoC Android
+// patch touches and where the same seam lives in this codebase.
+type Table2Result struct{ PerClass []Table2Row }
+
+// Table2 returns the static inventory.
+func Table2() *Table2Result {
+	return &Table2Result{PerClass: []Table2Row{
+		{"Activity", "Add the Shadow/Sunny state and related functions", 81, "internal/app/activity.go (EnterShadow/FlipToSunny/ShadowSnapshot)"},
+		{"View", "Add the Shadow/Sunny state and the view pointer; modify invalidate", 79, "internal/view/view.go (BaseView shadow/sunny/sunnyPeer, Invalidate hook)"},
+		{"ViewGroup", "Add the dispatch function for the Shadow/Sunny state", 12, "internal/view/group.go (DispatchShadow/SunnyStateChanged)"},
+		{"Intent", "Add the sunny flag", 4, "internal/app/intent.go (FlagSunny)"},
+		{"ActivityThread", "Shadow/sunny pointers, GC routine; modify change/launch/resume", 91, "internal/core/handler.go + internal/core/gc.go (ShadowHandler, ThresholdGC)"},
+		{"ActivityRecord", "Add the Shadow state; modify configuration change handling", 11, "internal/atms/record.go (ActivityRecord.shadow)"},
+		{"ActivityStack", "Add the shadow-state activity lookup function", 29, "internal/atms/record.go (TaskRecord.FindShadow)"},
+		{"ActivityStarter", "Modify activity start related functions", 41, "internal/core/coinflip.go (CoinFlipPolicy)"},
+	}}
+}
+
+// TotalPaperLoC sums the paper's modification size (348).
+func (r *Table2Result) TotalPaperLoC() int {
+	total := 0
+	for _, c := range r.PerClass {
+		total += c.PaperLoC
+	}
+	return total
+}
+
+// Title implements Result.
+func (r *Table2Result) Title() string {
+	return "Table 2 — RCHDroid implementations and modifications"
+}
+
+// Header implements Result.
+func (r *Table2Result) Header() []string {
+	return []string{"Class", "Implementation/Modification", "Paper LoC", "This repo"}
+}
+
+// Rows implements Result.
+func (r *Table2Result) Rows() [][]string {
+	out := make([][]string, len(r.PerClass))
+	for i, c := range r.PerClass {
+		out[i] = []string{c.Class, c.Change, fmt.Sprintf("%d", c.PaperLoC), c.GoLocation}
+	}
+	return out
+}
+
+// Summary implements Result.
+func (r *Table2Result) Summary() string {
+	return fmt.Sprintf("total modifications in the paper: %d LoC across 8 framework classes", r.TotalPaperLoC())
+}
+
+// ───────────────────────── Tables 3 and 5 ───────────────────────────────
+
+// EffectivenessRow is one app's scan outcome.
+type EffectivenessRow struct {
+	Model   appset.Model
+	StockOK bool // state preserved under stock Android
+	RCHOK   bool // state preserved under RCHDroid
+}
+
+// EffectivenessResult is the issue scan backing Table 3 (TP-27) and
+// Table 5 (top-100): for every app, plant the state its row describes,
+// apply a runtime change under each mode, and verify.
+type EffectivenessResult struct {
+	SetName string
+	Table   string
+	PerApp  []EffectivenessRow
+}
+
+// RunEffectiveness scans a population under both modes.
+func RunEffectiveness(models []appset.Model, table, setName string) *EffectivenessResult {
+	res := &EffectivenessResult{SetName: setName, Table: table}
+	for _, m := range models {
+		row := EffectivenessRow{Model: m}
+		row.StockOK = scanOne(m, ModeStock)
+		row.RCHOK = scanOne(m, ModeRCHDroid)
+		res.PerApp = append(res.PerApp, row)
+	}
+	return res
+}
+
+func scanOne(m appset.Model, mode Mode) bool {
+	rig := NewRig(m.Build(), mode)
+	m.PlantState(rig.Proc, 400*time.Millisecond)
+	rig.Sched.Advance(100 * time.Millisecond)
+	rig.Sys.PushConfiguration(rig.Sys.GlobalConfig().Rotated())
+	rig.Sched.Advance(3 * time.Second)
+	return m.VerifyState(rig.Proc)
+}
+
+// DumpAfterChange replays one scan and renders the foreground tree after
+// the change — appscan's -verbose view of what the user would see.
+func DumpAfterChange(m appset.Model, mode Mode) string {
+	rig := NewRig(m.Build(), mode)
+	m.PlantState(rig.Proc, 400*time.Millisecond)
+	rig.Sched.Advance(100 * time.Millisecond)
+	rig.Sys.PushConfiguration(rig.Sys.GlobalConfig().Rotated())
+	rig.Sched.Advance(3 * time.Second)
+	if rig.Proc.Crashed() {
+		return fmt.Sprintf("process crashed: %v\n", rig.Proc.CrashCause())
+	}
+	fg := rig.Proc.Thread().ForegroundActivity()
+	if fg == nil {
+		return "no foreground activity\n"
+	}
+	return view.Dump(fg.Decor())
+}
+
+// Table3 scans the TP-27 set.
+func Table3() *EffectivenessResult {
+	return RunEffectiveness(appset.TP27(), "Table 3", "TP-27 app set")
+}
+
+// Table5 scans the Google Play top-100.
+func Table5() *EffectivenessResult {
+	return RunEffectiveness(appset.Top100(), "Table 5", "Google Play top-100")
+}
+
+// Issues counts apps whose state stock Android loses.
+func (r *EffectivenessResult) Issues() int {
+	n := 0
+	for _, row := range r.PerApp {
+		if !row.StockOK {
+			n++
+		}
+	}
+	return n
+}
+
+// Fixed counts issues RCHDroid resolves.
+func (r *EffectivenessResult) Fixed() int {
+	n := 0
+	for _, row := range r.PerApp {
+		if !row.StockOK && row.RCHOK {
+			n++
+		}
+	}
+	return n
+}
+
+// Title implements Result.
+func (r *EffectivenessResult) Title() string {
+	return r.Table + " — runtime change issues, " + r.SetName
+}
+
+// Header implements Result.
+func (r *EffectivenessResult) Header() []string {
+	return []string{"No.", "App", "Downloads", "Issue", "Android-10", "RCHDroid"}
+}
+
+// Rows implements Result.
+func (r *EffectivenessResult) Rows() [][]string {
+	verdict := func(ok bool) string {
+		if ok {
+			return "state kept"
+		}
+		return "STATE LOST"
+	}
+	out := make([][]string, len(r.PerApp))
+	for i, row := range r.PerApp {
+		issue := row.Model.Issue
+		if issue == "" {
+			issue = "-"
+		}
+		out[i] = []string{
+			fmt.Sprintf("%d", row.Model.Index),
+			row.Model.Name,
+			row.Model.Downloads,
+			issue,
+			verdict(row.StockOK),
+			verdict(row.RCHOK),
+		}
+	}
+	return out
+}
+
+// Summary implements Result.
+func (r *EffectivenessResult) Summary() string {
+	return fmt.Sprintf("%d/%d apps lose state on stock Android; RCHDroid resolves %d/%d (%.2f%%)",
+		r.Issues(), len(r.PerApp), r.Fixed(), r.Issues(),
+		100*float64(r.Fixed())/float64(max(r.Issues(), 1)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

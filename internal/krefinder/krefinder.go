@@ -1,0 +1,126 @@
+// Package krefinder reimplements the other Static-Analysis-way baseline:
+// a KREfinder-style detector (OOPSLA'16) for "KR errors" — state that a
+// restart-based runtime change would lose. It analyses only the static
+// artifacts an APK analysis would see: the layout resources and whether
+// the activity implements onSaveInstanceState or declares configChanges.
+// It never runs the app.
+//
+// Being static, it over-approximates: it must assume any stateful-looking
+// widget might carry unsaved user state, so it reports candidates that a
+// dynamic scan shows are fine — the false positives §2.2 quantifies
+// ("across the 114 apps with potential errors, there were 2.3
+// false-positive reports per app, on average"). The experiments package
+// compares these reports against the ground truth from the live scan and
+// reproduces that over-approximation.
+package krefinder
+
+import (
+	"fmt"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/config"
+	"rchdroid/internal/view"
+)
+
+// Report is one KR-error candidate: a widget whose state the analysis
+// believes a restart would lose.
+type Report struct {
+	// App is the analysed application's package name.
+	App string
+	// WidgetID identifies the flagged view.
+	WidgetID view.ID
+	// WidgetType is the flagged view's class.
+	WidgetType string
+	// Reason explains the heuristic that fired.
+	Reason string
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s: %s#%d — %s", r.App, r.WidgetType, r.WidgetID, r.Reason)
+}
+
+// maxImageReports caps how many image-resource candidates one activity
+// contributes; real tools sample rather than exhaustively reporting
+// repetitive widgets.
+const maxImageReports = 3
+
+// statefulClasses are widget classes whose essential state Android's
+// default restart path does not persist; any instance is a candidate.
+var statefulClasses = map[string]string{
+	"ListView":       "list selection/checked items are not saved by default",
+	"GridView":       "list selection/checked items are not saved by default",
+	"ScrollView":     "scroll offset is not saved by default",
+	"AbsListView":    "list selection is not saved by default",
+	"Spinner":        "dropdown selection is not saved by default",
+	"SeekBar":        "slider progress is not saved by default",
+	"ProgressBar":    "progress is not saved by default",
+	"RatingBar":      "rating is not saved by default",
+	"VideoView":      "playback position is not saved by default",
+	"Chronometer":    "timer state is not saved by default",
+	"CustomTextView": "custom view: state saving unknown, assumed unsaved",
+	"TextView":       "", // handled specially: only programmatic text is at risk
+}
+
+// Analyze statically inspects an application and returns the KR-error
+// candidates for its main activity. The analysis sees the default-layout
+// resource tree and the activity metadata — not the runtime behaviour.
+func Analyze(application *app.App) []Report {
+	cls := application.Main
+	if cls == nil {
+		return nil
+	}
+	// An activity that declares every change handles restarts itself; an
+	// activity with onSaveInstanceState is assumed to save its state
+	// (this is itself an under-approximation the paper notes: the saved
+	// set may still be wrong, but the tool cannot tell).
+	full := config.ChangeOrientation | config.ChangeScreenSize
+	if full.HandledBy(cls.DeclaredChanges) {
+		return nil
+	}
+	if cls.Callbacks.OnSaveInstanceState != nil {
+		return nil
+	}
+
+	layoutAny, ok := application.Resources.Resolve("layout/main", config.Default())
+	if !ok {
+		return nil
+	}
+	spec, ok := layoutAny.(*view.Spec)
+	if !ok {
+		return nil
+	}
+
+	var reports []Report
+	imageReports := 0
+	imagesSeen := 0
+	var walk func(s *view.Spec)
+	walk = func(s *view.Spec) {
+		if reason, stateful := statefulClasses[s.Type]; stateful && reason != "" && s.ID != view.NoID {
+			reports = append(reports, Report{
+				App: application.Name, WidgetID: s.ID, WidgetType: s.Type, Reason: reason,
+			})
+		}
+		// Image resources are a classic over-approximation: the analysis
+		// cannot tell which ImageViews are updated programmatically (those
+		// really do lose their drawable) and which are static decoration,
+		// so it samples a few candidates per activity.
+		if s.Type == "ImageView" && s.ID != view.NoID {
+			imagesSeen++
+			// Heuristic: the first image is usually a static logo or
+			// banner; later ones are more likely content, and the tool
+			// samples at most a few candidates per activity.
+			if imagesSeen > 1 && imageReports < maxImageReports {
+				imageReports++
+				reports = append(reports, Report{
+					App: application.Name, WidgetID: s.ID, WidgetType: s.Type,
+					Reason: "programmatically-set drawables are not saved by default",
+				})
+			}
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(spec)
+	return reports
+}

@@ -1,0 +1,117 @@
+package krefinder
+
+import (
+	"strings"
+	"testing"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/appset"
+	"rchdroid/internal/bundle"
+	"rchdroid/internal/config"
+	"rchdroid/internal/resources"
+	"rchdroid/internal/view"
+)
+
+func appWithLayout(spec *view.Spec, mutate func(*app.ActivityClass)) *app.App {
+	res := resources.NewTable()
+	res.PutDefault("layout/main", spec)
+	cls := &app.ActivityClass{Name: "Main"}
+	cls.Callbacks.OnCreate = func(a *app.Activity, saved *bundle.Bundle) { a.SetContentView("layout/main") }
+	if mutate != nil {
+		mutate(cls)
+	}
+	return &app.App{Name: "analysed", Resources: res, Main: cls}
+}
+
+func TestFlagsStatefulWidgets(t *testing.T) {
+	a := appWithLayout(view.Linear(1,
+		&view.Spec{Type: "ListView", ID: 10, Items: []string{"x"}},
+		&view.Spec{Type: "SeekBar", ID: 11, Max: 10},
+		&view.Spec{Type: "CustomTextView", ID: 12},
+		view.Text(13, "label"),
+	), nil)
+	reports := Analyze(a)
+	byType := map[string]int{}
+	for _, r := range reports {
+		byType[r.WidgetType]++
+		if r.Reason == "" || r.String() == "" {
+			t.Fatalf("empty reason/string: %+v", r)
+		}
+	}
+	if byType["ListView"] != 1 || byType["SeekBar"] != 1 || byType["CustomTextView"] != 1 {
+		t.Fatalf("reports = %v", byType)
+	}
+	// Plain TextViews are not flagged: the analysis cannot distinguish
+	// labels from programmatic status text (a false-negative source).
+	if byType["TextView"] != 0 {
+		t.Fatalf("TextView flagged: %v", byType)
+	}
+}
+
+func TestImageSamplingHeuristic(t *testing.T) {
+	children := []*view.Spec{}
+	for i := 0; i < 6; i++ {
+		children = append(children, view.Img(view.ID(20+i), "drawable/x"))
+	}
+	a := appWithLayout(view.Linear(1, children...), nil)
+	reports := Analyze(a)
+	images := 0
+	for _, r := range reports {
+		if r.WidgetType == "ImageView" {
+			images++
+		}
+	}
+	// First image skipped (logo heuristic), then at most 3 sampled.
+	if images != 3 {
+		t.Fatalf("image reports = %d, want 3", images)
+	}
+}
+
+func TestSuppressedByOnSaveInstanceState(t *testing.T) {
+	a := appWithLayout(view.Linear(1, &view.Spec{Type: "ListView", ID: 10}), func(cls *app.ActivityClass) {
+		cls.Callbacks.OnSaveInstanceState = func(*app.Activity, *bundle.Bundle) {}
+	})
+	if got := Analyze(a); len(got) != 0 {
+		t.Fatalf("reports = %v, want none (state assumed saved)", got)
+	}
+}
+
+func TestSuppressedByDeclaredChanges(t *testing.T) {
+	a := appWithLayout(view.Linear(1, &view.Spec{Type: "ListView", ID: 10}), func(cls *app.ActivityClass) {
+		cls.DeclaredChanges = config.ChangeOrientation | config.ChangeScreenSize
+	})
+	if got := Analyze(a); len(got) != 0 {
+		t.Fatalf("reports = %v, want none (self-handled)", got)
+	}
+}
+
+func TestAnalyzeHandlesMissingLayout(t *testing.T) {
+	a := &app.App{Name: "empty", Resources: resources.NewTable(), Main: &app.ActivityClass{Name: "M"}}
+	if got := Analyze(a); got != nil {
+		t.Fatalf("reports = %v", got)
+	}
+	if Analyze(&app.App{Name: "nil"}) != nil {
+		t.Fatal("nil main should yield nil")
+	}
+}
+
+func TestAnalyzeOverTP27FindsCandidatesEverywhere(t *testing.T) {
+	// Every TP-27 app is restart-based without state saving, so the
+	// analysis produces candidates for most of them — and the reasons
+	// must always reference the default-save gap.
+	flagged := 0
+	for _, m := range appset.TP27() {
+		reports := Analyze(m.Build())
+		if len(reports) > 0 {
+			flagged++
+		}
+		for _, r := range reports {
+			if !strings.Contains(r.Reason, "not saved") && !strings.Contains(r.Reason, "unknown") {
+				t.Fatalf("odd reason: %s", r.Reason)
+			}
+		}
+	}
+	if flagged < 20 {
+		t.Fatalf("only %d/27 apps flagged", flagged)
+	}
+}

@@ -1,0 +1,129 @@
+package logcat
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rchdroid/internal/sim"
+)
+
+func newLog(capacity int) (*sim.Scheduler, *Log) {
+	s := sim.NewScheduler()
+	return s, New(s, capacity)
+}
+
+func TestAppendAndEntries(t *testing.T) {
+	sched, l := newLog(8)
+	l.I("zizhan", "runtime change handled in %d ms", 89)
+	sched.Advance(time.Second)
+	l.E("ActivityThread", "NullPointerException")
+	entries := l.Entries()
+	if len(entries) != 2 || l.Len() != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].Tag != "zizhan" || entries[0].Priority != Info {
+		t.Fatalf("first = %+v", entries[0])
+	}
+	if entries[1].At != sim.Time(time.Second) {
+		t.Fatalf("timestamp = %v", entries[1].At)
+	}
+	if !strings.Contains(entries[0].String(), "I/zizhan: runtime change handled in 89 ms") {
+		t.Fatalf("String = %q", entries[0].String())
+	}
+}
+
+func TestRingDropsOldest(t *testing.T) {
+	_, l := newLog(3)
+	for i := 0; i < 5; i++ {
+		l.D("t", "msg %d", i)
+	}
+	entries := l.Entries()
+	if len(entries) != 3 || l.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d", len(entries), l.Dropped())
+	}
+	if entries[0].Message != "msg 2" || entries[2].Message != "msg 4" {
+		t.Fatalf("ring contents wrong: %v", entries)
+	}
+}
+
+func TestGrepMatchesTagAndMessage(t *testing.T) {
+	_, l := newLog(16)
+	l.I("zizhan", "handling 89 ms")
+	l.I("other", "zizhan measured here too")
+	l.I("other", "unrelated")
+	got := l.Grep("zizhan")
+	if len(got) != 2 {
+		t.Fatalf("grep = %d entries", len(got))
+	}
+}
+
+func TestDumpAndPriorities(t *testing.T) {
+	_, l := newLog(16)
+	l.V("t", "v")
+	l.D("t", "d")
+	l.I("t", "i")
+	l.W("t", "w")
+	l.E("t", "e")
+	dump := l.Dump()
+	for _, p := range []string{"V/t: v", "D/t: d", "I/t: i", "W/t: w", "E/t: e"} {
+		if !strings.Contains(dump, p) {
+			t.Fatalf("dump missing %q:\n%s", p, dump)
+		}
+	}
+	if Verbose.String() != "V" || Error.String() != "E" {
+		t.Fatal("priority strings wrong")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	_, l := newLog(0)
+	l.I("t", "x")
+	if l.Len() != 1 {
+		t.Fatal("default-capacity log broken")
+	}
+}
+
+// Property: after any append sequence the ring retains the most recent
+// min(n, capacity) entries in order.
+func TestRingOrderProperty(t *testing.T) {
+	f := func(n uint8, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		_, l := newLog(capacity)
+		total := int(n % 64)
+		for i := 0; i < total; i++ {
+			l.I("t", "m%d", i)
+		}
+		entries := l.Entries()
+		want := total
+		if want > capacity {
+			want = capacity
+		}
+		if len(entries) != want {
+			return false
+		}
+		for i, e := range entries {
+			expect := total - want + i
+			if e.Message != "m"+itoa(expect) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,161 @@
+// Package monkey is an event-injection tester in the spirit of the §7.1
+// related work (AppDoctor, Dynodroid, Adamsen et al.): it drives an app
+// with pseudo-random UI events interleaved with runtime configuration
+// changes and watches for the restart-based failure modes — crashes and
+// GUI state divergence. Pointed at stock Android it *finds* the issues;
+// pointed at RCHDroid it serves as a robustness harness that must come
+// back clean.
+package monkey
+
+import (
+	"fmt"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/atms"
+	"rchdroid/internal/config"
+	"rchdroid/internal/sim"
+	"rchdroid/internal/view"
+)
+
+// Options tune a monkey run.
+type Options struct {
+	// Events is how many events to inject (default 100).
+	Events int
+	// Seed drives the deterministic event stream.
+	Seed uint64
+	// ChangeBias is the per-event probability (in percent) of injecting a
+	// configuration change instead of a UI event (default 25).
+	ChangeBias int
+}
+
+// Outcome describes what a run observed.
+type Outcome struct {
+	// EventsInjected counts delivered events.
+	EventsInjected int
+	// ChangesInjected counts configuration changes among them.
+	ChangesInjected int
+	// Crashed reports whether the app process died.
+	Crashed bool
+	// CrashCause carries the fatal exception when Crashed.
+	CrashCause error
+	// CrashAfterEvents is the event index at death (-1 if alive).
+	CrashAfterEvents int
+}
+
+func (o Outcome) String() string {
+	if o.Crashed {
+		return fmt.Sprintf("CRASH after %d events (%d changes): %v",
+			o.CrashAfterEvents, o.ChangesInjected, o.CrashCause)
+	}
+	return fmt.Sprintf("clean: %d events (%d changes)", o.EventsInjected, o.ChangesInjected)
+}
+
+// Run injects events into the foreground app of sys until the budget is
+// spent or the app dies.
+func Run(sched *sim.Scheduler, sys *atms.ATMS, proc *app.Process, opts Options) Outcome {
+	if opts.Events <= 0 {
+		opts.Events = 100
+	}
+	if opts.ChangeBias <= 0 {
+		opts.ChangeBias = 25
+	}
+	rng := sim.NewRNG(opts.Seed*0x9E3779B9 + 1)
+	out := Outcome{CrashAfterEvents: -1}
+
+	for i := 0; i < opts.Events; i++ {
+		if proc.Crashed() {
+			out.Crashed = true
+			out.CrashCause = proc.CrashCause()
+			out.CrashAfterEvents = i
+			return out
+		}
+		out.EventsInjected++
+		if rng.Intn(100) < opts.ChangeBias {
+			out.ChangesInjected++
+			injectChange(sched, sys, rng)
+			continue
+		}
+		injectUIEvent(sched, proc, rng)
+	}
+	sched.Advance(2 * time.Second)
+	if proc.Crashed() {
+		out.Crashed = true
+		out.CrashCause = proc.CrashCause()
+		out.CrashAfterEvents = out.EventsInjected
+	}
+	return out
+}
+
+func injectChange(sched *sim.Scheduler, sys *atms.ATMS, rng *sim.RNG) {
+	cfg := sys.GlobalConfig()
+	switch rng.Intn(4) {
+	case 0:
+		cfg = cfg.Rotated()
+	case 1:
+		cfg = cfg.Resized(800+rng.Intn(1600), 600+rng.Intn(1400))
+	case 2:
+		locales := []string{"en-US", "fr-FR", "ja-JP"}
+		cfg = cfg.WithLocale(locales[rng.Intn(len(locales))])
+	case 3:
+		if cfg.UIMode == config.UIModeDay {
+			cfg = cfg.WithUIMode(config.UIModeNight)
+		} else {
+			cfg = cfg.WithUIMode(config.UIModeDay)
+		}
+	}
+	sys.PushConfiguration(cfg)
+	// Deliberately small settles: some changes land while handling or
+	// async work is still in flight, which is where the bugs live.
+	sched.Advance(time.Duration(20+rng.Intn(400)) * time.Millisecond)
+}
+
+func injectUIEvent(sched *sim.Scheduler, proc *app.Process, rng *sim.RNG) {
+	fg := proc.Thread().ForegroundActivity()
+	if fg == nil {
+		sched.Advance(100 * time.Millisecond)
+		return
+	}
+	// Collect interactable widgets fresh each time — instances change
+	// across restarts.
+	var buttons []*view.Button
+	var edits []*view.EditText
+	var checks []*view.CheckBox
+	var seeks []*view.SeekBar
+	var lists []*view.ListView
+	view.Walk(fg.Decor(), func(v view.View) bool {
+		switch w := v.(type) {
+		case *view.Button:
+			buttons = append(buttons, w)
+		case *view.EditText:
+			edits = append(edits, w)
+		case *view.CheckBox:
+			checks = append(checks, w)
+		case *view.SeekBar:
+			seeks = append(seeks, w)
+		case *view.ListView:
+			lists = append(lists, w)
+		}
+		return true
+	})
+	n := rng.Intn(5)
+	proc.PostApp("monkey:event", time.Millisecond, func() {
+		switch {
+		case n == 0 && len(buttons) > 0:
+			buttons[rng.Intn(len(buttons))].Click()
+		case n == 1 && len(edits) > 0:
+			edits[rng.Intn(len(edits))].Type("x")
+		case n == 2 && len(checks) > 0:
+			c := checks[rng.Intn(len(checks))]
+			c.SetChecked(!c.Checked())
+		case n == 3 && len(seeks) > 0:
+			seeks[rng.Intn(len(seeks))].SetProgress(rng.Intn(101))
+		case n == 4 && len(lists) > 0:
+			l := lists[rng.Intn(len(lists))]
+			if len(l.Items()) > 0 {
+				l.PositionSelector(rng.Intn(len(l.Items())))
+			}
+		}
+	})
+	sched.Advance(time.Duration(10+rng.Intn(100)) * time.Millisecond)
+}

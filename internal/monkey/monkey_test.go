@@ -1,0 +1,123 @@
+package monkey
+
+import (
+	"testing"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/atms"
+	"rchdroid/internal/benchapp"
+	"rchdroid/internal/core"
+	"rchdroid/internal/costmodel"
+	"rchdroid/internal/sim"
+)
+
+func boot(t *testing.T, rch bool) (*sim.Scheduler, *atms.ATMS, *app.Process) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	model := costmodel.Default()
+	sys := atms.New(sched, model)
+	proc := app.NewProcess(sched, model, benchapp.New(benchapp.Config{
+		Images:    6,
+		TaskDelay: 250 * time.Millisecond,
+	}))
+	if rch {
+		core.Install(sys, proc, core.DefaultOptions())
+	}
+	sys.LaunchApp(proc)
+	sched.Advance(2 * time.Second)
+	return sched, sys, proc
+}
+
+func TestMonkeyFindsRestartCrashOnStock(t *testing.T) {
+	// The event robot must be able to reproduce the class of crashes the
+	// related-work tools hunt: on stock Android, a button press (async
+	// task) followed by a change eventually kills the benchmark app.
+	found := false
+	for seed := uint64(1); seed <= 10 && !found; seed++ {
+		_, sys, proc := boot(t, false)
+		out := Run(sys.Scheduler(), sys, proc, Options{Events: 80, Seed: seed})
+		if out.Crashed {
+			found = true
+			if out.CrashCause == nil || out.CrashAfterEvents < 0 {
+				t.Fatalf("crash outcome incomplete: %+v", out)
+			}
+			if out.String() == "" {
+				t.Fatal("empty outcome string")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("monkey failed to reproduce the stock restart crash in 10 seeds")
+	}
+}
+
+func TestMonkeyCleanOnRCHDroid(t *testing.T) {
+	// The same event streams against RCHDroid must come back clean.
+	for seed := uint64(1); seed <= 10; seed++ {
+		_, sys, proc := boot(t, true)
+		out := Run(sys.Scheduler(), sys, proc, Options{Events: 80, Seed: seed})
+		if out.Crashed {
+			t.Fatalf("seed %d: RCHDroid crashed: %v", seed, out.CrashCause)
+		}
+		if out.EventsInjected != 80 {
+			t.Fatalf("seed %d: injected %d events", seed, out.EventsInjected)
+		}
+		if out.ChangesInjected == 0 {
+			t.Fatalf("seed %d: no configuration changes injected", seed)
+		}
+	}
+}
+
+func TestMonkeyDeterministicPerSeed(t *testing.T) {
+	run := func() Outcome {
+		_, sys, proc := boot(t, true)
+		return Run(sys.Scheduler(), sys, proc, Options{Events: 60, Seed: 42})
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("outcomes differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestMonkeyDefaults(t *testing.T) {
+	_, sys, proc := boot(t, true)
+	out := Run(sys.Scheduler(), sys, proc, Options{Seed: 7})
+	if out.EventsInjected != 100 {
+		t.Fatalf("default events = %d", out.EventsInjected)
+	}
+}
+
+func TestMonkeyLongHaul(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long monkey run")
+	}
+	// A deeper sweep: 40 seeds × 200 events against RCHDroid, mixed with
+	// tight change bursts (high bias). Every run must come back clean.
+	for seed := uint64(100); seed < 140; seed++ {
+		_, sys, proc := boot(t, true)
+		out := Run(sys.Scheduler(), sys, proc, Options{Events: 200, Seed: seed, ChangeBias: 40})
+		if out.Crashed {
+			t.Fatalf("seed %d: %v", seed, out)
+		}
+	}
+}
+
+func TestMonkeyStockCrashRateIsHigh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long monkey run")
+	}
+	crashed := 0
+	const seeds = 20
+	for seed := uint64(1); seed <= seeds; seed++ {
+		_, sys, proc := boot(t, false)
+		if Run(sys.Scheduler(), sys, proc, Options{Events: 120, Seed: seed, ChangeBias: 40}).Crashed {
+			crashed++
+		}
+	}
+	// The benchmark app's async-update pattern makes stock Android fragile
+	// under event injection; most seeds must reproduce the crash.
+	if crashed < seeds/2 {
+		t.Fatalf("only %d/%d stock runs crashed", crashed, seeds)
+	}
+}

@@ -1,0 +1,98 @@
+// Package runtimedroid models the state-of-the-art comparator
+// (RuntimeDroid, MobiSys'18). RuntimeDroid is closed source; the paper
+// itself compares against the numbers published in the RuntimeDroid paper
+// (§5.7: "Since RuntimeDroid has not open-sourced its source code, we use
+// the results presented in their paper"), and this reproduction does the
+// same. The package carries the published per-app patch sizes (Table 4),
+// the deployment-time comparison, and a behavioural estimate of
+// RuntimeDroid's handling latency: an app-level dynamic-migration scheme
+// masks the activity restart inside the process, so it skips the
+// system-server round trip and the full instance re-creation, paying only
+// view reconstruction — which is why it is faster than RCHDroid (Fig 12)
+// at the price of per-app patching.
+package runtimedroid
+
+import "time"
+
+// AppData is one row of Table 4 plus the derived comparison inputs.
+type AppData struct {
+	// Name is the app evaluated by both papers.
+	Name string
+	// StockLoC is the unmodified app's size.
+	StockLoC int
+	// PatchedLoC is the app's size after the RuntimeDroid patch.
+	PatchedLoC int
+	// ModifiedLoC is the patch size (the Table 4 "Modifications" column).
+	ModifiedLoC int
+	// PatchTime is how long RuntimeDroid's automatic patcher needs for
+	// this app. The paper reports the range 12,867–161,598 ms; per-app
+	// values here interpolate within it by app size.
+	PatchTime time.Duration
+	// HandlingVsStock is RuntimeDroid's handling latency normalized to
+	// Android-10 (the Fig 12 bar), from the published evaluation.
+	HandlingVsStock float64
+}
+
+// RCHDroidDeployment is the one-time cost of flashing the RCHDroid system
+// image (§5.7): it replaces per-app patching entirely.
+const RCHDroidDeployment = 92870 * time.Millisecond
+
+// RCHDroidAppModifications is the LoC RCHDroid requires per app: zero, by
+// construction — the whole point of the Android-System way.
+const RCHDroidAppModifications = 0
+
+// Apps returns the eight apps of Table 4 with their published data.
+func Apps() []AppData {
+	rows := []AppData{
+		{Name: "Mdapp", StockLoC: 26342, PatchedLoC: 28419, ModifiedLoC: 2077, HandlingVsStock: 0.42},
+		{Name: "Remindly", StockLoC: 6966, PatchedLoC: 7820, ModifiedLoC: 854, HandlingVsStock: 0.38},
+		{Name: "AlarmKlock", StockLoC: 2838, PatchedLoC: 3610, ModifiedLoC: 772, HandlingVsStock: 0.35},
+		{Name: "Weather", StockLoC: 10949, PatchedLoC: 12208, ModifiedLoC: 1259, HandlingVsStock: 0.44},
+		{Name: "PDFCreator", StockLoC: 19624, PatchedLoC: 20895, ModifiedLoC: 1271, HandlingVsStock: 0.47},
+		{Name: "Sieben", StockLoC: 20518, PatchedLoC: 22123, ModifiedLoC: 1605, HandlingVsStock: 0.41},
+		{Name: "AndroPTPB", StockLoC: 3405, PatchedLoC: 5127, ModifiedLoC: 1722, HandlingVsStock: 0.36},
+		{Name: "VlilleChecker", StockLoC: 12083, PatchedLoC: 12843, ModifiedLoC: 760, HandlingVsStock: 0.45},
+	}
+	// Interpolate patch time within the published range by app size.
+	minLoC, maxLoC := rows[0].StockLoC, rows[0].StockLoC
+	for _, r := range rows {
+		if r.StockLoC < minLoC {
+			minLoC = r.StockLoC
+		}
+		if r.StockLoC > maxLoC {
+			maxLoC = r.StockLoC
+		}
+	}
+	const minPatch, maxPatch = 12867 * time.Millisecond, 161598 * time.Millisecond
+	for i := range rows {
+		frac := float64(rows[i].StockLoC-minLoC) / float64(maxLoC-minLoC)
+		rows[i].PatchTime = minPatch + time.Duration(frac*float64(maxPatch-minPatch))
+	}
+	return rows
+}
+
+// EstimateHandling converts a measured Android-10 handling latency into
+// the RuntimeDroid estimate for the same app using the published
+// normalized ratio.
+func (d AppData) EstimateHandling(stock time.Duration) time.Duration {
+	return time.Duration(d.HandlingVsStock * float64(stock))
+}
+
+// TotalPatchTime sums the per-app patch times — the deployment cost of
+// the Static-Analysis way over a set of apps.
+func TotalPatchTime(apps []AppData) time.Duration {
+	var total time.Duration
+	for _, a := range apps {
+		total += a.PatchTime
+	}
+	return total
+}
+
+// TotalModifiedLoC sums the per-app patch sizes.
+func TotalModifiedLoC(apps []AppData) int {
+	total := 0
+	for _, a := range apps {
+		total += a.ModifiedLoC
+	}
+	return total
+}

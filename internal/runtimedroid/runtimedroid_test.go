@@ -1,0 +1,80 @@
+package runtimedroid
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTable4Data(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 8 {
+		t.Fatalf("apps = %d, want 8", len(apps))
+	}
+	want := map[string][3]int{
+		"Mdapp":         {26342, 28419, 2077},
+		"Remindly":      {6966, 7820, 854},
+		"AlarmKlock":    {2838, 3610, 772},
+		"Weather":       {10949, 12208, 1259},
+		"PDFCreator":    {19624, 20895, 1271},
+		"Sieben":        {20518, 22123, 1605},
+		"AndroPTPB":     {3405, 5127, 1722},
+		"VlilleChecker": {12083, 12843, 760},
+	}
+	for _, a := range apps {
+		w, ok := want[a.Name]
+		if !ok {
+			t.Errorf("unexpected app %q", a.Name)
+			continue
+		}
+		if a.StockLoC != w[0] || a.PatchedLoC != w[1] || a.ModifiedLoC != w[2] {
+			t.Errorf("%s: LoC = %d/%d/%d, want %v", a.Name, a.StockLoC, a.PatchedLoC, a.ModifiedLoC, w)
+		}
+	}
+}
+
+func TestPatchTimesWithinPublishedRange(t *testing.T) {
+	lo, hi := 12867*time.Millisecond, 161598*time.Millisecond
+	sawLo, sawHi := false, false
+	for _, a := range Apps() {
+		if a.PatchTime < lo || a.PatchTime > hi {
+			t.Errorf("%s patch time %v outside [%v, %v]", a.Name, a.PatchTime, lo, hi)
+		}
+		if a.PatchTime == lo {
+			sawLo = true
+		}
+		if a.PatchTime == hi {
+			sawHi = true
+		}
+	}
+	// The smallest and largest apps anchor the published endpoints.
+	if !sawLo || !sawHi {
+		t.Error("range endpoints not hit by the smallest/largest apps")
+	}
+}
+
+func TestHandlingRatiosBeatStockButVary(t *testing.T) {
+	for _, a := range Apps() {
+		if a.HandlingVsStock <= 0 || a.HandlingVsStock >= 1 {
+			t.Errorf("%s ratio %v outside (0,1)", a.Name, a.HandlingVsStock)
+		}
+		est := a.EstimateHandling(200 * time.Millisecond)
+		if est <= 0 || est >= 200*time.Millisecond {
+			t.Errorf("%s estimate %v implausible", a.Name, est)
+		}
+	}
+}
+
+func TestDeploymentComparison(t *testing.T) {
+	apps := Apps()
+	if RCHDroidAppModifications != 0 {
+		t.Fatal("RCHDroid must require zero app modifications")
+	}
+	if got := TotalModifiedLoC(apps); got != 2077+854+772+1259+1271+1605+1722+760 {
+		t.Fatalf("TotalModifiedLoC = %d", got)
+	}
+	// Patching all eight apps exceeds the one-time RCHDroid image deploy.
+	if TotalPatchTime(apps) <= RCHDroidDeployment {
+		t.Fatalf("total patch time %v should exceed one deployment %v",
+			TotalPatchTime(apps), RCHDroidDeployment)
+	}
+}

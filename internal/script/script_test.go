@@ -1,0 +1,197 @@
+package script
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/atms"
+	"rchdroid/internal/benchapp"
+	"rchdroid/internal/config"
+	"rchdroid/internal/core"
+	"rchdroid/internal/costmodel"
+	"rchdroid/internal/sim"
+)
+
+func newEnv(t *testing.T, rch bool) *Env {
+	t.Helper()
+	sched := sim.NewScheduler()
+	model := costmodel.Default()
+	sys := atms.New(sched, model)
+	proc := app.NewProcess(sched, model, benchapp.New(benchapp.Config{Images: 4, TaskDelay: 300 * time.Millisecond}))
+	if rch {
+		core.Install(sys, proc, core.DefaultOptions())
+	}
+	sys.LaunchApp(proc)
+	sched.Advance(2 * time.Second)
+	return &Env{
+		Sched:   sched,
+		Sys:     sys,
+		Procs:   map[string]*app.Process{proc.App().Name: proc},
+		Default: proc,
+	}
+}
+
+func TestArtifactWorkflowScript(t *testing.T) {
+	// The appendix A.5 workflow, verbatim: size change, touch, size
+	// reset while the task is in flight.
+	src := `
+# reproduce Figure 9's workflow
+wm size 1080x1920
+touch
+wm size reset
+wait 1s
+expect alive
+expect handled 2
+`
+	env := newEnv(t, true)
+	steps, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 6 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	if err := Run(env, steps); err != nil {
+		t.Fatal(err)
+	}
+	if got := benchapp.ImagesLoaded(env.Default.Thread().ForegroundActivity()); got != 4 {
+		t.Fatalf("images migrated = %d", got)
+	}
+}
+
+func TestSameScriptCrashesStock(t *testing.T) {
+	src := "wm size 1080x1920\ntouch\nwm size reset\nwait 1s\nexpect crashed\n"
+	env := newEnv(t, false)
+	steps, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(env, steps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllCommandsExecute(t *testing.T) {
+	src := `
+rotate
+locale fr-FR
+night on
+night off
+wait 250ms
+front benchapp-4
+expect alive
+expect handled 4
+`
+	env := newEnv(t, true)
+	steps, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(env, steps); err != nil {
+		t.Fatal(err)
+	}
+	if env.Sys.GlobalConfig().Locale != "fr-FR" {
+		t.Fatal("locale command had no effect")
+	}
+}
+
+func TestBackCommand(t *testing.T) {
+	env := newEnv(t, true)
+	steps, _ := Parse("back\n")
+	if err := Run(env, steps); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Default.Thread().Activities()) != 0 {
+		t.Fatal("back did not finish the activity")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"teleport",
+		"wm size",
+		"wm size abc",
+		"wm size 12",
+		"wm size 0x5",
+		"locale",
+		"night maybe",
+		"wait",
+		"wait xyz",
+		"front",
+		"expect",
+		"expect wat",
+		"expect handled",
+		"expect handled many",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("Parse(%q) error lacks line info: %v", src, err)
+		}
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	steps, err := Parse("\n# only a comment\n   \nrotate # trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 || steps[0].Text != "rotate" {
+		t.Fatalf("steps = %+v", steps)
+	}
+}
+
+func TestRunReportsFailingLine(t *testing.T) {
+	env := newEnv(t, true)
+	steps, err := Parse("rotate\nexpect crashed\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := Run(env, steps)
+	if runErr == nil || !strings.Contains(runErr.Error(), "line 2") {
+		t.Fatalf("error = %v", runErr)
+	}
+}
+
+func TestExpectHandledMismatch(t *testing.T) {
+	env := newEnv(t, true)
+	steps, _ := Parse("expect handled 3\n")
+	if err := Run(env, steps); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestConfigReset(t *testing.T) {
+	env := newEnv(t, true)
+	steps, _ := Parse("wm size 500x900\nwm size reset\n")
+	if err := Run(env, steps); err != nil {
+		t.Fatal(err)
+	}
+	if !env.Sys.GlobalConfig().Equal(config.Default()) {
+		t.Fatal("reset did not restore the default configuration")
+	}
+}
+
+func TestShippedArtifactScripts(t *testing.T) {
+	// The checked-in scripts/*.rch files must parse and pass against
+	// RCHDroid.
+	for _, name := range []string{"fig9.rch", "fig10.rch"} {
+		src, err := os.ReadFile(filepath.Join("..", "..", "scripts", name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		steps, err := Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		env := newEnv(t, true)
+		if err := Run(env, steps); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package sim
+
+// RNG is a small deterministic pseudo-random generator (SplitMix64) used
+// wherever the simulation needs jitter. It avoids math/rand so that the
+// stream is stable across Go releases, which keeps recorded experiment
+// outputs byte-for-byte reproducible.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two RNGs with the same seed
+// produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Jitter returns a multiplicative jitter factor in [1-amp, 1+amp]. The
+// paper reports standard deviations under 5% of the mean; experiments use
+// Jitter with amp<=0.05 to reproduce that spread deterministically.
+func (r *RNG) Jitter(amp float64) float64 {
+	return 1 + amp*(2*r.Float64()-1)
+}

@@ -1,0 +1,80 @@
+package view
+
+import (
+	"testing"
+
+	"rchdroid/internal/bundle"
+)
+
+// specFromBytes decodes a fuzz input into a layout spec: each byte picks
+// a widget type (or closes the current group). Ids are assigned uniquely.
+func specFromBytes(data []byte) *Spec {
+	types := []string{
+		"TextView", "EditText", "Button", "CheckBox", "ImageView",
+		"ListView", "GridView", "ScrollView", "VideoView", "ProgressBar",
+		"SeekBar", "Spinner", "Switch", "RatingBar", "Chronometer",
+		"CustomTextView",
+	}
+	root := &Spec{Type: "LinearLayout", ID: 1}
+	stack := []*Spec{root}
+	next := ID(2)
+	for _, b := range data {
+		top := stack[len(stack)-1]
+		switch {
+		case b == 0xFF && len(stack) > 1: // close group
+			stack = stack[:len(stack)-1]
+		case b >= 0xF0 && len(stack) < 5: // open nested group
+			g := &Spec{Type: "LinearLayout", ID: next}
+			next++
+			top.Children = append(top.Children, g)
+			stack = append(stack, g)
+		default:
+			typ := types[int(b)%len(types)]
+			child := &Spec{Type: typ, ID: next, Text: "t", Max: 10,
+				Items: []string{"a", "b"}, Drawable: "d", URI: "u"}
+			next++
+			top.Children = append(top.Children, child)
+		}
+	}
+	return root
+}
+
+// FuzzInflateSaveRestore builds arbitrary trees, inflates them, and
+// pushes them through the save→restore round trip plus the renderer; none
+// of it may panic, counts must match, and restoring onto a second
+// inflation of the same spec must be stable.
+func FuzzInflateSaveRestore(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{0xF0, 4, 5, 0xFF, 6})
+	f.Add([]byte{0xF0, 0xF1, 0xF2, 10, 0xFF, 0xFF, 11, 12, 13, 14, 15})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		spec := specFromBytes(data)
+		root := Inflate(spec)
+		if got := Count(root); got != spec.CountSpecs() {
+			t.Fatalf("inflated %d views from %d specs", got, spec.CountSpecs())
+		}
+		if Dump(root) == "" {
+			t.Fatal("empty dump")
+		}
+
+		state := bundle.New()
+		root.SaveState(state)
+
+		again := Inflate(spec)
+		again.RestoreState(state)
+		if Count(again) != Count(root) {
+			t.Fatal("restore changed tree size")
+		}
+
+		// Second save must produce an equal bundle (idempotent state).
+		state2 := bundle.New()
+		again.SaveState(state2)
+		if !state.Equal(state2) {
+			t.Fatalf("save not idempotent:\n%s\nvs\n%s", state, state2)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package view
+
+import "fmt"
+
+// Spec is a declarative layout description — the reproduction's stand-in
+// for a layout XML file. Specs are stored in the resource table under
+// "layout/..." names, qualified per configuration (layout-port vs
+// layout-land), and inflated into a fresh view tree on activity creation.
+type Spec struct {
+	// Type names the widget: "LinearLayout", "TextView", "EditText",
+	// "Button", "CheckBox", "ImageView", "ListView", "GridView",
+	// "ScrollView", "VideoView", "ProgressBar", "SeekBar",
+	// "CustomTextView", "FrameLayout", "AbsListView".
+	Type string
+	// ID is the view identifier; NoID views are legal but unsaved.
+	ID ID
+	// Text initialises TextView-family widgets.
+	Text string
+	// Drawable initialises ImageViews.
+	Drawable string
+	// Items initialises AbsListView-family widgets.
+	Items []string
+	// Max initialises ProgressBar-family widgets (0 → 100).
+	Max int
+	// URI initialises VideoViews.
+	URI string
+	// Children nest under group types.
+	Children []*Spec
+}
+
+// CountSpecs returns the number of views the spec will inflate.
+func (s *Spec) CountSpecs() int {
+	n := 1
+	for _, c := range s.Children {
+		n += c.CountSpecs()
+	}
+	return n
+}
+
+// Inflate builds the view described by s. Group children are inflated
+// recursively. Unknown types panic (InflateException on Android).
+func Inflate(s *Spec) View {
+	var v View
+	switch s.Type {
+	case "LinearLayout":
+		v = NewLinearLayout(s.ID)
+	case "FrameLayout":
+		v = NewFrameLayout(s.ID)
+	case "ViewGroup":
+		v = NewGroup("ViewGroup", s.ID)
+	case "TextView":
+		v = NewTextView(s.ID, s.Text)
+	case "EditText":
+		v = NewEditText(s.ID, s.Text)
+	case "Button":
+		v = NewButton(s.ID, s.Text)
+	case "CheckBox":
+		v = NewCheckBox(s.ID, s.Text)
+	case "ImageView":
+		v = NewImageView(s.ID, s.Drawable)
+	case "AbsListView":
+		v = NewAbsListView(s.ID, s.Items)
+	case "ListView":
+		v = NewListView(s.ID, s.Items)
+	case "GridView":
+		v = NewGridView(s.ID, s.Items)
+	case "ScrollView":
+		v = NewScrollView(s.ID, s.Items)
+	case "VideoView":
+		v = NewVideoView(s.ID, s.URI)
+	case "ProgressBar":
+		v = NewProgressBar(s.ID, s.Max)
+	case "SeekBar":
+		v = NewSeekBar(s.ID, s.Max)
+	case "CustomTextView":
+		v = NewCustomTextView(s.ID, s.Text)
+	case "Spinner":
+		v = NewSpinner(s.ID, s.Items)
+	case "Switch":
+		v = NewSwitch(s.ID, s.Text)
+	case "RatingBar":
+		v = NewRatingBar(s.ID, s.Max)
+	case "Chronometer":
+		v = NewChronometer(s.ID)
+	default:
+		panic(fmt.Sprintf("view: InflateException: unknown type %q", s.Type))
+	}
+	if len(s.Children) > 0 {
+		g, ok := v.(*ViewGroup)
+		if !ok {
+			panic(fmt.Sprintf("view: InflateException: %q cannot have children", s.Type))
+		}
+		for _, c := range s.Children {
+			g.AddChild(Inflate(c))
+		}
+	}
+	return v
+}
+
+// InflateInto inflates s into a decor view, attaching the result as the
+// window content (setContentView).
+func InflateInto(decor *DecorView, s *Spec) View {
+	content := Inflate(s)
+	decor.AddChild(content)
+	return content
+}
+
+// Group is a convenience constructor for layout specs.
+func Group(typ string, id ID, children ...*Spec) *Spec {
+	return &Spec{Type: typ, ID: id, Children: children}
+}
+
+// Linear is shorthand for a LinearLayout spec.
+func Linear(id ID, children ...*Spec) *Spec {
+	return Group("LinearLayout", id, children...)
+}
+
+// Text is shorthand for a TextView spec.
+func Text(id ID, text string) *Spec { return &Spec{Type: "TextView", ID: id, Text: text} }
+
+// Edit is shorthand for an EditText spec.
+func Edit(id ID, text string) *Spec { return &Spec{Type: "EditText", ID: id, Text: text} }
+
+// Btn is shorthand for a Button spec.
+func Btn(id ID, label string) *Spec { return &Spec{Type: "Button", ID: id, Text: label} }
+
+// Img is shorthand for an ImageView spec.
+func Img(id ID, drawable string) *Spec { return &Spec{Type: "ImageView", ID: id, Drawable: drawable} }
+
+// List is shorthand for a ListView spec.
+func List(id ID, items ...string) *Spec { return &Spec{Type: "ListView", ID: id, Items: items} }

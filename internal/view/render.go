@@ -1,0 +1,89 @@
+package view
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders a view tree as indented text with each widget's essential
+// attributes — the reproduction's screenshot. Fig 13's before/after
+// comparisons and the rchsim tool use it to show state loss visually.
+func Dump(root View) string {
+	var sb strings.Builder
+	dumpInto(&sb, root, 0)
+	return sb.String()
+}
+
+func dumpInto(sb *strings.Builder, v View, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(describe(v))
+	sb.WriteByte('\n')
+	if g, ok := v.(Container); ok {
+		for _, c := range g.Children() {
+			dumpInto(sb, c, depth+1)
+		}
+	}
+}
+
+// describe renders one widget's line: type, id, state attributes and
+// flags.
+func describe(v View) string {
+	b := v.Base()
+	var attrs []string
+	switch w := v.(type) {
+	case *EditText:
+		attrs = append(attrs, fmt.Sprintf("text=%q cursor=%d", w.Text(), w.Cursor()))
+	case *Button:
+		attrs = append(attrs, fmt.Sprintf("label=%q", w.Text()))
+	case *CheckBox:
+		attrs = append(attrs, fmt.Sprintf("label=%q checked=%v", w.Text(), w.Checked()))
+	case *Switch:
+		attrs = append(attrs, fmt.Sprintf("label=%q on=%v", w.Text(), w.On()))
+	case *ImageView:
+		attrs = append(attrs, fmt.Sprintf("drawable=%q", w.Drawable()))
+	case *VideoView:
+		attrs = append(attrs, fmt.Sprintf("uri=%q pos=%dms playing=%v", w.VideoURI(), w.PositionMS(), w.Playing()))
+	case *SeekBar:
+		attrs = append(attrs, fmt.Sprintf("progress=%d/%d", w.Progress(), w.Max()))
+	case *RatingBar:
+		attrs = append(attrs, fmt.Sprintf("rating=%d/%d", w.Rating(), w.Max()))
+	case *ProgressBar:
+		attrs = append(attrs, fmt.Sprintf("progress=%d/%d", w.Progress(), w.Max()))
+	case *Chronometer:
+		attrs = append(attrs, fmt.Sprintf("elapsed=%ds running=%v", w.ElapsedSec(), w.Running()))
+	case *Spinner:
+		attrs = append(attrs, fmt.Sprintf("selected=%q", w.Selected()))
+	default:
+		if l, ok := v.(interface {
+			SelectorPosition() int
+			ScrollOffset() int
+			Items() []string
+		}); ok {
+			attrs = append(attrs, fmt.Sprintf("items=%d selected=%d scroll=%d",
+				len(l.Items()), l.SelectorPosition(), l.ScrollOffset()))
+		} else if tv, ok := v.(interface{ Text() string }); ok {
+			attrs = append(attrs, fmt.Sprintf("text=%q", tv.Text()))
+		}
+	}
+	var flags []string
+	if !b.Visible() {
+		flags = append(flags, "hidden")
+	}
+	if b.Released() {
+		flags = append(flags, "RELEASED")
+	}
+	if b.Shadow() {
+		flags = append(flags, "shadow")
+	}
+	if b.Sunny() {
+		flags = append(flags, "sunny")
+	}
+	line := fmt.Sprintf("%s#%d", v.TypeName(), v.ID())
+	if len(attrs) > 0 {
+		line += " " + strings.Join(attrs, " ")
+	}
+	if len(flags) > 0 {
+		line += " [" + strings.Join(flags, ",") + "]"
+	}
+	return line
+}

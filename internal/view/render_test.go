@@ -1,0 +1,110 @@
+package view
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpRendersTreeWithAttributes(t *testing.T) {
+	d := NewDecorView(1)
+	et := NewEditText(2, "draft")
+	cb := NewCheckBox(3, "opt")
+	cb.SetChecked(true)
+	iv := NewImageView(4, "drawable/pic")
+	lv := NewListView(5, []string{"a", "b"})
+	lv.PositionSelector(1)
+	pb := NewProgressBar(6, 10)
+	pb.SetProgress(7)
+	vv := NewVideoView(7, "video/v")
+	ch := NewChronometer(8)
+	ch.Start()
+	ch.Tick()
+	sp := NewSpinner(9, []string{"x", "y"})
+	sw := NewSwitch(10, "wifi")
+	btn := NewButton(11, "go")
+	rb := NewRatingBar(12, 5)
+	for _, v := range []View{et, cb, iv, lv, pb, vv, ch, sp, sw, btn, rb} {
+		d.AddChild(v)
+	}
+	out := Dump(d)
+
+	for _, want := range []string{
+		"DecorView#1",
+		`EditText#2 text="draft" cursor=5`,
+		`CheckBox#3 label="opt" checked=true`,
+		`ImageView#4 drawable="drawable/pic"`,
+		"items=2 selected=1 scroll=0",
+		"ProgressBar#6 progress=7/10",
+		`VideoView#7 uri="video/v"`,
+		"Chronometer#8 elapsed=1s running=true",
+		`Spinner#9 selected="x"`,
+		`Switch#10 label="wifi" on=false`,
+		`Button#11 label="go"`,
+		"RatingBar#12 rating=0/5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump missing %q in:\n%s", want, out)
+		}
+	}
+	// Indentation: children one level deeper than the decor.
+	if !strings.Contains(out, "\n  EditText#2") {
+		t.Error("children not indented")
+	}
+}
+
+func TestDumpShowsFlags(t *testing.T) {
+	d := NewDecorView(1)
+	tv := NewTextView(2, "x")
+	d.AddChild(tv)
+	tv.SetVisible(false)
+	d.DispatchShadowStateChanged(true)
+	out := Dump(d)
+	if !strings.Contains(out, "hidden") || !strings.Contains(out, "shadow") {
+		t.Errorf("flags missing:\n%s", out)
+	}
+	d.Release()
+	out = Dump(d)
+	if !strings.Contains(out, "RELEASED") {
+		t.Errorf("released flag missing:\n%s", out)
+	}
+}
+
+func TestValidateSpecCatchesProblems(t *testing.T) {
+	ok := Linear(1, Text(2, "a"), Edit(3, ""))
+	if errs := ValidateSpec(ok); len(errs) != 0 {
+		t.Fatalf("valid spec flagged: %v", errs)
+	}
+
+	dup := Linear(1, Text(2, "a"), Edit(2, ""))
+	errs := ValidateSpec(dup)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "id 2") {
+		t.Fatalf("duplicate-id errors = %v", errs)
+	}
+
+	unknown := Linear(1, &Spec{Type: "WebView", ID: 2})
+	if errs := ValidateSpec(unknown); len(errs) != 1 {
+		t.Fatalf("unknown-type errors = %v", errs)
+	}
+
+	leafKids := &Spec{Type: "TextView", ID: 1, Children: []*Spec{Text(2, "")}}
+	if errs := ValidateSpec(leafKids); len(errs) != 1 {
+		t.Fatalf("leaf-children errors = %v", errs)
+	}
+
+	deep := &Spec{Type: "LinearLayout", ID: 1}
+	cur := deep
+	for i := 0; i < 70; i++ {
+		next := &Spec{Type: "LinearLayout", ID: NoID}
+		cur.Children = []*Spec{next}
+		cur = next
+	}
+	found := false
+	for _, e := range ValidateSpec(deep) {
+		if strings.Contains(e.Error(), "nesting") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("deep nesting not flagged")
+	}
+}

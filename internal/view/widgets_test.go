@@ -1,0 +1,410 @@
+package view
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rchdroid/internal/bundle"
+)
+
+func TestTextViewFamily(t *testing.T) {
+	tv := NewTextView(1, "hello")
+	tv.SetHint("enter text")
+	if tv.Text() != "hello" || tv.Hint() != "enter text" {
+		t.Fatal("text/hint wrong")
+	}
+	tv.SetText("bye")
+	if tv.Text() != "bye" {
+		t.Fatal("SetText failed")
+	}
+}
+
+func TestEditTextCursorAndTyping(t *testing.T) {
+	et := NewEditText(1, "ab")
+	et.SetCursor(1)
+	et.Type("X")
+	if et.Text() != "aXb" || et.Cursor() != 2 {
+		t.Fatalf("text=%q cursor=%d", et.Text(), et.Cursor())
+	}
+	et.SetCursor(-5)
+	if et.Cursor() != 0 {
+		t.Fatal("cursor not clamped low")
+	}
+	et.SetCursor(100)
+	if et.Cursor() != len(et.Text()) {
+		t.Fatal("cursor not clamped high")
+	}
+}
+
+func TestButtonClicks(t *testing.T) {
+	b := NewButton(1, "go")
+	fired := 0
+	b.SetOnClick(func() { fired++ })
+	b.Click()
+	b.Click()
+	if fired != 2 || b.Clicks() != 2 {
+		t.Fatalf("fired=%d clicks=%d", fired, b.Clicks())
+	}
+	// Button without handler must not panic.
+	NewButton(2, "x").Click()
+}
+
+func TestButtonIsTextViewDerived(t *testing.T) {
+	b := NewButton(1, "label")
+	b.SetText("relabel")
+	if b.Text() != "relabel" {
+		t.Fatal("button text inheritance broken")
+	}
+	if b.TypeName() != "Button" {
+		t.Fatalf("TypeName = %q", b.TypeName())
+	}
+}
+
+func TestCheckBox(t *testing.T) {
+	c := NewCheckBox(1, "opt")
+	if c.Checked() {
+		t.Fatal("default checked")
+	}
+	c.SetChecked(true)
+	if !c.Checked() {
+		t.Fatal("SetChecked failed")
+	}
+}
+
+func TestImageView(t *testing.T) {
+	iv := NewImageView(1, "drawable/a")
+	iv.SetDrawable("drawable/b")
+	if iv.Drawable() != "drawable/b" {
+		t.Fatal("SetDrawable failed")
+	}
+}
+
+func TestAbsListViewSelection(t *testing.T) {
+	lv := NewListView(1, []string{"x", "y", "z"})
+	if lv.SelectorPosition() != -1 || lv.SelectedItem() != "" {
+		t.Fatal("default selection wrong")
+	}
+	lv.PositionSelector(1)
+	if lv.SelectedItem() != "y" {
+		t.Fatalf("selected %q", lv.SelectedItem())
+	}
+	lv.PositionSelector(99) // out of range resets
+	if lv.SelectorPosition() != -1 {
+		t.Fatal("out-of-range selection not reset")
+	}
+}
+
+func TestAbsListViewCheckedItems(t *testing.T) {
+	lv := NewGridView(1, []string{"a", "b", "c", "d"})
+	lv.SetItemChecked(3, true)
+	lv.SetItemChecked(1, true)
+	lv.SetItemChecked(3, false)
+	if lv.ItemChecked(3) || !lv.ItemChecked(1) {
+		t.Fatal("checked set wrong")
+	}
+	got := lv.CheckedPositions()
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("CheckedPositions = %v", got)
+	}
+}
+
+func TestAbsListViewSetItemsResetsInvalidSelection(t *testing.T) {
+	lv := NewListView(1, []string{"a", "b", "c"})
+	lv.PositionSelector(2)
+	lv.SetItems([]string{"only"})
+	if lv.SelectorPosition() != -1 {
+		t.Fatal("selection not reset after shrink")
+	}
+	items := lv.Items()
+	if len(items) != 1 || items[0] != "only" {
+		t.Fatalf("Items = %v", items)
+	}
+}
+
+func TestScrollViewBehavesAsAbsListView(t *testing.T) {
+	sv := NewScrollView(1, []string{"p1", "p2"})
+	sv.ScrollTo(120)
+	if sv.ScrollOffset() != 120 {
+		t.Fatal("scroll failed")
+	}
+	sv.ScrollTo(-5)
+	if sv.ScrollOffset() != 0 {
+		t.Fatal("scroll not clamped")
+	}
+	if sv.TypeName() != "ScrollView" {
+		t.Fatalf("TypeName = %q", sv.TypeName())
+	}
+}
+
+func TestVideoView(t *testing.T) {
+	vv := NewVideoView(1, "video/a")
+	vv.SeekTo(500)
+	vv.SetPlaying(true)
+	vv.SetVideoURI("video/b")
+	if vv.VideoURI() != "video/b" {
+		t.Fatal("SetVideoURI failed")
+	}
+	if vv.PositionMS() != 0 {
+		t.Fatal("position should reset on new URI")
+	}
+	vv.SeekTo(-10)
+	if vv.PositionMS() != 0 {
+		t.Fatal("seek not clamped")
+	}
+}
+
+func TestProgressBarClamping(t *testing.T) {
+	pb := NewProgressBar(1, 10)
+	pb.SetProgress(20)
+	if pb.Progress() != 10 {
+		t.Fatal("not clamped to max")
+	}
+	pb.SetProgress(-3)
+	if pb.Progress() != 0 {
+		t.Fatal("not clamped to zero")
+	}
+	zero := NewProgressBar(2, 0)
+	if zero.Max() != 100 {
+		t.Fatalf("default max = %d, want 100", zero.Max())
+	}
+}
+
+func TestSeekBarIsProgressBarDerived(t *testing.T) {
+	sb := NewSeekBar(1, 50)
+	sb.SetProgress(25)
+	if sb.Progress() != 25 || sb.TypeName() != "SeekBar" {
+		t.Fatal("seekbar inheritance broken")
+	}
+}
+
+func TestCustomTextViewExtraStateNotAutoSaved(t *testing.T) {
+	c := NewCustomTextView(1, "txt")
+	c.Extra = "secret"
+	state := bundle.New()
+	c.SaveState(state)
+	c2 := NewCustomTextView(1, "txt")
+	c2.RestoreState(state)
+	if c2.Text() != "txt" {
+		t.Fatal("text not restored")
+	}
+	if c2.Extra != "" {
+		t.Fatal("Extra was auto-saved; it must require onSaveInstanceState")
+	}
+}
+
+func TestInflateBuildsDeclaredTree(t *testing.T) {
+	spec := Linear(1,
+		Text(2, "title"),
+		Edit(3, ""),
+		Btn(4, "ok"),
+		Img(5, "drawable/logo"),
+		List(6, "a", "b"),
+		&Spec{Type: "ProgressBar", ID: 7, Max: 10},
+		&Spec{Type: "VideoView", ID: 8, URI: "video/v"},
+		&Spec{Type: "SeekBar", ID: 9, Max: 30},
+		&Spec{Type: "CheckBox", ID: 10, Text: "c"},
+		&Spec{Type: "GridView", ID: 11, Items: []string{"g"}},
+		&Spec{Type: "ScrollView", ID: 12, Items: []string{"s"}},
+		&Spec{Type: "CustomTextView", ID: 13, Text: "u"},
+		&Spec{Type: "AbsListView", ID: 14, Items: []string{"x"}},
+		Group("FrameLayout", 15, Text(16, "nested")),
+	)
+	if spec.CountSpecs() != 16 {
+		t.Fatalf("CountSpecs = %d", spec.CountSpecs())
+	}
+	root := Inflate(spec)
+	if Count(root) != 16 {
+		t.Fatalf("inflated %d views", Count(root))
+	}
+	if v := FindByID(root, 16); v == nil || v.TypeName() != "TextView" {
+		t.Fatal("nested view missing")
+	}
+	if v := FindByID(root, 8); v.(*VideoView).VideoURI() != "video/v" {
+		t.Fatal("video URI not applied")
+	}
+}
+
+func TestInflateIntoAttachesToDecor(t *testing.T) {
+	d := NewDecorView(100)
+	content := InflateInto(d, Linear(1, Text(2, "x")))
+	if content.Base().Attach() != d.AttachInfoRef() {
+		t.Fatal("content not attached to decor window")
+	}
+	if Count(d) != 3 {
+		t.Fatalf("decor tree size = %d", Count(d))
+	}
+}
+
+func TestInflateUnknownTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Inflate(&Spec{Type: "WebView"})
+}
+
+func TestInflateChildrenOnLeafPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Inflate(&Spec{Type: "TextView", Children: []*Spec{Text(2, "")}})
+}
+
+// Property: save→restore through a bundle is lossless for TextView text,
+// for any string.
+func TestTextSaveRestoreProperty(t *testing.T) {
+	f := func(s string) bool {
+		tv := NewTextView(1, "")
+		tv.SetText(s)
+		b := bundle.New()
+		tv.SaveState(b)
+		tv2 := NewTextView(1, "other")
+		tv2.RestoreState(b)
+		return tv2.Text() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ProgressBar progress is always within [0, max] after any
+// sequence of SetProgress calls.
+func TestProgressInvariantProperty(t *testing.T) {
+	f := func(max uint8, updates []int16) bool {
+		pb := NewProgressBar(1, int(max))
+		for _, u := range updates {
+			pb.SetProgress(int(u))
+			if pb.Progress() < 0 || pb.Progress() > pb.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the checked set returned by CheckedPositions is sorted and
+// reflects exactly the items set checked.
+func TestCheckedSetProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		lv := NewListView(1, make([]string, 32))
+		want := map[int]bool{}
+		for _, op := range ops {
+			pos := int(op % 32)
+			on := op&0x80 == 0
+			lv.SetItemChecked(pos, on)
+			if on {
+				want[pos] = true
+			} else {
+				delete(want, pos)
+			}
+		}
+		got := lv.CheckedPositions()
+		if len(got) != len(want) {
+			return false
+		}
+		for i, p := range got {
+			if !want[p] {
+				return false
+			}
+			if i > 0 && got[i-1] >= p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpinnerDefaultsToFirstOption(t *testing.T) {
+	sp := NewSpinner(1, []string{"none", "obfs4", "meek"})
+	if sp.Selected() != "none" {
+		t.Fatalf("default = %q", sp.Selected())
+	}
+	sp.Select(1)
+	if sp.Selected() != "obfs4" || sp.TypeName() != "Spinner" {
+		t.Fatal("Select failed")
+	}
+	empty := NewSpinner(2, nil)
+	if empty.Selected() != "" {
+		t.Fatal("empty spinner selection")
+	}
+}
+
+func TestSwitchToggle(t *testing.T) {
+	sw := NewSwitch(1, "wifi")
+	if sw.On() {
+		t.Fatal("default on")
+	}
+	sw.Toggle()
+	if !sw.On() || sw.TypeName() != "Switch" {
+		t.Fatal("toggle failed")
+	}
+}
+
+func TestRatingBar(t *testing.T) {
+	rb := NewRatingBar(1, 5)
+	rb.SetRating(7)
+	if rb.Rating() != 5 {
+		t.Fatal("not clamped to stars")
+	}
+	rb.SetRating(3)
+	if rb.Rating() != 3 || rb.TypeName() != "RatingBar" {
+		t.Fatal("rating failed")
+	}
+}
+
+func TestChronometer(t *testing.T) {
+	c := NewChronometer(1)
+	c.Tick() // stopped: no effect
+	if c.ElapsedSec() != 0 {
+		t.Fatal("ticked while stopped")
+	}
+	c.Start()
+	c.Tick()
+	c.Tick()
+	if c.ElapsedSec() != 2 || !c.Running() {
+		t.Fatalf("elapsed = %d", c.ElapsedSec())
+	}
+	c.Stop()
+	c.Tick()
+	if c.ElapsedSec() != 2 {
+		t.Fatal("ticked after stop")
+	}
+	c.SetElapsedSec(-5)
+	if c.ElapsedSec() != 0 {
+		t.Fatal("negative elapsed not clamped")
+	}
+
+	c.SetElapsedSec(42)
+	c.Start()
+	b := bundle.New()
+	c.SaveState(b)
+	c2 := NewChronometer(1)
+	c2.RestoreState(b)
+	if c2.ElapsedSec() != 42 || !c2.Running() {
+		t.Fatal("chronometer state round trip failed")
+	}
+}
+
+func TestExtraWidgetsInflate(t *testing.T) {
+	root := Inflate(Linear(1,
+		&Spec{Type: "Spinner", ID: 2, Items: []string{"a"}},
+		&Spec{Type: "Switch", ID: 3, Text: "sw"},
+		&Spec{Type: "RatingBar", ID: 4, Max: 5},
+		&Spec{Type: "Chronometer", ID: 5},
+	))
+	if Count(root) != 5 {
+		t.Fatalf("count = %d", Count(root))
+	}
+	if FindByID(root, 5).(*Chronometer).ElapsedSec() != 0 {
+		t.Fatal("chronometer init wrong")
+	}
+}
