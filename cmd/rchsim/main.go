@@ -26,6 +26,7 @@ import (
 	"rchdroid/internal/appset"
 	"rchdroid/internal/atms"
 	"rchdroid/internal/benchapp"
+	"rchdroid/internal/chaos"
 	"rchdroid/internal/core"
 	"rchdroid/internal/costmodel"
 	"rchdroid/internal/logcat"
@@ -45,6 +46,8 @@ func main() {
 	showLog := flag.Bool("logcat", false, "dump the system log (grep zizhan for handling times)")
 	dump := flag.Bool("dump", false, "dump the foreground view tree after each change")
 	scriptPath := flag.String("script", "", "run a scenario script instead of the built-in rotation loop")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "arm the fault-injection layer with this seed (0 = off)")
+	chaosProfile := flag.String("chaos", "light", "chaos preset when -chaos-seed is set: light | heavy")
 	flag.Parse()
 
 	sched := sim.NewScheduler()
@@ -72,14 +75,37 @@ func main() {
 	}
 	proc := app.NewProcess(sched, model, application)
 
+	var plan *chaos.Plan
+	if *chaosSeed != 0 {
+		var opts chaos.Options
+		switch *chaosProfile {
+		case "light":
+			opts = chaos.Light()
+		case "heavy":
+			opts = chaos.Heavy()
+		default:
+			fmt.Fprintf(os.Stderr, "rchsim: unknown chaos profile %q\n", *chaosProfile)
+			os.Exit(2)
+		}
+		plan = chaos.NewPlan(*chaosSeed, opts)
+		plan.BindClock(sched)
+	}
+
 	var rch *core.RCHDroid
 	switch *mode {
 	case "rchdroid":
-		rch = core.Install(sys, proc, core.DefaultOptions())
+		coreOpts := core.DefaultOptions()
+		coreOpts.Chaos = plan
+		rch = core.Install(sys, proc, coreOpts)
 	case "stock":
 	default:
 		fmt.Fprintf(os.Stderr, "rchsim: unknown mode %q\n", *mode)
 		os.Exit(2)
+	}
+	if plan != nil {
+		plan.Install(sys, proc)
+		fmt.Printf("chaos armed: profile %s, seed %d (replay with -chaos-seed=%d -chaos=%s)\n",
+			*chaosProfile, *chaosSeed, *chaosSeed, *chaosProfile)
 	}
 
 	handlerName := proc.Thread().Handler().Name()
@@ -117,6 +143,7 @@ func main() {
 			}
 			report(proc)
 		}
+		reportChaos(plan)
 		if *showLog {
 			fmt.Println("\nlogcat:")
 			fmt.Print(indent(lc.Dump()))
@@ -156,6 +183,7 @@ func main() {
 			rch.Handler.InitLaunches(), rch.Handler.Flips(),
 			rch.Migrator.Migrations(), rch.Migrator.ViewsMigrated())
 	}
+	reportChaos(plan)
 	if tracer != nil {
 		fmt.Println("\nevent trace:")
 		for _, e := range tracer.Entries {
@@ -196,6 +224,23 @@ func indent(s string) string {
 		out += "    " + line + "\n"
 	}
 	return out
+}
+
+// reportChaos prints what the fault-injection layer actually did, so a
+// surprising run can be understood and replayed from the seed alone.
+func reportChaos(plan *chaos.Plan) {
+	if plan == nil {
+		return
+	}
+	inj := plan.Injections()
+	fmt.Printf("\nchaos report: %d injections, %d async results dropped (seed %d)\n",
+		len(inj), plan.TotalAsyncDropped(), plan.Seed())
+	for _, in := range inj {
+		fmt.Printf("  %s\n", in)
+	}
+	if n := plan.Truncated(); n > 0 {
+		fmt.Printf("  ... %d more injections truncated\n", n)
+	}
 }
 
 func report(proc *app.Process) {

@@ -75,7 +75,28 @@ type Process struct {
 	services map[string]*Service
 
 	asyncInFlight int
+
+	asyncFault AsyncFaultInjector
 }
+
+// AsyncFault is a per-task fault decision. The zero value delivers the
+// result normally.
+type AsyncFault struct {
+	// ExtraDelay lengthens the background work, pushing the result past
+	// whatever the app expected (often across the next runtime change).
+	ExtraDelay time.Duration
+	// DropResult loses the result in flight: the task completes (in-flight
+	// counters drain) but the UI callback never runs.
+	DropResult bool
+}
+
+// AsyncFaultInjector is consulted once per StartAsyncTask with the task
+// name.
+type AsyncFaultInjector func(name string) AsyncFault
+
+// SetAsyncFaultInjector installs (or, with nil, removes) the async-task
+// fault injector.
+func (p *Process) SetAsyncFaultInjector(fn AsyncFaultInjector) { p.asyncFault = fn }
 
 // NewProcess boots a process for app on the given scheduler and cost
 // model. The activity thread is created alongside; wire it to a system
@@ -230,12 +251,23 @@ func (p *Process) StartAsyncTask(owner *Activity, name string, d time.Duration, 
 	if p.crashed {
 		return
 	}
+	var fault AsyncFault
+	if p.asyncFault != nil {
+		fault = p.asyncFault(name)
+	}
+	if fault.ExtraDelay > 0 {
+		d += fault.ExtraDelay
+	}
 	p.asyncInFlight++
 	owner.asyncInFlight++
 	p.sched.After(d, p.app.Name+":async:"+name, func() {
+		// The in-flight counters drain even when the result is dropped:
+		// the background work finished, only its delivery was lost. A
+		// demoted shadow "zombie" waiting on this task must still be
+		// reaped.
 		p.asyncInFlight--
 		owner.asyncInFlight--
-		if p.crashed {
+		if p.crashed || fault.DropResult {
 			return
 		}
 		p.PostApp("asyncResult:"+name, p.model.AsyncCallback, func() {
@@ -243,6 +275,16 @@ func (p *Process) StartAsyncTask(owner *Activity, name string, d time.Duration, 
 			p.thread.afterUICallback(owner)
 		})
 	})
+}
+
+// TrimMemory delivers a low-memory pressure signal to the process (the
+// onTrimMemory path): the change handler gets a chance to give up
+// reclaimable instances — RCHDroid releases its shadow activity.
+func (p *Process) TrimMemory() {
+	if p.crashed {
+		return
+	}
+	p.thread.ScheduleTrimMemory()
 }
 
 // AsyncInFlight returns the number of background tasks still running.

@@ -45,6 +45,10 @@ type ChangeHandler interface {
 	// foreground (app switch, new task launched on top). RCHDroid
 	// releases the coupled shadow activity immediately (§3.5).
 	HandleForegroundSwitch(t *ActivityThread)
+	// HandleTrimMemory runs when the system signals memory pressure
+	// (onTrimMemory). RCHDroid gives up its shadow instance — the one
+	// piece of reclaimable state the scheme holds.
+	HandleTrimMemory(t *ActivityThread)
 }
 
 // LaunchOptions tune PerformLaunch.
@@ -246,6 +250,18 @@ func (t *ActivityThread) ScheduleMoveToForeground(token int) {
 		if t.system != nil {
 			t.system.NotifyResumed(token)
 		}
+		return 0
+	})
+}
+
+// ScheduleTrimMemory is the low-memory transaction: the change handler
+// releases whatever it can, then the footprint is re-reported.
+func (t *ActivityThread) ScheduleTrimMemory() {
+	t.RunCharged("trimMemory", func() time.Duration {
+		if t.handler != nil {
+			t.handler.HandleTrimMemory(t)
+		}
+		t.proc.UpdateMemory()
 		return 0
 	})
 }
@@ -491,3 +507,7 @@ func (RestartHandler) AfterUICallback(*ActivityThread, *Activity) {}
 // HandleForegroundSwitch implements ChangeHandler; stock Android has no
 // shadow instance to release.
 func (RestartHandler) HandleForegroundSwitch(*ActivityThread) {}
+
+// HandleTrimMemory implements ChangeHandler; stock Android holds no
+// reclaimable framework state beyond what processes trim themselves.
+func (RestartHandler) HandleTrimMemory(*ActivityThread) {}

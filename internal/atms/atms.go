@@ -39,6 +39,11 @@ type ATMS struct {
 	// OnHandled, if set, observes each completed runtime-change handling
 	// with its latency.
 	OnHandled func(d time.Duration)
+
+	// configFault, if set, is consulted on every pushed configuration and
+	// may request a duplicate (echo) delivery after a delay — landing
+	// mid-transition when the delay is short. See SetConfigChangeFault.
+	configFault func(cfg config.Configuration) (echo bool, delay time.Duration)
 }
 
 // New boots a system server on sched with the given cost model. The bus
@@ -175,6 +180,43 @@ func (a *ATMS) PushConfiguration(newCfg config.Configuration) {
 		rec.resumed = false
 		a.bus.Transact(rec.Proc.Endpoint(), "runtimeChange", 128, 0, func() {
 			rec.Proc.Thread().ScheduleRuntimeChange(rec.Token, newCfg)
+		})
+		if a.configFault != nil {
+			if echo, delay := a.configFault(newCfg); echo {
+				a.scheduleConfigEcho(newCfg, delay)
+			}
+		}
+	})
+}
+
+// SetConfigChangeFault installs a fault hook on the configuration path:
+// for each pushed change it may request a duplicate delivery after delay,
+// modelling the double-dispatch a racing window manager produces. The
+// echo does not restart the handling-time clock; the activity thread's
+// stale-delivery guards must absorb it.
+func (a *ATMS) SetConfigChangeFault(fn func(cfg config.Configuration) (echo bool, delay time.Duration)) {
+	a.configFault = fn
+}
+
+// scheduleConfigEcho re-delivers cfg to the current top activity after
+// delay, unless a newer change superseded it in the meantime.
+func (a *ATMS) scheduleConfigEcho(cfg config.Configuration, delay time.Duration) {
+	a.sched.After(delay, "chaos:configEcho", func() {
+		a.RunOnServer("configEcho", 0, func() {
+			if !cfg.Equal(a.globalConfig) {
+				return // a later change superseded the echoed one
+			}
+			task := a.stack.TopTask()
+			if task == nil {
+				return
+			}
+			rec := topNonShadow(task)
+			if rec == nil {
+				return
+			}
+			a.bus.Transact(rec.Proc.Endpoint(), "runtimeChange", 128, 0, func() {
+				rec.Proc.Thread().ScheduleRuntimeChange(rec.Token, cfg)
+			})
 		})
 	})
 }

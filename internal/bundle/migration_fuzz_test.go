@@ -1,0 +1,104 @@
+package bundle_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"rchdroid/internal/bundle"
+	"rchdroid/internal/chaos"
+)
+
+// FuzzBundleMigrationUnderFault models the shadow→sunny state migration
+// with an interruption in the middle: the outgoing instance keeps
+// mutating its live state after the snapshot is taken, the migrator may
+// be stalled and forced to re-deliver (the "chaos:flushLater" path), and
+// the restored bundle must still be exactly the snapshot — isolated from
+// every post-save mutation, idempotent under retried merges, and stable
+// in size and rendering.
+//
+// The first 8 input bytes seed a chaos plan whose OnMigrationFlush
+// decides whether each migration is retried; the rest is an op program.
+// The corpus is seeded with chaos.EncodeOptions encodings of the two
+// presets so the fuzzer starts from plan-shaped bytes.
+func FuzzBundleMigrationUnderFault(f *testing.F) {
+	f.Add(chaos.EncodeOptions(1, chaos.Light()))
+	f.Add(chaos.EncodeOptions(42, chaos.Heavy()))
+	f.Add(append(chaos.EncodeOptions(7, chaos.Options{}), 0, 7, 1, 3, 5, 7, 7, 1, 6, 3))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var seed uint64
+		if len(data) >= 8 {
+			seed = binary.LittleEndian.Uint64(data[:8])
+			data = data[8:]
+		}
+		plan := chaos.NewPlan(seed, chaos.Heavy())
+
+		live := bundle.New()
+		var snapshot *bundle.Bundle
+		var snapString string
+
+		checkMigration := func() {
+			restored := bundle.New()
+			restored.Merge(snapshot)
+			if plan.OnMigrationFlush(live.Len()) > 0 {
+				// Interrupted flush: the migrator re-delivers the same
+				// snapshot. A retry must be a no-op, not a corruption.
+				restored.Merge(snapshot)
+			}
+			if !restored.Equal(snapshot) {
+				t.Fatalf("restore diverged: %s vs %s", restored, snapshot)
+			}
+			if restored.String() != snapString {
+				t.Fatalf("restore render %q, snapshot was %q", restored, snapString)
+			}
+			if restored.SizeBytes() != snapshot.SizeBytes() {
+				t.Fatalf("restore size %d, snapshot %d", restored.SizeBytes(), snapshot.SizeBytes())
+			}
+		}
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			key := fmt.Sprintf("k%d", arg%6)
+			switch op % 8 {
+			case 0:
+				live.PutString(key, fmt.Sprintf("s%d", arg))
+			case 1:
+				live.PutInt(key, int64(arg))
+			case 2:
+				live.PutBool(key, arg%2 == 0)
+			case 3:
+				live.PutStringSlice(key, []string{"a", fmt.Sprintf("b%d", arg)})
+			case 4:
+				live.PutIntSlice(key, []int64{int64(arg), int64(arg) * 3})
+			case 5:
+				nested := bundle.New()
+				nested.PutString("inner", fmt.Sprintf("n%d", arg))
+				live.PutBundle(key, nested)
+			case 6:
+				live.Remove(key)
+			case 7:
+				// A runtime change lands here: snapshot the live state.
+				snapshot = live.Clone()
+				snapString = snapshot.String()
+			}
+			// Post-save mutations through aliased values must never reach
+			// the snapshot: slices are copied on Put/Get, nested bundles on
+			// Clone.
+			if s := live.GetStringSlice(key); len(s) > 0 {
+				s[0] = "mutated"
+			}
+			if n := live.GetBundle(key); n != nil {
+				n.PutString("inner", "touched-after-save-only-in-live")
+			}
+		}
+
+		if snapshot == nil {
+			return
+		}
+		if snapshot.String() != snapString {
+			t.Fatalf("snapshot drifted after post-save mutations: %q vs %q", snapshot, snapString)
+		}
+		checkMigration()
+	})
+}

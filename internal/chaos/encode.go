@@ -1,0 +1,84 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Wire format: a plan is fully described by its seed and options, so the
+// encoding is a fixed-size record — magic, the u64 seed, then for each
+// Rate in canonical order a u16 permille and a u32 maximum in
+// microseconds. The format exists for the fuzzers: FuzzChaosPlan mutates
+// encoded plans, and oracle failures are written into the bundle fuzz
+// corpus as encoded plans.
+
+// planMagic versions the encoding.
+const planMagic = "CHAOS1"
+
+// maxFaultDuration bounds every Rate.Max a decoded plan may carry; it
+// keeps fuzzed plans inside the range the simulator's 2s handling-time
+// discard and the oracle's drain windows were designed for.
+const maxFaultDuration = 10 * time.Second
+
+const encodedSize = len(planMagic) + 8 + 10*(2+4)
+
+// Encode serialises the plan's seed and options.
+func (p *Plan) Encode() []byte { return EncodeOptions(p.seed, p.opts) }
+
+// EncodeOptions serialises a (seed, options) pair without building a
+// plan. Permilles are clamped to [0,1000] and maxima to
+// [0, maxFaultDuration] so the output always decodes.
+func EncodeOptions(seed uint64, opts Options) []byte {
+	buf := make([]byte, 0, encodedSize)
+	buf = append(buf, planMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, seed)
+	for _, r := range opts.rates() {
+		pm := r.Permille
+		if pm < 0 {
+			pm = 0
+		} else if pm > 1000 {
+			pm = 1000
+		}
+		max := r.Max
+		if max < 0 {
+			max = 0
+		} else if max > maxFaultDuration {
+			max = maxFaultDuration
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(pm))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(max/time.Microsecond))
+	}
+	return buf
+}
+
+// Decode parses an encoded plan, validating every field, and returns a
+// fresh Plan (no injection history).
+func Decode(data []byte) (*Plan, error) {
+	if len(data) != encodedSize {
+		return nil, fmt.Errorf("chaos: encoded plan is %d bytes, want %d", len(data), encodedSize)
+	}
+	if string(data[:len(planMagic)]) != planMagic {
+		return nil, fmt.Errorf("chaos: bad magic %q", data[:len(planMagic)])
+	}
+	off := len(planMagic)
+	seed := binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	var opts Options
+	for i, r := range opts.rates() {
+		pm := binary.LittleEndian.Uint16(data[off:])
+		off += 2
+		us := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		if pm > 1000 {
+			return nil, fmt.Errorf("chaos: rate %d permille %d > 1000", i, pm)
+		}
+		max := time.Duration(us) * time.Microsecond
+		if max > maxFaultDuration {
+			return nil, fmt.Errorf("chaos: rate %d max %v > %v", i, max, maxFaultDuration)
+		}
+		r.Permille = int(pm)
+		r.Max = max
+	}
+	return NewPlan(seed, opts), nil
+}

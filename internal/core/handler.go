@@ -6,7 +6,18 @@ import (
 	"rchdroid/internal/app"
 	"rchdroid/internal/bundle"
 	"rchdroid/internal/config"
+	"rchdroid/internal/view"
 )
+
+// clearDirtyTree models the first frame after a launch or a flip: the draw
+// pass consumes the pending invalidations, so a view's dirty flag again
+// means "mutated since last shown" — the delta a later flip must carry.
+func clearDirtyTree(root view.View) {
+	view.Walk(root, func(v view.View) bool {
+		v.Base().ClearDirty()
+		return true
+	})
+}
 
 // ShadowHandler is RCHDroid's activity-thread side: instead of restarting
 // on a runtime change it moves the current activity into the Shadow state
@@ -29,6 +40,10 @@ type ShadowHandler struct {
 	// as those tasks drain.
 	zombies []*app.Activity
 
+	// stall, if set, injects extra occupancy into named handling phases
+	// (the chaos layer's "interrupt the handling mid-flight" knob).
+	stall func(phase string) time.Duration
+
 	// Counters for reports.
 	initLaunches int
 	flips        int
@@ -50,6 +65,20 @@ func (h *ShadowHandler) Flips() int { return h.flips }
 
 // Migrator returns the lazy-migration engine.
 func (h *ShadowHandler) Migrator() *Migrator { return h.migrator }
+
+// SetPhaseStall installs a fault hook consulted once per executed
+// handling phase; a non-zero return stretches that phase's occupancy,
+// delaying everything queued behind it (e.g. the restore that follows a
+// shadow save). Install nil to remove.
+func (h *ShadowHandler) SetPhaseStall(fn func(phase string) time.Duration) { h.stall = fn }
+
+// stallFor returns the injected stall for a phase, or 0.
+func (h *ShadowHandler) stallFor(phase string) time.Duration {
+	if h.stall == nil {
+		return 0
+	}
+	return h.stall(phase)
+}
 
 // HandleRuntimeChange implements app.ChangeHandler: step ① of Fig 3. The
 // current activity enters the Shadow state — with a full snapshot when no
@@ -74,10 +103,19 @@ func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activi
 				aborted = true
 				return 0
 			}
+			// The flip reuses the partner's live tree, so the state the
+			// user accumulated on THIS instance must be carried over:
+			// snapshot it here, HandleFlip re-applies it. Skipping the
+			// snapshot would resurface whatever the partner showed when
+			// it left the screen. Recording piggybacks on the dirty
+			// tracking RCHDroid already patches into View.invalidate, so
+			// the flip transition's fixed cost covers it; the flip later
+			// pays only for the views actually mutated this tenure.
+			a.SetShadowSnapshot(a.SaveInstanceState())
 			a.EnterShadow(t.Process().Scheduler().Now())
 			h.migrator.InstallHook(a)
 			h.pendingShadow = a
-			return m.ShadowFlipTransition
+			return m.ShadowFlipTransition + h.stallFor("enterShadow(flip)")
 		})
 	} else {
 		// A stale shadow instance (configuration mismatch or post-GC
@@ -97,7 +135,7 @@ func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activi
 			t.SetCurrentShadow(a)
 			h.migrator.InstallHook(a)
 			h.pendingShadow = a
-			return m.ShadowTransition + m.SaveState(n)
+			return m.ShadowTransition + m.SaveState(n) + h.stallFor("enterShadow")
 		})
 	}
 
@@ -195,6 +233,7 @@ func (h *ShadowHandler) HandleSunnyLaunch(t *app.ActivityThread, class *app.Acti
 			if h.quadraticMapping {
 				cost = m.SunnySetup + m.BuildMappingQuadratic(n)
 			}
+			cost += h.stallFor("buildMapping")
 			return "rch:buildMapping", cost, func() {
 				if shadow == nil {
 					return
@@ -208,6 +247,7 @@ func (h *ShadowHandler) HandleSunnyLaunch(t *app.ActivityThread, class *app.Acti
 		},
 		OnResumed: func(sunny *app.Activity) {
 			t.SetCurrentSunny(sunny)
+			clearDirtyTree(sunny.Decor())
 			if h.gc != nil {
 				h.gc.Arm(t)
 			}
@@ -235,14 +275,32 @@ func (h *ShadowHandler) HandleFlip(t *app.ActivityThread, shadowToken int, newCf
 		h.migrator.RemoveHook(incoming)
 		incoming.ApplyConfiguration(newCfg)
 		incoming.FlipToSunny()
+		restoreCost := time.Duration(0)
 		if outgoing != nil {
 			// The outgoing activity already entered the shadow state in
 			// HandleRuntimeChange; re-aim the essence mapping at it.
 			InvertMapping(incoming.Decor())
+			// Carry the outgoing tenure's state onto the reused tree.
+			// Only views the user (or an app callback) actually mutated
+			// since the outgoing instance's last frame are out of sync —
+			// its dirty set — so the sync is charged as a migration batch
+			// over that delta: zero in change-only workloads, which keeps
+			// the flip at its fixed §4 latency. The simulator realises
+			// the same end state by re-applying the snapshot bundle.
+			if saved := outgoing.ShadowSnapshot(); saved != nil {
+				delta := len(view.DirtyViews(outgoing.Decor()))
+				incoming.RestoreInstanceState(saved)
+				if delta > 0 {
+					restoreCost = m.MigrateViews(delta)
+				}
+			}
 		}
+		// The first frame after the flip consumes the invalidations the
+		// re-applied state raised.
+		clearDirtyTree(incoming.Decor())
 		t.SetCurrentShadow(outgoing)
 		t.SetCurrentSunny(incoming)
-		return m.ConfigApply + m.SunnySetup
+		return m.ConfigApply + m.SunnySetup + restoreCost + h.stallFor("flip")
 	})
 	t.RunCharged("rch:flipResume", func() time.Duration {
 		extra := time.Duration(0)
@@ -279,4 +337,15 @@ func (h *ShadowHandler) AfterUICallback(t *app.ActivityThread, a *app.Activity) 
 // activity the user is looking at.
 func (h *ShadowHandler) HandleForegroundSwitch(t *app.ActivityThread) {
 	h.releaseShadow(t, t.CurrentShadow())
+}
+
+// HandleTrimMemory implements app.ChangeHandler: under memory pressure
+// the shadow instance is the reclaimable state RCHDroid holds — release
+// it (zombie demotion still protects in-flight async work) and reap any
+// drained zombies while we are at it.
+func (h *ShadowHandler) HandleTrimMemory(t *app.ActivityThread) {
+	h.releaseShadow(t, t.CurrentShadow())
+	if len(h.zombies) > 0 {
+		h.reapZombies(t)
+	}
 }

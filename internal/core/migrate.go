@@ -182,6 +182,12 @@ type Migrator struct {
 	inSet   map[view.View]bool
 	eager   bool
 
+	// flushFault, if set, may defer a flush by the returned duration
+	// (chaos: "migration interrupted between save and restore"); the
+	// deferred batch is re-flushed when the delay expires.
+	flushFault func(pending int) time.Duration
+	deferred   bool
+
 	migrations     int
 	viewsMigrated  int
 	migrationTimes []time.Duration
@@ -226,6 +232,19 @@ func (m *Migrator) Flush() {
 	if len(m.pending) == 0 {
 		return
 	}
+	if m.deferred {
+		return // an injected deferral is pending; its timer re-flushes
+	}
+	if m.flushFault != nil {
+		if d := m.flushFault(len(m.pending)); d > 0 {
+			m.deferred = true
+			m.thread.Process().UILooper().PostDelayed(d, "chaos:flushLater", 0, func() {
+				m.deferred = false
+				m.Flush()
+			})
+			return
+		}
+	}
 	batch := m.pending
 	m.pending = nil
 	m.inSet = make(map[view.View]bool)
@@ -262,6 +281,10 @@ func (m *Migrator) Flush() {
 		return cost
 	})
 }
+
+// SetFlushFault installs (or, with nil, removes) the flush-deferral
+// fault hook.
+func (m *Migrator) SetFlushFault(fn func(pending int) time.Duration) { m.flushFault = fn }
 
 // Migrations returns how many migration batches have been flushed.
 func (m *Migrator) Migrations() int { return m.migrations }

@@ -7,6 +7,7 @@ import (
 
 	"rchdroid/internal/app"
 	"rchdroid/internal/config"
+	"rchdroid/internal/oracle"
 	"rchdroid/internal/sim"
 	"rchdroid/internal/view"
 )
@@ -35,32 +36,10 @@ func TestRandomChangeSequencesInvariants(t *testing.T) {
 
 			checkInvariants := func(step int, op string) {
 				t.Helper()
-				if r.proc.Crashed() {
-					t.Fatalf("step %d (%s): crashed: %v", step, op, r.proc.CrashCause())
-				}
-				acts := r.proc.Thread().Activities()
-				if len(acts) > 2 {
-					t.Fatalf("step %d (%s): %d instances alive, want ≤ 2", step, op, len(acts))
-				}
-				shadows, visible := 0, 0
-				for _, a := range acts {
-					switch a.State() {
-					case app.StateShadow:
-						shadows++
-					case app.StateResumed, app.StateSunny:
-						visible++
-					case app.StateDestroyed, app.StateNone:
-						t.Fatalf("step %d (%s): dead instance %v still tracked", step, op, a)
-					}
-				}
-				if shadows > 1 {
-					t.Fatalf("step %d (%s): %d shadow instances, want ≤ 1", step, op, shadows)
-				}
-				if visible > 1 {
-					t.Fatalf("step %d (%s): %d visible instances, want ≤ 1", step, op, visible)
-				}
-				if r.proc.Memory().CurrentBytes() < r.model.ProcessBaseBytes {
-					t.Fatalf("step %d (%s): memory below process base", step, op)
+				errs := oracle.CheckInvariants([]*app.Process{r.proc},
+					oracle.InvariantConfig{MaxInstancesPerProcess: 2, CheckMemoryFloor: true})
+				for _, err := range errs {
+					t.Fatalf("step %d (%s): %v", step, op, err)
 				}
 			}
 

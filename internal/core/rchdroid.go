@@ -5,6 +5,7 @@ import (
 
 	"rchdroid/internal/app"
 	"rchdroid/internal/atms"
+	"rchdroid/internal/chaos"
 )
 
 // Options configure an RCHDroid installation.
@@ -26,6 +27,11 @@ type Options struct {
 	// asynchronous callback instead of only the dirtied views (ablation
 	// for the §3.3 lazy scheme).
 	EagerMigration bool
+	// Chaos, if non-nil, arms the core-side fault hooks from the plan:
+	// phase stalls on the shadow handler and flush deferral on the
+	// migrator. The app/system-side hooks (looper, async, config echo)
+	// are armed separately via chaos.Plan.Install.
+	Chaos *chaos.Plan
 }
 
 // DefaultOptions returns the configuration the paper evaluates.
@@ -55,6 +61,10 @@ func Install(sys *atms.ATMS, proc *app.Process, opts Options) *RCHDroid {
 	}
 	handler := NewShadowHandler(migrator, gc)
 	handler.quadraticMapping = opts.QuadraticMapping
+	if opts.Chaos != nil {
+		handler.SetPhaseStall(opts.Chaos.OnCorePhase)
+		migrator.SetFlushFault(opts.Chaos.OnMigrationFlush)
+	}
 	proc.Thread().SetChangeHandler(handler)
 
 	var policy *CoinFlipPolicy

@@ -9,6 +9,7 @@ import (
 	"rchdroid/internal/atms"
 	"rchdroid/internal/bundle"
 	"rchdroid/internal/costmodel"
+	"rchdroid/internal/oracle"
 	"rchdroid/internal/sim"
 	"rchdroid/internal/view"
 )
@@ -52,31 +53,8 @@ func TestSoakMultiAppTorture(t *testing.T) {
 	procs := []*app.Process{procRich, procBench}
 	invariants := func(step int, op string) {
 		t.Helper()
-		for _, p := range procs {
-			if p.Crashed() {
-				t.Fatalf("step %d (%s): %s crashed: %v", step, op, p.App().Name, p.CrashCause())
-			}
-			shadows := 0
-			for _, a := range p.Thread().Activities() {
-				if a.State() == app.StateShadow {
-					shadows++
-				}
-			}
-			if shadows > 1 {
-				t.Fatalf("step %d (%s): %s has %d shadows", step, op, p.App().Name, shadows)
-			}
-		}
-		// Globally at most one visible activity.
-		visible := 0
-		for _, p := range procs {
-			for _, a := range p.Thread().Activities() {
-				if a.State().Visible() {
-					visible++
-				}
-			}
-		}
-		if visible > 1 {
-			t.Fatalf("step %d (%s): %d visible activities system-wide", step, op, visible)
+		for _, err := range oracle.CheckInvariants(procs, oracle.InvariantConfig{}) {
+			t.Fatalf("step %d (%s): %v", step, op, err)
 		}
 	}
 

@@ -40,6 +40,33 @@ func (m *Message) Cancel() { m.cancelled = true }
 // Cancelled reports whether Cancel was called.
 func (m *Message) Cancelled() bool { return m.cancelled }
 
+// Fault is a per-message fault decision returned by a FaultInjector.
+// The zero value means "deliver normally".
+type Fault struct {
+	// Stall occupies the thread before the message may run — an injected
+	// hiccup (GC pause, scheduler preemption). It is order-preserving:
+	// every queued message simply runs later.
+	Stall time.Duration
+	// Delay shifts this message's delivery time alone, which may reorder
+	// it against messages posted after it. Callers must only delay
+	// messages whose ordering contract allows it (async results, input
+	// events) — delaying one phase of a lifecycle chain reorders the
+	// chain.
+	Delay time.Duration
+	// Drop swallows the message: it is returned to the poster as an
+	// already-cancelled message and never runs.
+	Drop bool
+}
+
+// FaultInjector is consulted on every post with the message's name and
+// cost; it returns the fault (if any) to apply. Injectors must be
+// deterministic functions of their own state — the looper calls them
+// exactly once per post, in posting order.
+type FaultInjector func(name string, cost time.Duration) Fault
+
+// SetFaultInjector installs (or, with nil, removes) the fault injector.
+func (l *Looper) SetFaultInjector(fn FaultInjector) { l.fault = fn }
+
 // Looper is a single-threaded message processor.
 type Looper struct {
 	name      string
@@ -52,6 +79,7 @@ type Looper struct {
 	quit      bool
 	pump      *sim.Event
 	current   *Message
+	fault     FaultInjector
 
 	// onBusy, if set, observes every executed message (used by the
 	// metrics recorder to compute CPU usage over time).
@@ -114,6 +142,18 @@ func (l *Looper) PostDelayed(delay time.Duration, name string, cost time.Duratio
 	if delay < 0 {
 		delay = 0
 	}
+	if l.fault != nil {
+		f := l.fault(name, cost)
+		if f.Drop {
+			return &Message{Name: name, Cost: cost, Run: fn, cancelled: true}
+		}
+		if f.Delay > 0 {
+			delay += f.Delay
+		}
+		if f.Stall > 0 {
+			l.Stall(f.Stall)
+		}
+	}
 	m := &Message{
 		Name: name,
 		When: l.sched.Now().Add(delay),
@@ -125,6 +165,22 @@ func (l *Looper) PostDelayed(delay time.Duration, name string, cost time.Duratio
 	l.insert(m)
 	l.schedulePump()
 	return m
+}
+
+// Stall occupies the thread for d without doing work: queued messages keep
+// their relative order but everything runs later. Unlike Charge it adds
+// nothing to TotalBusy and is invisible to the busy observer — a stall
+// models lost time (GC pause, preemption), not attributed work.
+func (l *Looper) Stall(d time.Duration) {
+	if d <= 0 || l.quit {
+		return
+	}
+	start := l.busyUntil
+	if now := l.sched.Now(); start < now {
+		start = now
+	}
+	l.busyUntil = start.Add(d)
+	l.schedulePump()
 }
 
 // insert keeps the queue ordered by (When, seq).

@@ -1,0 +1,87 @@
+// Package oracle is the differential transparency oracle: it drives the
+// same seeded app and event sequence under the stock Android-10 restart
+// handler and under RCHDroid, injects the same seeded faults into both
+// runs (internal/chaos), and asserts the paper's transparency contract —
+// the app must not be able to tell the handlers apart through any state
+// it persists, and RCHDroid must additionally preserve the state stock
+// Android legitimately loses.
+//
+// Every verdict carries the seed that produced it; re-running with that
+// seed replays the failure exactly.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"rchdroid/internal/app"
+)
+
+// InvariantConfig tunes CheckInvariants for the caller's setting. The
+// zero value checks the universal invariants only.
+type InvariantConfig struct {
+	// MaxInstancesPerProcess, if positive, bounds the live instances a
+	// process may track (RCHDroid holds at most sunny + shadow for a
+	// single-activity app).
+	MaxInstancesPerProcess int
+	// CheckMemoryFloor asserts tracked memory never falls below the
+	// process base — an accounting bug symptom.
+	CheckMemoryFloor bool
+}
+
+// CheckInvariants verifies the RCHDroid lifecycle invariants over a set
+// of processes and returns every violation found (nil when clean):
+//
+//   - no process has crashed;
+//   - no process tracks a destroyed instance;
+//   - at most one shadow instance per process (§3.2);
+//   - at most one visible activity system-wide;
+//   - optionally, instance-count and memory-floor bounds.
+//
+// It is the factored form of the checkers the core soak and random-walk
+// tests grew independently, shared with the oracle and stress harnesses.
+func CheckInvariants(procs []*app.Process, cfg InvariantConfig) []error {
+	var errs []error
+	visible := 0
+	for _, p := range procs {
+		name := p.App().Name
+		if p.Crashed() {
+			errs = append(errs, fmt.Errorf("%s crashed: %v", name, p.CrashCause()))
+			continue
+		}
+		acts := p.Thread().Activities()
+		if cfg.MaxInstancesPerProcess > 0 && len(acts) > cfg.MaxInstancesPerProcess {
+			errs = append(errs, fmt.Errorf("%s tracks %d instances, want ≤ %d",
+				name, len(acts), cfg.MaxInstancesPerProcess))
+		}
+		tokens := make([]int, 0, len(acts))
+		for tok := range acts {
+			tokens = append(tokens, tok)
+		}
+		sort.Ints(tokens)
+		shadows := 0
+		for _, tok := range tokens {
+			a := acts[tok]
+			switch {
+			case a.State() == app.StateShadow:
+				shadows++
+			case a.State() == app.StateDestroyed || a.State() == app.StateNone:
+				errs = append(errs, fmt.Errorf("%s still tracks dead instance token=%d state=%v",
+					name, tok, a.State()))
+			case a.State().Visible():
+				visible++
+			}
+		}
+		if shadows > 1 {
+			errs = append(errs, fmt.Errorf("%s has %d shadow instances, want ≤ 1", name, shadows))
+		}
+		if cfg.CheckMemoryFloor && p.Memory().CurrentBytes() < p.Model().ProcessBaseBytes {
+			errs = append(errs, fmt.Errorf("%s memory %d below process base %d",
+				name, p.Memory().CurrentBytes(), p.Model().ProcessBaseBytes))
+		}
+	}
+	if visible > 1 {
+		errs = append(errs, fmt.Errorf("%d visible activities system-wide, want ≤ 1", visible))
+	}
+	return errs
+}

@@ -1,0 +1,384 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/atms"
+	"rchdroid/internal/chaos"
+	"rchdroid/internal/config"
+	"rchdroid/internal/costmodel"
+	"rchdroid/internal/sim"
+	"rchdroid/internal/view"
+)
+
+// Installer wires a change-handling scheme onto a freshly booted
+// system. A nil Install leaves the stock Android-10 restart handler in
+// place. The oracle package cannot import internal/core (core's tests
+// import the oracle), so callers pass core.Install through this seam.
+type Installer struct {
+	Name    string
+	Install func(sys *atms.ATMS, proc *app.Process, plan *chaos.Plan)
+}
+
+// ModelState is the ground-truth user state of the oracle app, read
+// directly from the foreground widgets (and the activity's extras) —
+// what the user would see on screen.
+type ModelState struct {
+	Text    string
+	Cursor  int
+	Checked bool
+	Seek    int
+	SelRow  int
+	Counter int64
+}
+
+// RunResult is one run of a scenario under one handler.
+type RunResult struct {
+	Name       string
+	Crashed    bool
+	CrashCause string
+	// Invariant holds the first lifecycle-invariant violation sampled at
+	// a quiescent point, with its step context ("" when clean).
+	Invariant string
+	// FinalMissing is set when the run ended with no foreground activity
+	// despite not having crashed.
+	FinalMissing bool
+	// Essence is the stock-persisted state at the end of the run: the
+	// onSaveInstanceState bundle (view subtree the stock relaunch would
+	// carry, fragments, app-private section) plus the view-tree shape.
+	Essence string
+	// Expected is the state the script actually applied (ground truth
+	// recorded at application time); Actual is what the final foreground
+	// instance shows.
+	Expected ModelState
+	Actual   ModelState
+	// Applied counts script interactions that found a foreground target.
+	Applied int
+	// Started/Delivered/DroppedByPlan track each async task: whether it
+	// was started, how many times its result ran, and whether the chaos
+	// plan swallowed the result on purpose.
+	Started       []bool
+	Delivered     []int
+	DroppedByPlan []bool
+	// HandlingViolation is the first out-of-bounds change-handling time.
+	HandlingViolation string
+	Handlings         int
+	Injections        int
+}
+
+// Verdict is the differential comparison for one seed.
+type Verdict struct {
+	Seed     uint64
+	Stock    RunResult
+	RCH      RunResult
+	Failures []string
+}
+
+// OK reports whether the transparency contract held.
+func (v *Verdict) OK() bool { return len(v.Failures) == 0 }
+
+// String renders the verdict with the replay seed first — the one line
+// needed to reproduce.
+func (v *Verdict) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seed=%d stock[crashed=%v applied=%d handlings=%d] rch[crashed=%v applied=%d handlings=%d inj=%d]",
+		v.Seed, v.Stock.Crashed, v.Stock.Applied, v.Stock.Handlings,
+		v.RCH.Crashed, v.RCH.Applied, v.RCH.Handlings, v.RCH.Injections)
+	for _, f := range v.Failures {
+		fmt.Fprintf(&sb, "\n  FAIL: %s", f)
+	}
+	return sb.String()
+}
+
+// taskName names async task idx; results post as "asyncResult:task<idx>",
+// which the chaos layer treats as droppable.
+func taskName(idx int) string { return fmt.Sprintf("task%d", idx) }
+
+// essenceOf renders an activity's stock-persisted state plus its
+// view-tree shape, deterministically.
+func essenceOf(a *app.Activity) string {
+	counts := view.CountByType(a.Decor())
+	types := make([]string, 0, len(counts))
+	for t := range counts {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	var sb strings.Builder
+	sb.WriteString(a.SaveInstanceStateStock().String())
+	sb.WriteString(" tree:")
+	for _, t := range types {
+		fmt.Fprintf(&sb, " %s×%d", t, counts[t])
+	}
+	return sb.String()
+}
+
+// readModel reads the ground-truth widget state off the foreground
+// instance.
+func readModel(a *app.Activity) ModelState {
+	var m ModelState
+	if et, ok := a.FindViewByID(EditID).(*view.EditText); ok {
+		m.Text, m.Cursor = et.Text(), et.Cursor()
+	}
+	if cb, ok := a.FindViewByID(CheckID).(*view.CheckBox); ok {
+		m.Checked = cb.Checked()
+	}
+	if sb, ok := a.FindViewByID(SeekID).(*view.SeekBar); ok {
+		m.Seek = sb.Progress()
+	}
+	if lv, ok := a.FindViewByID(ListID).(*view.ListView); ok {
+		m.SelRow = lv.SelectorPosition()
+	}
+	m.Counter, _ = a.Extra(counterKey).(int64)
+	return m
+}
+
+// oracleInvariants is the sampling config used at quiescent points: the
+// instance bound is 3 (sunny + shadow + one transient zombie awaiting
+// async drain).
+var oracleInvariants = InvariantConfig{MaxInstancesPerProcess: 3, CheckMemoryFloor: true}
+
+// runOnce boots a fresh seeded world — scheduler, system server, the
+// oracle app, a chaos plan on the same seed — installs the handler under
+// test and executes the scenario script.
+func runOnce(name string, sc Scenario, install func(*atms.ATMS, *app.Process, *chaos.Plan)) RunResult {
+	res := RunResult{
+		Name:          name,
+		Started:       make([]bool, sc.Tasks),
+		Delivered:     make([]int, sc.Tasks),
+		DroppedByPlan: make([]bool, sc.Tasks),
+	}
+	sched := sim.NewScheduler()
+	model := costmodel.Default()
+	sys := atms.New(sched, model)
+	proc := app.NewProcess(sched, model, OracleApp(sc.Images))
+	plan := chaos.NewPlan(sc.Seed, chaos.Light())
+	plan.BindClock(sched)
+	if install != nil {
+		install(sys, proc, plan)
+	}
+	plan.Install(sys, proc)
+	sys.LaunchApp(proc)
+	sched.Advance(2 * time.Second)
+	if fg := proc.Thread().ForegroundActivity(); fg != nil {
+		// Ground truth starts from the freshly launched instance (e.g. a
+		// list's selector begins at -1, not the zero value).
+		res.Expected = readModel(fg)
+	}
+
+	// ui posts a script interaction onto the app's UI looper; it runs at
+	// a quiescent point, looks up the live foreground instance and
+	// records the ground truth it applied.
+	ui := func(kind string, fn func(fg *app.Activity)) {
+		proc.PostApp("oracle:"+kind, time.Millisecond, func() {
+			fg := proc.Thread().ForegroundActivity()
+			if fg == nil {
+				return
+			}
+			res.Applied++
+			fn(fg)
+		})
+	}
+
+	for step, o := range sc.Ops {
+		switch o.kind {
+		case "rotate":
+			sys.PushConfiguration(sys.GlobalConfig().Rotated())
+		case "resize":
+			sz := resizeTable[o.n]
+			sys.PushConfiguration(sys.GlobalConfig().Resized(sz[0], sz[1]))
+		case "locale":
+			sys.PushConfiguration(sys.GlobalConfig().WithLocale(o.text))
+		case "night":
+			mode := config.UIModeDay
+			if o.n == 1 {
+				mode = config.UIModeNight
+			}
+			sys.PushConfiguration(sys.GlobalConfig().WithUIMode(mode))
+		case "fontscale":
+			sys.PushConfiguration(sys.GlobalConfig().WithFontScale(o.f))
+		case "burst":
+			sys.PushConfiguration(sys.GlobalConfig().Rotated())
+			sched.Advance(o.d)
+			sys.PushConfiguration(sys.GlobalConfig().Rotated())
+		case "type":
+			text := o.text
+			ui(o.kind, func(fg *app.Activity) {
+				if et, ok := fg.FindViewByID(EditID).(*view.EditText); ok {
+					et.Type(text)
+					res.Expected.Text, res.Expected.Cursor = et.Text(), et.Cursor()
+				}
+			})
+		case "check":
+			ui(o.kind, func(fg *app.Activity) {
+				if cb, ok := fg.FindViewByID(CheckID).(*view.CheckBox); ok {
+					cb.SetChecked(!cb.Checked())
+					res.Expected.Checked = cb.Checked()
+				}
+			})
+		case "seek":
+			val := o.n
+			ui(o.kind, func(fg *app.Activity) {
+				if sb, ok := fg.FindViewByID(SeekID).(*view.SeekBar); ok {
+					sb.SetProgress(val)
+					res.Expected.Seek = sb.Progress()
+				}
+			})
+		case "selectRow":
+			row := o.n
+			ui(o.kind, func(fg *app.Activity) {
+				if lv, ok := fg.FindViewByID(ListID).(*view.ListView); ok {
+					lv.PositionSelector(row)
+					res.Expected.SelRow = lv.SelectorPosition()
+				}
+			})
+		case "bump":
+			ui(o.kind, func(fg *app.Activity) {
+				c, _ := fg.Extra(counterKey).(int64)
+				fg.PutExtra(counterKey, c+1)
+				res.Expected.Counter = c + 1
+			})
+		case "touch":
+			idx, work := o.n, o.d
+			ui(o.kind, func(fg *app.Activity) {
+				res.Started[idx] = true
+				// The closure captures THIS instance's ImageViews — the
+				// §2.2 pattern that crashes a restarted app.
+				imgs := make([]*view.ImageView, 0, sc.Images)
+				for i := 0; i < sc.Images; i++ {
+					if iv, ok := fg.FindViewByID(ImgIDBase + view.ID(i)).(*view.ImageView); ok {
+						imgs = append(imgs, iv)
+					}
+				}
+				fg.StartAsyncTask(taskName(idx), work, func() {
+					res.Delivered[idx]++
+					for _, iv := range imgs {
+						iv.SetDrawable("drawable/loaded")
+					}
+				})
+			})
+		case "idle", "idleLong":
+			// nothing to inject; the advance below is the op
+		}
+		sched.Advance(o.settle)
+		if res.Invariant == "" && !proc.Crashed() {
+			if errs := CheckInvariants([]*app.Process{proc}, oracleInvariants); len(errs) > 0 {
+				res.Invariant = fmt.Sprintf("step %d (%s): %v", step, o.kind, errs[0])
+			}
+		}
+	}
+	// Drain: longest task (400 ms) + worst chaos delay (700 ms) both fit.
+	sched.Advance(4 * time.Second)
+
+	res.Crashed = proc.Crashed()
+	if res.Crashed {
+		res.CrashCause = fmt.Sprint(proc.CrashCause())
+	} else {
+		if res.Invariant == "" {
+			if errs := CheckInvariants([]*app.Process{proc}, oracleInvariants); len(errs) > 0 {
+				res.Invariant = fmt.Sprintf("final: %v", errs[0])
+			}
+		}
+		if fg := proc.Thread().ForegroundActivity(); fg != nil {
+			res.Essence = essenceOf(fg)
+			res.Actual = readModel(fg)
+		} else {
+			res.FinalMissing = true
+		}
+	}
+	for i := range res.DroppedByPlan {
+		res.DroppedByPlan[i] = plan.AsyncDropped(taskName(i)) > 0
+	}
+	hs := sys.HandlingTimes()
+	res.Handlings = len(hs)
+	for i, d := range hs {
+		if d <= 0 || d > time.Second {
+			res.HandlingViolation = fmt.Sprintf("handling %d took %v, want (0, 1s]", i, d)
+			break
+		}
+	}
+	res.Injections = len(plan.Injections())
+	return res
+}
+
+// Differential runs the scenario for a seed under the stock Android-10
+// handler and under the installer's handler, then judges the
+// transparency contract.
+func Differential(seed uint64, rch Installer) Verdict {
+	sc := GenScenario(seed)
+	v := Verdict{Seed: seed}
+	v.Stock = runOnce("Android-10", sc, nil)
+	v.RCH = runOnce(rch.Name, sc, rch.Install)
+	v.judge()
+	return v
+}
+
+// judge asserts the contract:
+//
+//	RCHDroid absolutes — crash-free, invariant-clean, full user state
+//	preserved (including what stock legitimately loses), every async
+//	result delivered exactly once unless the chaos plan dropped it,
+//	handling times in bounds.
+//
+//	Stock sanity — never a double delivery; invariants and handling
+//	bounds hold while it survives.
+//
+//	Differential — if the stock run survived, the stock-persisted
+//	essence (onSaveInstanceState keys and values, tree shape) must be
+//	identical across handlers: the app cannot tell them apart.
+func (v *Verdict) judge() {
+	fail := func(format string, args ...any) {
+		v.Failures = append(v.Failures, fmt.Sprintf(format, args...))
+	}
+
+	r := &v.RCH
+	if r.Crashed {
+		fail("%s crashed: %s", r.Name, r.CrashCause)
+	}
+	if r.Invariant != "" {
+		fail("%s invariant: %s", r.Name, r.Invariant)
+	}
+	if r.FinalMissing {
+		fail("%s: no foreground activity at end of scenario", r.Name)
+	}
+	if !r.Crashed && !r.FinalMissing && r.Actual != r.Expected {
+		fail("%s lost user state: actual %+v, expected %+v", r.Name, r.Actual, r.Expected)
+	}
+	if r.HandlingViolation != "" {
+		fail("%s: %s", r.Name, r.HandlingViolation)
+	}
+	for i, started := range r.Started {
+		want := 0
+		if started && !r.DroppedByPlan[i] {
+			want = 1
+		}
+		if !r.Crashed && r.Delivered[i] != want {
+			fail("%s: task%d delivered %d times, want %d (started=%v droppedByPlan=%v)",
+				r.Name, i, r.Delivered[i], want, started, r.DroppedByPlan[i])
+		}
+	}
+
+	s := &v.Stock
+	for i, d := range s.Delivered {
+		if d > 1 {
+			fail("%s: task%d delivered %d times, want ≤ 1", s.Name, i, d)
+		}
+	}
+	if !s.Crashed {
+		if s.Invariant != "" {
+			fail("%s invariant: %s", s.Name, s.Invariant)
+		}
+		if s.HandlingViolation != "" {
+			fail("%s: %s", s.Name, s.HandlingViolation)
+		}
+		if s.FinalMissing {
+			fail("%s: no foreground activity at end of scenario", s.Name)
+		}
+		if !s.FinalMissing && !r.Crashed && !r.FinalMissing && s.Essence != r.Essence {
+			fail("essence diverged:\n    %s: %s\n    %s: %s", s.Name, s.Essence, r.Name, r.Essence)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package oracle_test
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/atms"
+	"rchdroid/internal/chaos"
+	"rchdroid/internal/config"
+	"rchdroid/internal/core"
+	"rchdroid/internal/oracle"
+	"rchdroid/internal/view"
+)
+
+var (
+	seedCount = flag.Int("oracle.seeds", 1000,
+		"number of seeds the differential sweep covers (short mode caps at 128)")
+	replaySeed = flag.Uint64("oracle.replay", 0,
+		"replay a single failing seed with its full verdict")
+)
+
+// rchInstaller wires RCHDroid (with its core-side chaos hooks) onto a
+// fresh system — the seam through which the oracle, which core's own
+// tests import, reaches core without an import cycle.
+func rchInstaller() oracle.Installer {
+	return oracle.Installer{
+		Name: "RCHDroid",
+		Install: func(sys *atms.ATMS, proc *app.Process, plan *chaos.Plan) {
+			opts := core.DefaultOptions()
+			opts.Chaos = plan
+			core.Install(sys, proc, opts)
+		},
+	}
+}
+
+// TestTransparencyOracleSweep is the tentpole: a deterministic sweep of
+// seeded chaotic scenarios, each run under stock Android 10 and under
+// RCHDroid, asserting the transparency contract. A failure prints the
+// seed and the exact command that replays it.
+func TestTransparencyOracleSweep(t *testing.T) {
+	if *replaySeed != 0 {
+		v := oracle.Differential(*replaySeed, rchInstaller())
+		t.Logf("replay verdict:\n%s", v.String())
+		if !v.OK() {
+			t.Fail()
+		}
+		return
+	}
+	seeds := *seedCount
+	if testing.Short() && seeds > 128 {
+		seeds = 128
+	}
+	const shards = 8
+	per := (seeds + shards - 1) / shards
+	for shard := 0; shard < shards; shard++ {
+		lo, hi := shard*per+1, (shard+1)*per
+		if hi > seeds {
+			hi = seeds
+		}
+		if lo > hi {
+			continue
+		}
+		t.Run(fmt.Sprintf("seeds_%d-%d", lo, hi), func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(lo); seed <= uint64(hi); seed++ {
+				v := oracle.Differential(seed, rchInstaller())
+				if !v.OK() {
+					t.Errorf("%s\nreplay: go test ./internal/oracle -run TestTransparencyOracleSweep -oracle.replay=%d -v",
+						v.String(), seed)
+					return
+				}
+			}
+		})
+	}
+}
+
+// TestVerdictDeterministic re-runs the same seeds and requires
+// bit-identical verdicts — the property that makes a printed seed an
+// actual reproducer.
+func TestVerdictDeterministic(t *testing.T) {
+	for _, seed := range []uint64{7, 42, 1337} {
+		a := oracle.Differential(seed, rchInstaller())
+		b := oracle.Differential(seed, rchInstaller())
+		as := fmt.Sprintf("%s|%+v|%+v", a.String(), a.RCH, b.Stock)
+		bs := fmt.Sprintf("%s|%+v|%+v", b.String(), b.RCH, a.Stock)
+		if as != bs {
+			t.Fatalf("seed %d: verdicts differ between identical runs:\n%s\n----\n%s", seed, as, bs)
+		}
+	}
+}
+
+// lossyHandler wraps RCHDroid's handler but wipes the EditText before
+// every change — a synthetic transparency bug.
+type lossyHandler struct {
+	app.ChangeHandler
+}
+
+func (l lossyHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activity, newCfg config.Configuration) {
+	if et, ok := a.FindViewByID(oracle.EditID).(*view.EditText); ok {
+		et.SetText("")
+		et.SetCursor(0)
+	}
+	l.ChangeHandler.HandleRuntimeChange(t, a, newCfg)
+}
+
+// TestOracleHasTeeth verifies the oracle actually detects state loss:
+// the lossy mutant must fail on at least one seed where genuine RCHDroid
+// passes, and be flagged as losing user state or diverging in essence.
+func TestOracleHasTeeth(t *testing.T) {
+	lossy := oracle.Installer{
+		Name: "RCHDroid-lossy",
+		Install: func(sys *atms.ATMS, proc *app.Process, plan *chaos.Plan) {
+			opts := core.DefaultOptions()
+			opts.Chaos = plan
+			core.Install(sys, proc, opts)
+			proc.Thread().SetChangeHandler(lossyHandler{proc.Thread().Handler()})
+		},
+	}
+	for seed := uint64(1); seed <= 40; seed++ {
+		good := oracle.Differential(seed, rchInstaller())
+		bad := oracle.Differential(seed, lossy)
+		if good.OK() && !bad.OK() {
+			return // the oracle told the mutant apart from the real thing
+		}
+	}
+	t.Fatal("oracle did not distinguish a state-wiping handler from RCHDroid in 40 seeds")
+}

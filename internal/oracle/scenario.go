@@ -1,0 +1,149 @@
+package oracle
+
+import (
+	"fmt"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/bundle"
+	"rchdroid/internal/config"
+	"rchdroid/internal/resources"
+	"rchdroid/internal/sim"
+	"rchdroid/internal/view"
+)
+
+// View ids of the oracle app.
+const (
+	RootID  view.ID = 1
+	EditID  view.ID = 11
+	CheckID view.ID = 12
+	SeekID  view.ID = 13
+	ListID  view.ID = 14
+	// ImgIDBase is the first ImageView id.
+	ImgIDBase view.ID = 100
+)
+
+// counterKey is the activity-private extra the app persists through
+// OnSaveInstanceState — state that survives ONLY if the handler runs the
+// full save/restore contract.
+const counterKey = "counter"
+
+// listItems is the oracle app's fixed list content.
+var listItems = []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+
+// OracleApp builds the probe app: one instance of every stock-persisted
+// widget (EditText, CheckBox), widgets whose state stock Android
+// legitimately loses on restart (SeekBar, ListView), async-updated
+// ImageViews, and an app-private counter saved via OnSaveInstanceState.
+// Both orientations share the layout, so a rotation changes handling but
+// never the view-tree shape — state differences after a change are the
+// handler's doing, not the layout's.
+func OracleApp(images int) *app.App {
+	res := resources.NewTable()
+	layout := func() *view.Spec {
+		children := []*view.Spec{
+			view.Edit(EditID, ""),
+			{Type: "CheckBox", ID: CheckID, Text: "opt-in"},
+			{Type: "SeekBar", ID: SeekID, Max: 100},
+			{Type: "ListView", ID: ListID, Items: listItems},
+		}
+		for i := 0; i < images; i++ {
+			children = append(children, view.Img(ImgIDBase+view.ID(i), "drawable/init"))
+		}
+		return view.Linear(RootID, children...)
+	}
+	res.Put("layout/main", resources.Qualifiers{Orientation: config.OrientationLandscape}, layout())
+	res.Put("layout/main", resources.Qualifiers{Orientation: config.OrientationPortrait}, layout())
+	res.PutDefault("drawable/init", "bitmap:init")
+	res.PutDefault("drawable/loaded", "bitmap:loaded")
+
+	cls := &app.ActivityClass{Name: "OracleActivity"}
+	cls.Callbacks.OnCreate = func(a *app.Activity, saved *bundle.Bundle) {
+		a.SetContentView("layout/main")
+	}
+	cls.Callbacks.OnSaveInstanceState = func(a *app.Activity, out *bundle.Bundle) {
+		c, _ := a.Extra(counterKey).(int64)
+		out.PutInt(counterKey, c)
+	}
+	cls.Callbacks.OnRestoreInstanceState = func(a *app.Activity, saved *bundle.Bundle) {
+		a.PutExtra(counterKey, saved.GetInt(counterKey, 0))
+	}
+	return &app.App{Name: "oracleapp", Resources: res, Main: cls}
+}
+
+// op is one scripted scenario step. All parameters are drawn at
+// generation time so the stock and RCHDroid runs execute literally the
+// same script.
+type op struct {
+	kind   string
+	text   string        // type: text to insert; locale: tag
+	n      int           // resize index / seek value / list row / ui-mode
+	f      float64       // font scale
+	d      time.Duration // burst gap / async task length
+	settle time.Duration // virtual time advanced after the op
+}
+
+// Scenario is a seeded script of runtime changes and user interactions.
+type Scenario struct {
+	Seed   uint64
+	Images int
+	Ops    []op
+	Tasks  int // async tasks the script starts
+}
+
+var resizeTable = [][2]int{{1920, 1080}, {1080, 1920}, {1280, 720}, {2560, 1440}, {720, 1280}}
+var localeTable = []string{"en-US", "fr-FR", "ja-JP", "de-DE"}
+var fontTable = []float64{1.0, 1.15, 1.3}
+
+// GenScenario derives the scenario for a seed: 8–16 operations mixing
+// configuration changes (including back-to-back bursts that land
+// mid-transition), user edits of every probed widget, async tasks that
+// straddle changes, and idle gaps (one long enough to cross the shadow
+// GC's THRESH_T).
+func GenScenario(seed uint64) Scenario {
+	rng := sim.NewRNG(seed*2654435761 + 7)
+	sc := Scenario{Seed: seed, Images: 1 + rng.Intn(6)}
+	n := 8 + rng.Intn(9)
+	for i := 0; i < n; i++ {
+		roll := rng.Intn(100)
+		settle := 2 * time.Second
+		switch {
+		case roll < 12:
+			sc.Ops = append(sc.Ops, op{kind: "rotate", settle: settle})
+		case roll < 19:
+			sc.Ops = append(sc.Ops, op{kind: "resize", n: rng.Intn(len(resizeTable)), settle: settle})
+		case roll < 25:
+			sc.Ops = append(sc.Ops, op{kind: "locale", text: localeTable[rng.Intn(len(localeTable))], settle: settle})
+		case roll < 30:
+			sc.Ops = append(sc.Ops, op{kind: "night", n: rng.Intn(2), settle: settle})
+		case roll < 35:
+			sc.Ops = append(sc.Ops, op{kind: "fontscale", f: fontTable[rng.Intn(len(fontTable))], settle: settle})
+		case roll < 43:
+			// Two changes back to back: the second lands while the first
+			// is still being handled.
+			gap := time.Duration(10+rng.Intn(80)) * time.Millisecond
+			sc.Ops = append(sc.Ops, op{kind: "burst", d: gap, settle: 2500 * time.Millisecond})
+		case roll < 52:
+			sc.Ops = append(sc.Ops, op{kind: "type", text: fmt.Sprintf("s%d.", i), settle: 50 * time.Millisecond})
+		case roll < 58:
+			sc.Ops = append(sc.Ops, op{kind: "check", settle: 50 * time.Millisecond})
+		case roll < 64:
+			sc.Ops = append(sc.Ops, op{kind: "seek", n: rng.Intn(101), settle: 50 * time.Millisecond})
+		case roll < 70:
+			sc.Ops = append(sc.Ops, op{kind: "selectRow", n: rng.Intn(len(listItems)), settle: 50 * time.Millisecond})
+		case roll < 76:
+			sc.Ops = append(sc.Ops, op{kind: "bump", settle: 50 * time.Millisecond})
+		case roll < 90:
+			work := time.Duration(50+rng.Intn(350)) * time.Millisecond
+			sc.Ops = append(sc.Ops, op{kind: "touch", n: sc.Tasks, d: work,
+				settle: time.Duration(50+rng.Intn(200)) * time.Millisecond})
+			sc.Tasks++
+		case roll < 97:
+			sc.Ops = append(sc.Ops, op{kind: "idle", settle: time.Duration(300+rng.Intn(2700)) * time.Millisecond})
+		default:
+			// Crosses THRESH_T: the shadow GC fires under chaos too.
+			sc.Ops = append(sc.Ops, op{kind: "idleLong", settle: 70 * time.Second})
+		}
+	}
+	return sc
+}

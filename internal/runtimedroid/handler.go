@@ -147,3 +147,11 @@ func (h *PatchedHandler) HandleForegroundSwitch(t *app.ActivityThread) {
 	h.pending = nil
 	h.inSet = make(map[view.View]bool)
 }
+
+// HandleTrimMemory implements app.ChangeHandler: under memory pressure
+// the off-screen holder tree is the only reclaimable state — drop it
+// (late async updates then land on detached views, the risk the
+// app-level scheme accepts).
+func (h *PatchedHandler) HandleTrimMemory(t *app.ActivityThread) {
+	h.HandleForegroundSwitch(t)
+}

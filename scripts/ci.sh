@@ -1,0 +1,30 @@
+#!/bin/sh
+# Tier-1 gate: everything here must pass before a change lands.
+#
+#   scripts/ci.sh            # from the repo root
+#
+# Stages:
+#   1. go vet        — static checks
+#   2. go build      — every package compiles
+#   3. go test -race — full suite, short mode, race detector on
+#   4. oracle sweep  — 64-seed differential RCHDroid-vs-stock run
+#
+# The oracle sweep is deliberately rerun outside -short so the
+# differential harness itself is exercised even in the quick gate; a
+# failure prints the exact -oracle.replay=<seed> invocation.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race -short ./..."
+go test -race -short ./...
+
+echo "==> oracle sweep (64 seeds)"
+go test ./internal/oracle -run TestTransparencyOracleSweep -oracle.seeds=64 -count=1
+
+echo "ci: all green"
