@@ -10,7 +10,7 @@
 //	rchsim -mode stock               # watch stock Android crash
 //	rchsim -images 16 -changes 5
 //	rchsim -touch=false              # no async task
-//	rchsim -trace                    # dump the event trace
+//	rchsim -trace run.json           # write a Chrome/Perfetto trace
 //	rchsim -script demo.rch          # drive the device from a script file
 package main
 
@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -30,8 +31,10 @@ import (
 	"rchdroid/internal/core"
 	"rchdroid/internal/costmodel"
 	"rchdroid/internal/logcat"
+	"rchdroid/internal/metrics"
 	"rchdroid/internal/script"
 	"rchdroid/internal/sim"
+	"rchdroid/internal/trace"
 	"rchdroid/internal/view"
 )
 
@@ -42,8 +45,8 @@ func main() {
 	changes := flag.Int("changes", 3, "number of runtime changes")
 	touch := flag.Bool("touch", true, "touch the button (starts the AsyncTask) before the first change")
 	taskMS := flag.Int("task-ms", 400, "AsyncTask duration in ms")
-	trace := flag.Bool("trace", false, "print the full event trace")
-	showLog := flag.Bool("logcat", false, "dump the system log (grep zizhan for handling times)")
+	traceFile := flag.String("trace", "", "write a Chrome/Perfetto trace_event JSON file (\"-\" for stdout)")
+	showLog := flag.Bool("logcat", false, "dump the system log (grep zizhan for handling times); with -trace, log lines also land on the trace timeline")
 	dump := flag.Bool("dump", false, "dump the foreground view tree after each change")
 	scriptPath := flag.String("script", "", "run a scenario script instead of the built-in rotation loop")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "arm the fault-injection layer with this seed (0 = off)")
@@ -51,13 +54,13 @@ func main() {
 	flag.Parse()
 
 	sched := sim.NewScheduler()
-	var tracer *sim.RecordingTracer
-	if *trace {
-		tracer = &sim.RecordingTracer{}
-		sched.SetTracer(tracer)
+	var tracer *trace.Tracer
+	if *traceFile != "" {
+		tracer = trace.New(sched)
 	}
 	model := costmodel.Default()
 	sys := atms.New(sched, model)
+	sys.SetTracer(tracer) // registers system_server first: pid 1
 	lc := logcat.New(sched, 4096)
 	sys.SetLogcat(lc)
 	application := benchapp.New(benchapp.Config{
@@ -74,6 +77,7 @@ func main() {
 		application = m.Build()
 	}
 	proc := app.NewProcess(sched, model, application)
+	proc.SetTracer(tracer)
 
 	var plan *chaos.Plan
 	if *chaosSeed != 0 {
@@ -89,6 +93,12 @@ func main() {
 		}
 		plan = chaos.NewPlan(*chaosSeed, opts)
 		plan.BindClock(sched)
+		plan.SetTracer(tracer)
+	}
+	if *showLog {
+		// Interleave: every logcat line also lands on the trace timeline
+		// (its own process row), lined up with the structured spans.
+		lc.SetTracer(tracer)
 	}
 
 	var rch *core.RCHDroid
@@ -144,6 +154,7 @@ func main() {
 			report(proc)
 		}
 		reportChaos(plan)
+		writeTrace(tracer, *traceFile)
 		if *showLog {
 			fmt.Println("\nlogcat:")
 			fmt.Print(indent(lc.Dump()))
@@ -184,15 +195,41 @@ func main() {
 			rch.Migrator.Migrations(), rch.Migrator.ViewsMigrated())
 	}
 	reportChaos(plan)
-	if tracer != nil {
-		fmt.Println("\nevent trace:")
-		for _, e := range tracer.Entries {
-			fmt.Printf("  %12v  %s\n", e.At, e.Name)
-		}
-	}
+	writeTrace(tracer, *traceFile)
 	if *showLog {
 		fmt.Println("\nlogcat:")
 		fmt.Print(indent(lc.Dump()))
+	}
+}
+
+// writeTrace exports the structured trace as Chrome trace_event JSON
+// (load it in chrome://tracing or https://ui.perfetto.dev) and prints
+// the derived summary.
+func writeTrace(tracer *trace.Tracer, path string) {
+	if tracer == nil || path == "" {
+		return
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rchsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := tracer.WriteJSON(out); err != nil {
+		fmt.Fprintf(os.Stderr, "rchsim: writing trace: %v\n", err)
+		os.Exit(1)
+	}
+	if path != "-" {
+		fmt.Printf("\ntrace written to %s (%d events", path, tracer.Len())
+		if n := tracer.Dropped(); n > 0 {
+			fmt.Printf(", %d dropped by ring", n)
+		}
+		fmt.Println(")")
+		fmt.Print(indent(metrics.AnalyzeTrace(tracer.Events()).Render(12)))
 	}
 }
 
@@ -248,7 +285,14 @@ func report(proc *app.Process) {
 		fmt.Printf("  process CRASHED; memory %.2f MB\n", proc.Memory().CurrentMB())
 		return
 	}
-	for _, a := range proc.Thread().Activities() {
+	acts := proc.Thread().Activities()
+	tokens := make([]int, 0, len(acts))
+	for tok := range acts {
+		tokens = append(tokens, tok)
+	}
+	sort.Ints(tokens)
+	for _, tok := range tokens {
+		a := acts[tok]
 		fmt.Printf("  activity #%d: %-9v views=%d loaded=%d\n",
 			a.Token(), a.State(), a.ViewCount(), benchapp.ImagesLoaded(a))
 	}

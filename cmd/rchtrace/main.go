@@ -1,0 +1,80 @@
+// Command rchtrace summarizes a Chrome/Perfetto trace written by
+// `rchsim -trace` (or attached to an oracle failure): per-phase latency
+// percentiles, runtime-change handling times, coin-flip and shadow-GC
+// decision counts, and chaos injections — the textual companion to
+// loading the file in chrome://tracing or https://ui.perfetto.dev.
+//
+// Usage:
+//
+//	rchtrace run.json            # summary
+//	rchtrace -phases 0 run.json  # full phase table
+//	rchtrace -events run.json    # raw event listing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"rchdroid/internal/metrics"
+	"rchdroid/internal/trace"
+)
+
+func main() {
+	phases := flag.Int("phases", 20, "phase-table rows to print (0 = all)")
+	events := flag.Bool("events", false, "also list every event in timeline order")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rchtrace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		name = flag.Arg(0)
+	}
+	evs, names, err := trace.ReadJSON(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rchtrace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: ", name)
+	fmt.Print(metrics.AnalyzeTrace(evs).Render(*phases))
+	if *events {
+		fmt.Println("\nevents:")
+		for _, e := range evs {
+			track := names[e.Track]
+			if track == "" {
+				track = fmt.Sprintf("%d/%d", e.Track.Pid, e.Track.Tid)
+			}
+			switch e.Ph {
+			case trace.PhaseComplete:
+				fmt.Printf("  %12v  %-24s %c %s (%v)\n", e.TS, track, e.Ph, e.Name, e.Dur)
+			default:
+				fmt.Printf("  %12v  %-24s %c %s%s\n", e.TS, track, e.Ph, e.Name, argsSuffix(e))
+			}
+		}
+	}
+}
+
+// argsSuffix renders an event's args inline, " k=v ..." or empty.
+func argsSuffix(e trace.Event) string {
+	s := ""
+	for _, a := range e.Args {
+		switch v := a.Val.(type) {
+		case float64:
+			s += fmt.Sprintf(" %s=%g", a.Key, v)
+		case time.Duration:
+			s += fmt.Sprintf(" %s=%v", a.Key, v)
+		default:
+			s += fmt.Sprintf(" %s=%v", a.Key, v)
+		}
+	}
+	return s
+}

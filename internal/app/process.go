@@ -11,6 +11,7 @@ import (
 	"rchdroid/internal/metrics"
 	"rchdroid/internal/resources"
 	"rchdroid/internal/sim"
+	"rchdroid/internal/trace"
 	"rchdroid/internal/view"
 )
 
@@ -77,6 +78,10 @@ type Process struct {
 	asyncInFlight int
 
 	asyncFault AsyncFaultInjector
+
+	tracer     *trace.Tracer
+	uiTrack    trace.TrackID
+	asyncTrack trace.TrackID
 }
 
 // AsyncFault is a per-task fault decision. The zero value delivers the
@@ -147,6 +152,28 @@ func (p *Process) Endpoint() *ipc.Endpoint {
 // Thread returns the activity thread.
 func (p *Process) Thread() *ActivityThread { return p.thread }
 
+// SetTracer arms structured tracing for this process: a process row for
+// the app, a thread row for the UI looper (wired into the looper's own
+// instrumentation) and a second row for background task spans.
+func (p *Process) SetTracer(tr *trace.Tracer) {
+	p.tracer = tr
+	if tr == nil {
+		p.uiLooper.SetTracer(nil, trace.TrackID{})
+		return
+	}
+	pid := tr.RegisterProcess(p.app.Name)
+	p.uiTrack = tr.RegisterThread(pid, p.app.Name+":ui")
+	p.asyncTrack = tr.RegisterThread(pid, p.app.Name+":async")
+	p.uiLooper.SetTracer(tr, p.uiTrack)
+}
+
+// Tracer returns the armed tracer (nil when tracing is off). The nil
+// tracer is inert, so callers may emit unconditionally.
+func (p *Process) Tracer() *trace.Tracer { return p.tracer }
+
+// UITrack returns the UI thread's trace track.
+func (p *Process) UITrack() trace.TrackID { return p.uiTrack }
+
 // Memory returns the memory meter.
 func (p *Process) Memory() *metrics.MemoryMeter { return p.mem }
 
@@ -192,6 +219,8 @@ func (p *Process) Crash(cause error) {
 	}
 	p.crashed = true
 	p.crashErr = &CrashError{App: p.app.Name, Cause: cause}
+	p.tracer.Instant(p.uiTrack, "crash", "process",
+		trace.Arg{Key: "cause", Val: p.crashErr.Error()})
 	p.uiLooper.Quit()
 	for _, a := range p.thread.Activities() {
 		if a.State().Alive() {
@@ -260,6 +289,16 @@ func (p *Process) StartAsyncTask(owner *Activity, name string, d time.Duration, 
 	}
 	p.asyncInFlight++
 	owner.asyncInFlight++
+	// The background work is a span on the async track, tied to its UI
+	// start and result delivery by a flow arrow, so a late result landing
+	// after a flip reads as one connected line in the viewer.
+	var flowID uint64
+	if p.tracer.Enabled() {
+		flowID = p.tracer.NextID()
+		p.tracer.FlowStart(p.uiTrack, "async:"+name, "async", flowID)
+		p.tracer.Complete(p.asyncTrack, name, "async", p.sched.Now(), d,
+			trace.Arg{Key: "owner", Val: owner.class.Name})
+	}
 	p.sched.After(d, p.app.Name+":async:"+name, func() {
 		// The in-flight counters drain even when the result is dropped:
 		// the background work finished, only its delivery was lost. A
@@ -268,8 +307,12 @@ func (p *Process) StartAsyncTask(owner *Activity, name string, d time.Duration, 
 		p.asyncInFlight--
 		owner.asyncInFlight--
 		if p.crashed || fault.DropResult {
+			if fault.DropResult && !p.crashed {
+				p.tracer.Instant(p.asyncTrack, "asyncDropped:"+name, "async")
+			}
 			return
 		}
+		p.tracer.FlowFinish(p.uiTrack, "async:"+name, "async", flowID)
 		p.PostApp("asyncResult:"+name, p.model.AsyncCallback, func() {
 			onPost()
 			p.thread.afterUICallback(owner)

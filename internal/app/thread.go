@@ -6,6 +6,7 @@ import (
 
 	"rchdroid/internal/bundle"
 	"rchdroid/internal/config"
+	"rchdroid/internal/trace"
 )
 
 // SystemServer is the slice of the ATMS the activity thread calls back
@@ -298,6 +299,7 @@ func (t *ActivityThread) PerformLaunch(class *ActivityClass, token int, cfg conf
 	if opts.Saved != nil {
 		t.RunCharged("launch:restore", func() time.Duration {
 			a.RestoreInstanceState(opts.Saved)
+			t.traceBundle("bundleRestore", opts.Saved)
 			return m.RestoreState(a.ViewCount())
 		})
 	}
@@ -361,6 +363,7 @@ func (t *ActivityThread) PerformSaveAndDestroy(a *Activity, done func(saved *bun
 			return 0
 		}
 		saved = a.SaveInstanceStateStock()
+		t.traceBundle("bundleSave", saved)
 		return m.SaveState(a.ViewCount())
 	})
 	t.RunCharged("relaunch:destroy", func() time.Duration {
@@ -457,6 +460,22 @@ func (t *ActivityThread) DeliverConfigurationChanged(a *Activity, newCfg config.
 		}
 		return 0
 	})
+}
+
+// traceBundle samples an instance-state bundle's size as a counter on
+// the UI track — the save/restore payload the paper's relaunch path
+// serialises over binder.
+func (t *ActivityThread) traceBundle(name string, b *bundle.Bundle) {
+	if !t.proc.tracer.Enabled() || b == nil {
+		return
+	}
+	t.proc.tracer.Counter(t.proc.uiTrack, name, float64(b.SizeBytes()))
+}
+
+// Trace exposes the process tracer and UI track for the change handler
+// (the core package instruments its phases through this seam).
+func (t *ActivityThread) Trace() (*trace.Tracer, trace.TrackID) {
+	return t.proc.tracer, t.proc.uiTrack
 }
 
 // afterUICallback gives the change handler its post-callback hook.

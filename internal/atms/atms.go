@@ -12,6 +12,7 @@ import (
 	"rchdroid/internal/logcat"
 	"rchdroid/internal/looper"
 	"rchdroid/internal/sim"
+	"rchdroid/internal/trace"
 )
 
 // ATMS is the ActivityTaskManagerService: it owns the activity stack,
@@ -35,6 +36,10 @@ type ATMS struct {
 	handlingTimes []time.Duration
 
 	log *logcat.Log
+
+	tracer     *trace.Tracer
+	track      trace.TrackID
+	handlingID uint64
 
 	// OnHandled, if set, observes each completed runtime-change handling
 	// with its latency.
@@ -82,6 +87,29 @@ func (a *ATMS) logf(tag, format string, args ...any) {
 		a.log.I(tag, format, args...)
 	}
 }
+
+// SetTracer arms structured tracing for the system server: one process
+// row with a thread for the server looper. The ATMS then emits the
+// runtime-change async span (configuration arrival → resume
+// notification), the systrace equivalent of the paper's handling-time
+// measurement.
+func (a *ATMS) SetTracer(tr *trace.Tracer) {
+	a.tracer = tr
+	if tr == nil {
+		a.sysLooper.SetTracer(nil, trace.TrackID{})
+		return
+	}
+	pid := tr.RegisterProcess("system_server")
+	a.track = tr.RegisterThread(pid, "atms")
+	a.sysLooper.SetTracer(tr, a.track)
+}
+
+// Tracer returns the armed tracer (nil when tracing is off). Policy
+// code on the server side (coin flip, shadow GC) emits through this.
+func (a *ATMS) Tracer() *trace.Tracer { return a.tracer }
+
+// Track returns the system-server trace track.
+func (a *ATMS) Track() trace.TrackID { return a.track }
 
 // ServerLooper exposes the system-server looper (for test observers).
 func (a *ATMS) ServerLooper() *looper.Looper { return a.sysLooper }
@@ -172,6 +200,15 @@ func (a *ATMS) PushConfiguration(newCfg config.Configuration) {
 		a.measuring = true
 		a.handlingStart = a.sched.Now()
 		a.logf("ATMS", "configuration change arriving: %v", newCfg)
+		if a.tracer.Enabled() {
+			// One async span covers the whole handling: it opens here on
+			// the server track and closes when the resume notification
+			// lands — the interval Fig 9 plots.
+			a.handlingID = a.tracer.NextID()
+			a.tracer.AsyncBegin(a.track, "runtimeChange", "handling", a.handlingID,
+				trace.Arg{Key: "config", Val: newCfg.String()},
+				trace.Arg{Key: "app", Val: rec.Proc.App().Name})
+		}
 		// ensureActivityConfiguration: deliver the change and let the
 		// activity thread decide restart vs. declared handling vs. the
 		// installed change handler. The record's Config keeps tracking
@@ -206,6 +243,8 @@ func (a *ATMS) scheduleConfigEcho(cfg config.Configuration, delay time.Duration)
 			if !cfg.Equal(a.globalConfig) {
 				return // a later change superseded the echoed one
 			}
+			a.tracer.Instant(a.track, "configEcho", "chaos",
+				trace.Arg{Key: "config", Val: cfg.String()})
 			task := a.stack.TopTask()
 			if task == nil {
 				return
@@ -330,8 +369,12 @@ func (a *ATMS) notifyResumed(token int) {
 			// died with its process (crash) and is discarded, as a
 			// wall-clock harness would time it out.
 			if d > 2*time.Second {
+				a.tracer.Instant(a.track, "handlingTimedOut", "handling",
+					trace.Arg{Key: "elapsed", Val: d})
 				return
 			}
+			a.tracer.AsyncEnd(a.track, "runtimeChange", "handling", a.handlingID,
+				trace.Arg{Key: "latency", Val: d})
 			a.handlingTimes = append(a.handlingTimes, d)
 			a.logf("zizhan", "runtime change handling time: %.2f ms (token %d)",
 				float64(d)/float64(time.Millisecond), token)

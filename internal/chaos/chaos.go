@@ -27,6 +27,7 @@ import (
 	"rchdroid/internal/config"
 	"rchdroid/internal/looper"
 	"rchdroid/internal/sim"
+	"rchdroid/internal/trace"
 )
 
 // ErrKilled is the crash cause used when the chaos layer kills a process
@@ -224,6 +225,9 @@ type Plan struct {
 	log          []Injection
 	truncated    int
 	droppedAsync map[string]int
+
+	tracer *trace.Tracer
+	track  trace.TrackID
 }
 
 // NewPlan returns a plan for the seed. Per-point streams are derived
@@ -246,6 +250,19 @@ func (p *Plan) Opts() Options { return p.opts }
 // BindClock attaches a scheduler so injection records carry virtual
 // timestamps. Optional; unbound plans record At 0.
 func (p *Plan) BindClock(s *sim.Scheduler) { p.clock = s }
+
+// SetTracer mirrors every landed injection onto the trace timeline as an
+// instant on a dedicated "chaos" process row, so faults and their
+// consequences (stalled dispatches, dropped results, echoed configs) are
+// read off one view. Call after BindClock; a nil tracer disables it.
+func (p *Plan) SetTracer(tr *trace.Tracer) {
+	p.tracer = tr
+	if tr == nil {
+		return
+	}
+	pid := tr.RegisterProcess("chaos")
+	p.track = tr.RegisterThread(pid, "injections")
+}
 
 // Injections returns the faults that landed so far (capped at 4096;
 // Truncated reports how many records past the cap were discarded).
@@ -287,8 +304,12 @@ func (p *Plan) draw(pt Point, max time.Duration) time.Duration {
 	return time.Duration(p.rng[pt].Intn(us)+1) * time.Microsecond
 }
 
-// record appends to the injection log (bounded).
+// record appends to the injection log (bounded) and mirrors the
+// injection onto the trace timeline. The trace instant is emitted even
+// past the log cap — the tracer has its own (ring) bound.
 func (p *Plan) record(pt Point, label, effect string) {
+	p.tracer.Instant(p.track, pt.String()+":"+label, "chaos",
+		trace.Arg{Key: "effect", Val: effect})
 	if len(p.log) >= maxLog {
 		p.truncated++
 		return

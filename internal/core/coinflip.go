@@ -3,6 +3,7 @@ package core
 import (
 	"rchdroid/internal/atms"
 	"rchdroid/internal/config"
+	"rchdroid/internal/trace"
 )
 
 // CoinFlipPolicy is RCHDroid's ATMS side (§3.4): on a sunny start request
@@ -41,6 +42,10 @@ func (p *CoinFlipPolicy) HandleSunnyStart(a *atms.ATMS, task *atms.TaskRecord, f
 		// shadow state, and push the requester into the shadow state.
 		p.flips++
 		a.Starter().CountFlip()
+		a.Tracer().Instant(a.Track(), "coinFlip", "rch",
+			trace.Arg{Key: "decision", Val: "flip"},
+			trace.Arg{Key: "shadowConfig", Val: shadowRec.Config.String()},
+			trace.Arg{Key: "newConfig", Val: newCfg.String()})
 		task.MoveToTop(shadowRec)
 		shadowRec.SetShadow(false)
 		from.SetShadow(true)
@@ -58,6 +63,16 @@ func (p *CoinFlipPolicy) HandleSunnyStart(a *atms.ATMS, task *atms.TaskRecord, f
 	// First-time change (or stale/missing shadow): create a second record
 	// for the same activity class and mark the requester shadow.
 	p.creates++
+	if a.Tracer().Enabled() {
+		reason := "noShadow"
+		if shadowRec != nil {
+			reason = "staleShadow"
+		}
+		a.Tracer().Instant(a.Track(), "coinFlip", "rch",
+			trace.Arg{Key: "decision", Val: "create"},
+			trace.Arg{Key: "reason", Val: reason},
+			trace.Arg{Key: "newConfig", Val: newCfg.String()})
+	}
 	a.ChargeServer(model.ATMSStackSearch)
 	rec := a.Starter().CreateRecord(from.Class, from.Proc, task)
 	from.SetShadow(true)

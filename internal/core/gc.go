@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"rchdroid/internal/app"
+	"rchdroid/internal/trace"
 )
 
 // GCConfig holds the threshold-based garbage-collection parameters of
@@ -113,10 +114,29 @@ func (g *ThresholdGC) sweep(t *app.ActivityThread) {
 	// recent behaviour rather than a full stale minute.
 	count := shadow.ShadowFrequency(now, g.cfg.Window)
 	ratePerMin := float64(count) * float64(time.Minute) / float64(g.cfg.Window)
+	collect := shadowTime > g.cfg.ThreshT && ratePerMin < float64(g.cfg.ThreshF)
+	if tr, track := t.Trace(); tr.Enabled() {
+		// Every Algorithm 1 evaluation lands on the timeline with its
+		// inputs, so a missed (or premature) collection is diagnosable
+		// from the trace alone.
+		decision := "keep"
+		switch {
+		case shadow.AsyncInFlight() > 0:
+			decision = "deferAsync"
+		case collect:
+			decision = "collect"
+		}
+		tr.Instant(track, "shadowGCEval", "rch",
+			trace.Arg{Key: "decision", Val: decision},
+			trace.Arg{Key: "shadowTime", Val: shadowTime},
+			trace.Arg{Key: "threshT", Val: g.cfg.ThreshT},
+			trace.Arg{Key: "ratePerMin", Val: ratePerMin},
+			trace.Arg{Key: "threshF", Val: g.cfg.ThreshF})
+	}
 	if shadow.AsyncInFlight() > 0 {
 		return // never reclaim under an in-flight task; retry next sweep
 	}
-	if shadowTime > g.cfg.ThreshT && ratePerMin < float64(g.cfg.ThreshF) {
+	if collect {
 		g.collected++
 		if g.migrator != nil {
 			g.migrator.RemoveHook(shadow)

@@ -6,6 +6,7 @@ import (
 	"rchdroid/internal/app"
 	"rchdroid/internal/bundle"
 	"rchdroid/internal/config"
+	"rchdroid/internal/trace"
 	"rchdroid/internal/view"
 )
 
@@ -238,10 +239,16 @@ func (h *ShadowHandler) HandleSunnyLaunch(t *app.ActivityThread, class *app.Acti
 				if shadow == nil {
 					return
 				}
+				var mapped int
 				if h.quadraticMapping {
-					BuildEssenceMappingQuadratic(shadow.Decor(), sunny.Decor())
+					mapped = BuildEssenceMappingQuadratic(shadow.Decor(), sunny.Decor())
 				} else {
-					BuildEssenceMapping(shadow.Decor(), sunny.Decor())
+					mapped = BuildEssenceMapping(shadow.Decor(), sunny.Decor())
+				}
+				if tr, track := t.Trace(); tr.Enabled() {
+					tr.Instant(track, "rch:mappingBuilt", "rch",
+						trace.Arg{Key: "mapped", Val: mapped},
+						trace.Arg{Key: "views", Val: n})
 				}
 			}
 		},

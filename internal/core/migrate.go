@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"rchdroid/internal/app"
+	"rchdroid/internal/trace"
 	"rchdroid/internal/view"
 )
 
@@ -212,6 +213,11 @@ func (m *Migrator) InstallHook(shadow *app.Activity) {
 		if !m.inSet[v] {
 			m.inSet[v] = true
 			m.pending = append(m.pending, v)
+			if tr, track := m.thread.Trace(); tr.Enabled() {
+				tr.Instant(track, "rch:viewDirtied", "rch",
+					trace.Arg{Key: "view", Val: int(v.ID())},
+					trace.Arg{Key: "pending", Val: len(m.pending)})
+			}
 		}
 	}
 }
@@ -264,6 +270,10 @@ func (m *Migrator) Flush() {
 
 	model := m.thread.Process().Model()
 	cost := model.MigrateViews(len(batch))
+	if tr, track := m.thread.Trace(); tr.Enabled() {
+		tr.Instant(track, "rch:migrateFlush", "rch",
+			trace.Arg{Key: "batch", Val: len(batch)})
+	}
 	m.thread.RunCharged("rch:lazyMigrate", func() time.Duration {
 		n := 0
 		for _, v := range batch {

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"rchdroid/internal/benchapp"
+	"rchdroid/internal/trace"
+)
+
+// steadyFlip boots the benchmark rig (optionally with tracing armed on
+// every layer) and returns the steady-state flip latency: the second
+// rotation, after the first has paid RCHDroid-init.
+func steadyFlip(t *testing.T, tr *trace.Tracer) time.Duration {
+	t.Helper()
+	r := NewRig(benchapp.New(benchapp.Config{Images: 4}), ModeRCHDroid)
+	if tr != nil {
+		tr.BindClock(r.Sched)
+		r.Sys.SetTracer(tr)
+		r.Proc.SetTracer(tr)
+	}
+	if _, err := r.Rotate(); err != nil {
+		t.Fatalf("init rotation: %v", err)
+	}
+	d, err := r.Rotate()
+	if err != nil {
+		t.Fatalf("flip rotation: %v", err)
+	}
+	return d
+}
+
+// TestTraceOverheadGuard is the observability tax check: with tracing
+// disabled the steady-state flip must sit on the paper's 89.2 ms anchor,
+// and arming the tracer must not move virtual time by a single tick —
+// instrumentation observes the simulation, it never participates in it.
+func TestTraceOverheadGuard(t *testing.T) {
+	off := steadyFlip(t, nil)
+	withinPct(t, "flip ms (tracing off)", ms(off), 89.2, 3)
+
+	tracer := trace.New(nil)
+	on := steadyFlip(t, tracer)
+	if on != off {
+		t.Errorf("tracing moved virtual time: %v with tracer, %v without", on, off)
+	}
+	if tracer.Len() == 0 {
+		t.Error("armed tracer recorded nothing")
+	}
+	spans := 0
+	for _, e := range tracer.Events() {
+		if e.Ph == trace.PhaseComplete {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Error("armed tracer recorded no spans")
+	}
+}

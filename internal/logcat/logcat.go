@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"rchdroid/internal/sim"
+	"rchdroid/internal/trace"
 )
 
 // Priority mirrors android.util.Log levels.
@@ -59,6 +60,9 @@ type Log struct {
 	start   int
 	count   int
 	dropped int
+
+	tracer *trace.Tracer
+	track  trace.TrackID
 }
 
 // New returns a log holding at most capacity entries (older entries are
@@ -70,9 +74,40 @@ func New(sched *sim.Scheduler, capacity int) *Log {
 	return &Log{sched: sched, entries: make([]Entry, capacity)}
 }
 
+// BindClock attaches (or replaces) the scheduler stamping entries —
+// used when a log outlives the scheduler it was created with (a reboot
+// in a stress run) or was created before one existed.
+func (l *Log) BindClock(sched *sim.Scheduler) { l.sched = sched }
+
+// SetTracer mirrors every appended line onto the trace timeline as an
+// instant on a dedicated "logcat" process row, interleaving the textual
+// log with the structured spans. A nil tracer disables it.
+func (l *Log) SetTracer(tr *trace.Tracer) {
+	l.tracer = tr
+	if tr == nil {
+		return
+	}
+	pid := tr.RegisterProcess("logcat")
+	l.track = tr.RegisterThread(pid, "lines")
+}
+
+// now returns the current virtual time, 0 with no clock bound — a log
+// without a scheduler still accepts entries rather than panicking.
+func (l *Log) now() sim.Time {
+	if l.sched == nil {
+		return 0
+	}
+	return l.sched.Now()
+}
+
 // Append adds an entry at the current virtual time.
 func (l *Log) Append(p Priority, tag, format string, args ...any) {
-	e := Entry{At: l.sched.Now(), Priority: p, Tag: tag, Message: fmt.Sprintf(format, args...)}
+	e := Entry{At: l.now(), Priority: p, Tag: tag, Message: fmt.Sprintf(format, args...)}
+	if l.tracer.Enabled() {
+		l.tracer.Instant(l.track, e.Tag, "logcat",
+			trace.Arg{Key: "priority", Val: e.Priority.String()},
+			trace.Arg{Key: "message", Val: e.Message})
+	}
 	if l.count < len(l.entries) {
 		l.entries[(l.start+l.count)%len(l.entries)] = e
 		l.count++

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"rchdroid/internal/sim"
+	"rchdroid/internal/trace"
 )
 
 // Message is one unit of work queued on a looper.
@@ -84,6 +85,11 @@ type Looper struct {
 	// onBusy, if set, observes every executed message (used by the
 	// metrics recorder to compute CPU usage over time).
 	onBusy func(start sim.Time, cost time.Duration, name string)
+
+	// tracer, if set, records every dispatch, charge, stall and drop on
+	// track as structured trace events. A nil tracer costs one branch.
+	tracer *trace.Tracer
+	track  trace.TrackID
 }
 
 // New returns a looper named name driving its messages on sched.
@@ -97,6 +103,15 @@ func (l *Looper) Name() string { return l.name }
 // Scheduler exposes the underlying scheduler, for components that need to
 // schedule raw events (e.g. async task completion).
 func (l *Looper) Scheduler() *sim.Scheduler { return l.sched }
+
+// SetTracer points the looper's structured instrumentation at tr,
+// emitting onto track: executed messages become spans (instants when
+// zero-cost), charges become spans under their attributed name, and
+// stalls and drops become instants. A nil tracer disables it.
+func (l *Looper) SetTracer(tr *trace.Tracer, track trace.TrackID) {
+	l.tracer = tr
+	l.track = track
+}
 
 // SetBusyObserver installs a callback invoked for each executed message
 // with its start time and cost.
@@ -145,9 +160,11 @@ func (l *Looper) PostDelayed(delay time.Duration, name string, cost time.Duratio
 	if l.fault != nil {
 		f := l.fault(name, cost)
 		if f.Drop {
+			l.tracer.Instant(l.track, name, "looper", trace.Arg{Key: "dropped", Val: true})
 			return &Message{Name: name, Cost: cost, Run: fn, cancelled: true}
 		}
 		if f.Delay > 0 {
+			l.tracer.Instant(l.track, name, "looper", trace.Arg{Key: "delayed", Val: f.Delay})
 			delay += f.Delay
 		}
 		if f.Stall > 0 {
@@ -175,6 +192,7 @@ func (l *Looper) Stall(d time.Duration) {
 	if d <= 0 || l.quit {
 		return
 	}
+	l.tracer.Instant(l.track, "stall", "looper", trace.Arg{Key: "dur", Val: d})
 	start := l.busyUntil
 	if now := l.sched.Now(); start < now {
 		start = now
@@ -244,6 +262,17 @@ func (l *Looper) dispatch() {
 		if l.onBusy != nil {
 			l.onBusy(now, m.Cost, m.Name)
 		}
+		if l.tracer.Enabled() {
+			// Dispatch with a real cost is a span; a zero-cost control
+			// message is a point on the timeline. The wait argument is the
+			// queueing delay past the message's earliest runnable time.
+			if m.Cost > 0 {
+				l.tracer.Complete(l.track, m.Name, "looper", now, m.Cost,
+					trace.Arg{Key: "wait", Val: now.Sub(m.When)})
+			} else {
+				l.tracer.Instant(l.track, m.Name, "looper")
+			}
+		}
 		l.current = m
 		m.Run()
 		l.current = nil
@@ -286,6 +315,7 @@ func (l *Looper) ChargeNamed(cost time.Duration, name string) {
 	if l.onBusy != nil {
 		l.onBusy(start, cost, name)
 	}
+	l.tracer.Complete(l.track, name, "looper", start, cost)
 }
 
 func (l *Looper) String() string {

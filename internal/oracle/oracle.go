@@ -12,6 +12,7 @@ import (
 	"rchdroid/internal/config"
 	"rchdroid/internal/costmodel"
 	"rchdroid/internal/sim"
+	"rchdroid/internal/trace"
 	"rchdroid/internal/view"
 )
 
@@ -143,8 +144,9 @@ var oracleInvariants = InvariantConfig{MaxInstancesPerProcess: 3, CheckMemoryFlo
 
 // runOnce boots a fresh seeded world — scheduler, system server, the
 // oracle app, a chaos plan on the same seed — installs the handler under
-// test and executes the scenario script.
-func runOnce(name string, sc Scenario, install func(*atms.ATMS, *app.Process, *chaos.Plan)) RunResult {
+// test and executes the scenario script. A non-nil tracer is armed on
+// every layer (system server, process, chaos plan) before the launch.
+func runOnce(name string, sc Scenario, install func(*atms.ATMS, *app.Process, *chaos.Plan), tracer *trace.Tracer) RunResult {
 	res := RunResult{
 		Name:          name,
 		Started:       make([]bool, sc.Tasks),
@@ -152,11 +154,15 @@ func runOnce(name string, sc Scenario, install func(*atms.ATMS, *app.Process, *c
 		DroppedByPlan: make([]bool, sc.Tasks),
 	}
 	sched := sim.NewScheduler()
+	tracer.BindClock(sched)
 	model := costmodel.Default()
 	sys := atms.New(sched, model)
+	sys.SetTracer(tracer)
 	proc := app.NewProcess(sched, model, OracleApp(sc.Images))
+	proc.SetTracer(tracer)
 	plan := chaos.NewPlan(sc.Seed, chaos.Light())
 	plan.BindClock(sched)
+	plan.SetTracer(tracer)
 	if install != nil {
 		install(sys, proc, plan)
 	}
@@ -310,10 +316,23 @@ func runOnce(name string, sc Scenario, install func(*atms.ATMS, *app.Process, *c
 func Differential(seed uint64, rch Installer) Verdict {
 	sc := GenScenario(seed)
 	v := Verdict{Seed: seed}
-	v.Stock = runOnce("Android-10", sc, nil)
-	v.RCH = runOnce(rch.Name, sc, rch.Install)
+	v.Stock = runOnce("Android-10", sc, nil, nil)
+	v.RCH = runOnce(rch.Name, sc, rch.Install, nil)
 	v.judge()
 	return v
+}
+
+// TraceRCH re-runs the RCHDroid side of a seed's scenario with a
+// bounded ring tracer armed and returns the Chrome trace_event JSON.
+// Determinism makes this a faithful timeline of the failing run — the
+// faults land at the exact same points — at zero tracing cost to the
+// passing sweep. Capacity bounds the ring (≤ 0 uses the default), so
+// the dump always holds the tail of the run: the part where it failed.
+func TraceRCH(seed uint64, rch Installer, capacity int) ([]byte, error) {
+	sc := GenScenario(seed)
+	tracer := trace.NewRing(nil, capacity)
+	runOnce(rch.Name, sc, rch.Install, tracer)
+	return tracer.MarshalJSON()
 }
 
 // judge asserts the contract:

@@ -3,6 +3,8 @@ package oracle_test
 import (
 	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"rchdroid/internal/app"
@@ -19,7 +21,36 @@ var (
 		"number of seeds the differential sweep covers (short mode caps at 128)")
 	replaySeed = flag.Uint64("oracle.replay", 0,
 		"replay a single failing seed with its full verdict")
+	traceOnFail = flag.Bool("oracle.trace-on-fail", false,
+		"on a failing seed, re-run the RCHDroid side with a ring tracer and write the trace to ./artifacts/")
 )
+
+// failureTrace writes the failing seed's RCHDroid-side trace to
+// ./artifacts/ (when -oracle.trace-on-fail is set) and returns a line
+// pointing at it, "" otherwise. The trace is a deterministic re-run, so
+// it shows the exact timeline that failed.
+func failureTrace(t *testing.T, seed uint64) string {
+	t.Helper()
+	if !*traceOnFail {
+		return ""
+	}
+	raw, err := oracle.TraceRCH(seed, rchInstaller(), 0)
+	if err != nil {
+		return fmt.Sprintf("\ntrace-on-fail: %v", err)
+	}
+	if err := os.MkdirAll("artifacts", 0o755); err != nil {
+		return fmt.Sprintf("\ntrace-on-fail: %v", err)
+	}
+	path := filepath.Join("artifacts", fmt.Sprintf("seed%d.trace.json", seed))
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Sprintf("\ntrace-on-fail: %v", err)
+	}
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		abs = path
+	}
+	return fmt.Sprintf("\ntrace:  %s (open with rchtrace, chrome://tracing or ui.perfetto.dev)", abs)
+}
 
 // rchInstaller wires RCHDroid (with its core-side chaos hooks) onto a
 // fresh system — the seam through which the oracle, which core's own
@@ -42,7 +73,7 @@ func rchInstaller() oracle.Installer {
 func TestTransparencyOracleSweep(t *testing.T) {
 	if *replaySeed != 0 {
 		v := oracle.Differential(*replaySeed, rchInstaller())
-		t.Logf("replay verdict:\n%s", v.String())
+		t.Logf("replay verdict:\n%s%s", v.String(), failureTrace(t, *replaySeed))
 		if !v.OK() {
 			t.Fail()
 		}
@@ -67,8 +98,8 @@ func TestTransparencyOracleSweep(t *testing.T) {
 			for seed := uint64(lo); seed <= uint64(hi); seed++ {
 				v := oracle.Differential(seed, rchInstaller())
 				if !v.OK() {
-					t.Errorf("%s\nreplay: go test ./internal/oracle -run TestTransparencyOracleSweep -oracle.replay=%d -v",
-						v.String(), seed)
+					t.Errorf("%s\nreplay: go test ./internal/oracle -run TestTransparencyOracleSweep -oracle.replay=%d -v%s",
+						v.String(), seed, failureTrace(t, seed))
 					return
 				}
 			}

@@ -1,0 +1,69 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"rchdroid/internal/sim"
+	"rchdroid/internal/trace"
+)
+
+// FuzzTraceExport drives a tracer with an arbitrary op sequence —
+// unmatched Begins, Ends with no Begin, async spans never closed, flows
+// to nowhere, ring wraparound — and requires that export never panics,
+// always yields valid JSON, and always re-parses.
+func FuzzTraceExport(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{2, 2, 2, 2})          // nothing but Begins: all spans unfinished
+	f.Add([]byte{3, 3, 3})             // Ends with no Begin
+	f.Add([]byte{9, 0, 9, 1, 9, 4})    // interleaved registrations
+	f.Add(bytes.Repeat([]byte{1}, 64)) // ring wraparound on instants
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, tr := range []*trace.Tracer{trace.New(nil), trace.NewRing(nil, 16)} {
+			sched := sim.NewScheduler()
+			tr.BindClock(sched)
+			names := []string{"a", "b\"c", "d\n", "", "launch:create", "α"}
+			track := tr.RegisterThread(tr.RegisterProcess("p"), "t")
+			for i, op := range data {
+				name := names[i%len(names)]
+				// Move virtual time so timestamps vary.
+				sched.Advance(time.Duration(op) * time.Microsecond)
+				switch op % 10 {
+				case 0:
+					tr.Complete(track, name, "c", sched.Now(), time.Duration(int(op)-128)*time.Millisecond,
+						trace.Arg{Key: "k", Val: int(op)})
+				case 1:
+					tr.Instant(track, name, "c", trace.Arg{Key: "d", Val: time.Duration(op)})
+				case 2:
+					tr.Begin(track, name, "c")
+				case 3:
+					tr.End(track, name)
+				case 4:
+					tr.Counter(track, name, float64(op))
+				case 5:
+					tr.AsyncBegin(track, name, "c", tr.NextID())
+				case 6:
+					tr.AsyncEnd(track, name, "c", uint64(op)) // possibly unmatched id
+				case 7:
+					tr.FlowStart(track, name, "c", tr.NextID())
+				case 8:
+					tr.FlowFinish(track, name, "c", uint64(op))
+				case 9:
+					track = tr.RegisterThread(tr.RegisterProcess(name), name)
+				}
+			}
+			var buf bytes.Buffer
+			if err := tr.WriteJSON(&buf); err != nil {
+				t.Fatalf("WriteJSON: %v", err)
+			}
+			if !json.Valid(buf.Bytes()) {
+				t.Fatalf("invalid JSON: %q", buf.String())
+			}
+			if _, _, err := trace.ReadJSON(&buf); err != nil {
+				t.Fatalf("ReadJSON of own export: %v", err)
+			}
+		}
+	})
+}

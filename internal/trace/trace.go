@@ -1,0 +1,339 @@
+// Package trace is the structured tracing substrate of the reproduction:
+// a zero-dependency, deterministic event recorder in the mould of
+// Perfetto/systrace, stamped exclusively with the virtual clock. The
+// paper's whole evaluation methodology is framework-level visibility —
+// systrace and profiler views of relaunches, shadow/sunny flips, lazy
+// migration and shadow GC — and this package is the simulator's
+// equivalent substrate: every looper message, lifecycle phase, ATMS
+// decision and injected fault lands on one shared timeline.
+//
+// Events follow the Chrome trace_event model (the format both
+// chrome://tracing and the Perfetto UI load):
+//
+//   - complete spans ("X"): an interval with a duration — a dispatched
+//     looper message, a charged lifecycle phase;
+//   - instants ("i"): a point — a coin-flip decision, a chaos injection,
+//     a logcat line;
+//   - counters ("C"): a sampled value — bundle bytes, queue depth;
+//   - async spans ("b"/"e"): an interval spanning threads — one runtime
+//     change from arrival at the ATMS to the resume notification;
+//   - flows ("s"/"f"): an arrow between tracks — an AsyncTask from its
+//     start on the UI thread to its result delivery.
+//
+// Determinism is a hard contract: two runs of the same seeded scenario
+// must produce byte-identical exports. Everything that could wobble is
+// pinned — timestamps come from the scheduler, track ids from
+// registration order, argument order from sorted keys — and nothing
+// reads wall time.
+//
+// A nil *Tracer is valid and inert: every method no-ops, so
+// instrumented hot paths cost one predictable branch when tracing is
+// off.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"rchdroid/internal/sim"
+)
+
+// Phase bytes, mirroring the Chrome trace_event "ph" field.
+const (
+	PhaseComplete   = 'X'
+	PhaseInstant    = 'i'
+	PhaseBegin      = 'B'
+	PhaseEnd        = 'E'
+	PhaseCounter    = 'C'
+	PhaseAsyncBegin = 'b'
+	PhaseAsyncEnd   = 'e'
+	PhaseFlowStart  = 's'
+	PhaseFlowFinish = 'f'
+	PhaseMetadata   = 'M'
+)
+
+// TrackID addresses one timeline row: a (process, thread) pair in the
+// Chrome model. The zero TrackID is the anonymous track 0/0.
+type TrackID struct {
+	Pid int
+	Tid int
+}
+
+// Arg is one key/value annotation on an event. Values may be strings,
+// ints, floats, bools or time.Durations; anything else is rendered with
+// %v. Export sorts args by key, so emission order never matters.
+type Arg struct {
+	Key string
+	Val any
+}
+
+// Event is one record on the timeline.
+type Event struct {
+	// TS is the virtual timestamp.
+	TS sim.Time
+	// Dur is the span length (complete events only).
+	Dur time.Duration
+	// Ph is the phase byte (PhaseComplete, PhaseInstant, ...).
+	Ph byte
+	// Name labels the event; span histograms group by it.
+	Name string
+	// Cat is the category ("looper", "lifecycle", "atms", "chaos", ...).
+	Cat string
+	// Track is the timeline row the event belongs to.
+	Track TrackID
+	// ID links async spans and flow arrows (0 = unlinked).
+	ID uint64
+	// Args carries the structured annotations.
+	Args []Arg
+}
+
+// trackMeta names a registered process or thread for the metadata
+// events of the export.
+type trackMeta struct {
+	pid  int
+	tid  int // 0 for the process-level record
+	name string
+}
+
+// Tracer records events against a virtual clock. It is not safe for
+// concurrent use — the simulation is single-threaded by design, and so
+// is its observer.
+type Tracer struct {
+	sched *sim.Scheduler
+
+	// ring holds the events. With cap == 0 it grows without bound;
+	// otherwise it is a ring buffer that discards the oldest events, so a
+	// bounded tracer always retains the tail of the run — the part a
+	// failure report needs.
+	ring    []Event
+	cap     int
+	start   int
+	count   int
+	dropped int
+
+	tracks  []trackMeta
+	nextPid int
+	nextID  uint64
+}
+
+// New returns an unbounded tracer stamping events with sched's clock. A
+// nil scheduler is allowed; events are then stamped 0 unless the clock
+// is bound later.
+func New(sched *sim.Scheduler) *Tracer {
+	return &Tracer{sched: sched, nextPid: 1}
+}
+
+// NewRing returns a tracer retaining at most capacity events (oldest
+// dropped first). Track registrations are kept outside the ring, so a
+// dump stays well-formed however much history has been discarded.
+func NewRing(sched *sim.Scheduler, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{sched: sched, cap: capacity, ring: make([]Event, capacity), nextPid: 1}
+}
+
+// Enabled reports whether the tracer records anything — false for nil.
+// Hot paths use it to skip argument construction entirely.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// BindClock attaches (or replaces) the scheduler used for timestamps.
+func (t *Tracer) BindClock(s *sim.Scheduler) {
+	if t == nil {
+		return
+	}
+	t.sched = s
+}
+
+// now returns the current virtual time, 0 with no clock bound.
+func (t *Tracer) now() sim.Time {
+	if t.sched == nil {
+		return 0
+	}
+	return t.sched.Now()
+}
+
+// RegisterProcess allocates a pid for a named process row. Pids are
+// handed out in registration order, which a deterministic scenario
+// reproduces exactly.
+func (t *Tracer) RegisterProcess(name string) int {
+	if t == nil {
+		return 0
+	}
+	pid := t.nextPid
+	t.nextPid++
+	t.tracks = append(t.tracks, trackMeta{pid: pid, name: name})
+	return pid
+}
+
+// RegisterThread allocates a tid under pid and returns the full track.
+// Tids count from 1 within each process.
+func (t *Tracer) RegisterThread(pid int, name string) TrackID {
+	if t == nil {
+		return TrackID{}
+	}
+	tid := 1
+	for _, m := range t.tracks {
+		if m.pid == pid && m.tid > 0 {
+			tid++
+		}
+	}
+	t.tracks = append(t.tracks, trackMeta{pid: pid, tid: tid, name: name})
+	return TrackID{Pid: pid, Tid: tid}
+}
+
+// NextID allocates a fresh flow/async id (never 0).
+func (t *Tracer) NextID() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.nextID++
+	return t.nextID
+}
+
+// push appends an event, honouring the ring bound.
+func (t *Tracer) push(e Event) {
+	if t.cap == 0 {
+		t.ring = append(t.ring, e)
+		t.count++
+		return
+	}
+	if t.count < t.cap {
+		t.ring[(t.start+t.count)%t.cap] = e
+		t.count++
+		return
+	}
+	t.ring[t.start] = e
+	t.start = (t.start + 1) % t.cap
+	t.dropped++
+}
+
+// Complete records a span [start, start+dur) on the track. Spans are
+// emitted at completion time in the simulator (costs are known by
+// then), so start may lie before the current clock.
+func (t *Tracer) Complete(tr TrackID, name, cat string, start sim.Time, dur time.Duration, args ...Arg) {
+	if t == nil {
+		return
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	t.push(Event{TS: start, Dur: dur, Ph: PhaseComplete, Name: name, Cat: cat, Track: tr, Args: args})
+}
+
+// Instant records a point event at the current virtual time.
+func (t *Tracer) Instant(tr TrackID, name, cat string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.push(Event{TS: t.now(), Ph: PhaseInstant, Name: name, Cat: cat, Track: tr, Args: args})
+}
+
+// Begin opens a nesting span on the track. Pair with End; an unmatched
+// Begin is legal (the export and summary both tolerate it).
+func (t *Tracer) Begin(tr TrackID, name, cat string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.push(Event{TS: t.now(), Ph: PhaseBegin, Name: name, Cat: cat, Track: tr, Args: args})
+}
+
+// End closes the innermost open span on the track. An unmatched End is
+// legal.
+func (t *Tracer) End(tr TrackID, name string) {
+	if t == nil {
+		return
+	}
+	t.push(Event{TS: t.now(), Ph: PhaseEnd, Name: name, Track: tr})
+}
+
+// Counter samples a named value at the current virtual time; the value
+// renders as a counter track in the Perfetto UI.
+func (t *Tracer) Counter(tr TrackID, name string, value float64) {
+	if t == nil {
+		return
+	}
+	t.push(Event{TS: t.now(), Ph: PhaseCounter, Name: name, Track: tr,
+		Args: []Arg{{Key: "value", Val: value}}})
+}
+
+// AsyncBegin opens an async span (id-matched, may cross tracks) — used
+// for the end-to-end runtime-change handling interval.
+func (t *Tracer) AsyncBegin(tr TrackID, name, cat string, id uint64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.push(Event{TS: t.now(), Ph: PhaseAsyncBegin, Name: name, Cat: cat, Track: tr, ID: id, Args: args})
+}
+
+// AsyncEnd closes the async span with the matching id.
+func (t *Tracer) AsyncEnd(tr TrackID, name, cat string, id uint64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.push(Event{TS: t.now(), Ph: PhaseAsyncEnd, Name: name, Cat: cat, Track: tr, ID: id, Args: args})
+}
+
+// FlowStart drops the tail of a flow arrow at the current time — e.g.
+// where an AsyncTask was started.
+func (t *Tracer) FlowStart(tr TrackID, name, cat string, id uint64) {
+	if t == nil {
+		return
+	}
+	t.push(Event{TS: t.now(), Ph: PhaseFlowStart, Name: name, Cat: cat, Track: tr, ID: id})
+}
+
+// FlowFinish drops the head of the flow arrow — where the result landed.
+func (t *Tracer) FlowFinish(tr TrackID, name, cat string, id uint64) {
+	if t == nil {
+		return
+	}
+	t.push(Event{TS: t.now(), Ph: PhaseFlowFinish, Name: name, Cat: cat, Track: tr, ID: id})
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.count
+}
+
+// Dropped returns how many events the ring displaced.
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events returns the retained events in record order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, t.count)
+	if t.cap == 0 {
+		return append(out, t.ring[:t.count]...)
+	}
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[(t.start+i)%t.cap])
+	}
+	return out
+}
+
+// formatArgVal renders an argument value deterministically.
+func formatArgVal(v any) any {
+	switch x := v.(type) {
+	case time.Duration:
+		return x.String()
+	case sim.Time:
+		return x.String()
+	case string, bool, float64, float32,
+		int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64:
+		return x
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}

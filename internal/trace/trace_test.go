@@ -1,0 +1,136 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"rchdroid/internal/sim"
+	"rchdroid/internal/trace"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *trace.Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	// Every method must be callable on nil without panicking.
+	tr.BindClock(nil)
+	track := tr.RegisterThread(tr.RegisterProcess("p"), "t")
+	tr.Complete(track, "a", "c", 0, time.Millisecond)
+	tr.Instant(track, "b", "c")
+	tr.Begin(track, "d", "c")
+	tr.End(track, "d")
+	tr.Counter(track, "e", 1)
+	tr.AsyncBegin(track, "f", "c", tr.NextID())
+	tr.AsyncEnd(track, "f", "c", 0)
+	tr.FlowStart(track, "g", "c", 1)
+	tr.FlowFinish(track, "g", "c", 1)
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer retained something")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+}
+
+func TestTrackRegistrationOrder(t *testing.T) {
+	tr := trace.New(nil)
+	p1 := tr.RegisterProcess("system_server")
+	p2 := tr.RegisterProcess("app")
+	if p1 != 1 || p2 != 2 {
+		t.Fatalf("pids = %d, %d; want 1, 2", p1, p2)
+	}
+	a := tr.RegisterThread(p2, "ui")
+	b := tr.RegisterThread(p2, "async")
+	c := tr.RegisterThread(p1, "atms")
+	if a != (trace.TrackID{Pid: 2, Tid: 1}) || b != (trace.TrackID{Pid: 2, Tid: 2}) {
+		t.Fatalf("tids = %v, %v", a, b)
+	}
+	if c != (trace.TrackID{Pid: 1, Tid: 1}) {
+		t.Fatalf("tid under pid 1 = %v", c)
+	}
+}
+
+func TestRingKeepsTail(t *testing.T) {
+	tr := trace.NewRing(nil, 4)
+	track := tr.RegisterThread(tr.RegisterProcess("p"), "t")
+	for i := 0; i < 10; i++ {
+		tr.Instant(track, string(rune('a'+i)), "c")
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	got := ""
+	for _, e := range evs {
+		got += e.Name
+	}
+	if got != "ghij" {
+		t.Fatalf("ring tail = %q, want \"ghij\"", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	sched := sim.NewScheduler()
+	tr := trace.New(sched)
+	pid := tr.RegisterProcess("app")
+	track := tr.RegisterThread(pid, "ui")
+	sched.After(10*time.Millisecond, "tick", func() {
+		tr.Complete(track, "work", "looper", sched.Now(), 3*time.Millisecond,
+			trace.Arg{Key: "wait", Val: 2 * time.Millisecond})
+		tr.Instant(track, "mark", "rch", trace.Arg{Key: "n", Val: 7})
+		id := tr.NextID()
+		tr.AsyncBegin(track, "span", "handling", id)
+		tr.AsyncEnd(track, "span", "handling", id)
+	})
+	sched.Run()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, names, err := trace.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[trace.TrackID{Pid: 1, Tid: 1}] != "ui" || names[trace.TrackID{Pid: 1}] != "app" {
+		t.Fatalf("names = %v", names)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4", len(evs))
+	}
+	want := sim.Time(10 * time.Millisecond)
+	if evs[0].TS != want || evs[0].Dur != 3*time.Millisecond || evs[0].Ph != trace.PhaseComplete {
+		t.Fatalf("span round-trip: %+v", evs[0])
+	}
+	if evs[2].ID == 0 || evs[2].ID != evs[3].ID {
+		t.Fatalf("async ids diverged: %d vs %d", evs[2].ID, evs[3].ID)
+	}
+	// The duration arg survives as its deterministic string form.
+	found := false
+	for _, a := range evs[0].Args {
+		if a.Key == "wait" && a.Val == "2ms" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wait arg lost: %+v", evs[0].Args)
+	}
+}
+
+func TestBareArrayForm(t *testing.T) {
+	in := `[{"name":"x","ph":"i","ts":1.5,"pid":1,"tid":1,"s":"t"}]`
+	evs, _, err := trace.ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Name != "x" || evs[0].Ph != trace.PhaseInstant {
+		t.Fatalf("bare array parse: %+v", evs)
+	}
+}

@@ -4,16 +4,29 @@
 #   scripts/ci.sh            # from the repo root
 #
 # Stages:
-#   1. go vet        — static checks
-#   2. go build      — every package compiles
-#   3. go test -race — full suite, short mode, race detector on
-#   4. oracle sweep  — 64-seed differential RCHDroid-vs-stock run
+#   1. gofmt         — no unformatted files
+#   2. go vet        — static checks
+#   3. go build      — every package compiles
+#   4. go test -race — full suite, short mode, race detector on
+#   5. trace guard   — 89.2 ms flip anchor with tracing disabled, and
+#                      zero virtual-time drift with tracing enabled
+#   6. oracle sweep  — 64-seed differential RCHDroid-vs-stock run
 #
 # The oracle sweep is deliberately rerun outside -short so the
 # differential harness itself is exercised even in the quick gate; a
-# failure prints the exact -oracle.replay=<seed> invocation.
+# failure prints the exact -oracle.replay=<seed> invocation and, with
+# trace-on-fail armed, writes the failing seed's Perfetto trace to
+# ./artifacts/.
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "==> gofmt -l"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt: unformatted files:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
 
 echo "==> go vet ./..."
 go vet ./...
@@ -24,7 +37,11 @@ go build ./...
 echo "==> go test -race -short ./..."
 go test -race -short ./...
 
+echo "==> trace overhead guard"
+go test ./internal/experiments -run TestTraceOverheadGuard -count=1
+
 echo "==> oracle sweep (64 seeds)"
-go test ./internal/oracle -run TestTransparencyOracleSweep -oracle.seeds=64 -count=1
+go test ./internal/oracle -run TestTransparencyOracleSweep \
+    -oracle.seeds=64 -oracle.trace-on-fail -count=1
 
 echo "ci: all green"
