@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,6 +31,7 @@ import (
 	"rchdroid/internal/chaos"
 	"rchdroid/internal/core"
 	"rchdroid/internal/costmodel"
+	"rchdroid/internal/guard"
 	"rchdroid/internal/logcat"
 	"rchdroid/internal/metrics"
 	"rchdroid/internal/script"
@@ -50,7 +52,8 @@ func main() {
 	dump := flag.Bool("dump", false, "dump the foreground view tree after each change")
 	scriptPath := flag.String("script", "", "run a scenario script instead of the built-in rotation loop")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "arm the fault-injection layer with this seed (0 = off)")
-	chaosProfile := flag.String("chaos", "light", "chaos preset when -chaos-seed is set: light | heavy")
+	chaosProfile := flag.String("chaos", "light", "chaos preset when -chaos-seed is set: light | heavy | guarded")
+	guarded := flag.Bool("guard", false, "arm the supervision layer: ANR watchdogs, checksummed state transfer with retry, per-activity stock fallback")
 	flag.Parse()
 
 	sched := sim.NewScheduler()
@@ -87,6 +90,8 @@ func main() {
 			opts = chaos.Light()
 		case "heavy":
 			opts = chaos.Heavy()
+		case "guarded":
+			opts = chaos.Guarded()
 		default:
 			fmt.Fprintf(os.Stderr, "rchsim: unknown chaos profile %q\n", *chaosProfile)
 			os.Exit(2)
@@ -106,8 +111,16 @@ func main() {
 	case "rchdroid":
 		coreOpts := core.DefaultOptions()
 		coreOpts.Chaos = plan
+		if *guarded {
+			cfg := guard.DefaultConfig()
+			coreOpts.Guard = &cfg
+		}
 		rch = core.Install(sys, proc, coreOpts)
 	case "stock":
+		if *guarded {
+			fmt.Fprintln(os.Stderr, "rchsim: -guard supervises RCHDroid; it has no effect in stock mode")
+			os.Exit(2)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "rchsim: unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -153,6 +166,9 @@ func main() {
 			}
 			report(proc)
 		}
+		if rch != nil {
+			reportGuard(rch.Guard)
+		}
 		reportChaos(plan)
 		writeTrace(tracer, *traceFile)
 		if *showLog {
@@ -190,9 +206,11 @@ func main() {
 	}
 
 	if rch != nil {
-		fmt.Printf("\nRCHDroid stats: %d init launches, %d coin flips, %d migrations (%d views)\n",
+		fmt.Printf("\nRCHDroid stats: %d init launches, %d coin flips, %d migrations (%d views), %d stock-routed, %d zombies reaped (%d pending)\n",
 			rch.Handler.InitLaunches(), rch.Handler.Flips(),
-			rch.Migrator.Migrations(), rch.Migrator.ViewsMigrated())
+			rch.Migrator.Migrations(), rch.Migrator.ViewsMigrated(),
+			rch.Handler.StockRouted(), rch.Handler.ZombiesReaped(), rch.Handler.Zombies())
+		reportGuard(rch.Guard)
 	}
 	reportChaos(plan)
 	writeTrace(tracer, *traceFile)
@@ -211,6 +229,12 @@ func writeTrace(tracer *trace.Tracer, path string) {
 	}
 	out := os.Stdout
 	if path != "-" {
+		if dir := filepath.Dir(path); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "rchsim: creating trace directory: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		f, err := os.Create(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rchsim: %v\n", err)
@@ -224,7 +248,11 @@ func writeTrace(tracer *trace.Tracer, path string) {
 		os.Exit(1)
 	}
 	if path != "-" {
-		fmt.Printf("\ntrace written to %s (%d events", path, tracer.Len())
+		shown := path
+		if abs, err := filepath.Abs(path); err == nil {
+			shown = abs
+		}
+		fmt.Printf("\ntrace written to %s (%d events", shown, tracer.Len())
 		if n := tracer.Dropped(); n > 0 {
 			fmt.Printf(", %d dropped by ring", n)
 		}
@@ -261,6 +289,30 @@ func indent(s string) string {
 		out += "    " + line + "\n"
 	}
 	return out
+}
+
+// reportGuard prints the supervision summary and the decision log (a
+// no-op when the guard was not armed).
+func reportGuard(g *guard.Guard) {
+	if !g.Enabled() {
+		return
+	}
+	fmt.Println()
+	fmt.Print(g.Report())
+	printed := false
+	for _, d := range g.Decisions() {
+		// The decision log also carries the per-phase arm/disarm and
+		// healthy self-check chatter; the report keeps the escalations.
+		switch d.Kind {
+		case "arm", "disarm", "selfCheck":
+			continue
+		}
+		if !printed {
+			fmt.Println("guard decisions:")
+			printed = true
+		}
+		fmt.Printf("  %s\n", d)
+	}
 }
 
 // reportChaos prints what the fault-injection layer actually did, so a

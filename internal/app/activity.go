@@ -284,6 +284,25 @@ func (a *Activity) DemoteShadowToStopped() {
 	a.decor.DispatchShadowStateChanged(false)
 }
 
+// DemoteToStopped walks a visible activity down the stock pause→stop
+// path without destroying it: the instance and its view tree stay alive
+// so in-flight asynchronous callbacks land on live views. The guard's
+// stock-route fallback uses it in place of an immediate destroy when a
+// relaunch would otherwise tear down an instance with tasks in flight;
+// the thread reaps the zombie once those drain.
+func (a *Activity) DemoteToStopped() {
+	a.setState(StatePaused)
+	if a.class.Callbacks.OnPause != nil {
+		a.class.Callbacks.OnPause(a)
+	}
+	a.setState(StateStopped)
+	if a.class.Callbacks.OnStop != nil {
+		a.class.Callbacks.OnStop(a)
+	}
+	a.decor.DetachFromWindow()
+	a.decor.DispatchSunnyStateChanged(false)
+}
+
 // SettleToResumed demotes a sunny activity to plain Resumed when its
 // coupled shadow partner has been garbage-collected.
 func (a *Activity) SettleToResumed() {

@@ -425,7 +425,12 @@ func (t *ActivityThread) PerformDestroy(a *Activity) {
 		if t.currentSunny == a {
 			t.currentSunny = nil
 		}
-		delete(t.activities, a.token)
+		// A stock relaunch reuses the token, so by the time a queued
+		// destroy of the old instance runs the slot may already hold its
+		// replacement — only unregister if it is still ours.
+		if t.activities[a.token] == a {
+			delete(t.activities, a.token)
+		}
 		t.proc.UpdateMemory()
 		if wasShadow {
 			// A sunny partner left behind settles into plain Resumed —

@@ -49,6 +49,13 @@ type ATMS struct {
 	// may request a duplicate (echo) delivery after a delay — landing
 	// mid-transition when the delay is short. See SetConfigChangeFault.
 	configFault func(cfg config.Configuration) (echo bool, delay time.Duration)
+
+	// handlingObservers see each handling-clock start (class + token of
+	// the activity being changed); resumeObservers see every resume
+	// notification, including ones outside a measurement. The guard arms
+	// and disarms its watchdogs on these seams.
+	handlingObservers []func(class string, token int)
+	resumeObservers   []func(token int)
 }
 
 // New boots a system server on sched with the given cost model. The bus
@@ -200,6 +207,9 @@ func (a *ATMS) PushConfiguration(newCfg config.Configuration) {
 		a.measuring = true
 		a.handlingStart = a.sched.Now()
 		a.logf("ATMS", "configuration change arriving: %v", newCfg)
+		for _, fn := range a.handlingObservers {
+			fn(rec.Class.Name, rec.Token)
+		}
 		if a.tracer.Enabled() {
 			// One async span covers the whole handling: it opens here on
 			// the server track and closes when the resume notification
@@ -353,6 +363,19 @@ func topNonShadow(task *TaskRecord) *ActivityRecord {
 	return nil
 }
 
+// AddHandlingObserver registers a hook called on the server looper the
+// moment a runtime-change handling measurement starts, with the class
+// name and token of the activity being changed.
+func (a *ATMS) AddHandlingObserver(fn func(class string, token int)) {
+	a.handlingObservers = append(a.handlingObservers, fn)
+}
+
+// AddResumeObserver registers a hook called on the server looper for
+// every resume notification — measured or not.
+func (a *ATMS) AddResumeObserver(fn func(token int)) {
+	a.resumeObservers = append(a.resumeObservers, fn)
+}
+
 // notifyResumed finalises a handling measurement.
 func (a *ATMS) notifyResumed(token int) {
 	a.RunOnServer("notifyResumed", 0, func() {
@@ -360,6 +383,9 @@ func (a *ATMS) notifyResumed(token int) {
 		if rec != nil {
 			rec.resumed = true
 			rec.Config = a.globalConfig
+		}
+		for _, fn := range a.resumeObservers {
+			fn(token)
 		}
 		if a.measuring {
 			a.measuring = false

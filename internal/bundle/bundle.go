@@ -62,6 +62,8 @@ type entry struct {
 }
 
 // Bundle is a typed key/value map. The zero value is not usable; call New.
+// Reads on a nil *Bundle are safe and see an empty bundle (a missing
+// nested section reads as all-defaults, like a corrupted parcel).
 // Bundles are not safe for concurrent use — like the Android original they
 // live on a single (virtual) UI thread.
 type Bundle struct {
@@ -73,14 +75,31 @@ func New() *Bundle {
 	return &Bundle{m: make(map[string]entry)}
 }
 
+// lookup returns the entry under key; safe on a nil receiver.
+func (b *Bundle) lookup(key string) (entry, bool) {
+	if b == nil {
+		return entry{}, false
+	}
+	e, ok := b.m[key]
+	return e, ok
+}
+
 // Len returns the number of keys, not counting keys inside nested bundles.
-func (b *Bundle) Len() int { return len(b.m) }
+func (b *Bundle) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.m)
+}
 
 // IsEmpty reports whether the bundle holds no keys.
-func (b *Bundle) IsEmpty() bool { return len(b.m) == 0 }
+func (b *Bundle) IsEmpty() bool { return b.Len() == 0 }
 
 // Keys returns the keys in sorted order, for deterministic iteration.
 func (b *Bundle) Keys() []string {
+	if b == nil {
+		return nil
+	}
 	keys := make([]string, 0, len(b.m))
 	for k := range b.m {
 		keys = append(keys, k)
@@ -91,12 +110,15 @@ func (b *Bundle) Keys() []string {
 
 // Has reports whether key is present with any kind.
 func (b *Bundle) Has(key string) bool {
-	_, ok := b.m[key]
+	_, ok := b.lookup(key)
 	return ok
 }
 
 // KindOf returns the kind stored under key, or KindInvalid if absent.
-func (b *Bundle) KindOf(key string) Kind { return b.m[key].kind }
+func (b *Bundle) KindOf(key string) Kind {
+	e, _ := b.lookup(key)
+	return e.kind
+}
 
 // Remove deletes key if present.
 func (b *Bundle) Remove(key string) { delete(b.m, key) }
@@ -109,7 +131,7 @@ func (b *Bundle) PutString(key, v string) { b.m[key] = entry{kind: KindString, s
 
 // GetString returns the string under key, or def if absent or mistyped.
 func (b *Bundle) GetString(key, def string) string {
-	if e, ok := b.m[key]; ok && e.kind == KindString {
+	if e, ok := b.lookup(key); ok && e.kind == KindString {
 		return e.str
 	}
 	return def
@@ -120,7 +142,7 @@ func (b *Bundle) PutInt(key string, v int64) { b.m[key] = entry{kind: KindInt, n
 
 // GetInt returns the integer under key, or def if absent or mistyped.
 func (b *Bundle) GetInt(key string, def int64) int64 {
-	if e, ok := b.m[key]; ok && e.kind == KindInt {
+	if e, ok := b.lookup(key); ok && e.kind == KindInt {
 		return e.num
 	}
 	return def
@@ -131,7 +153,7 @@ func (b *Bundle) PutFloat(key string, v float64) { b.m[key] = entry{kind: KindFl
 
 // GetFloat returns the float under key, or def if absent or mistyped.
 func (b *Bundle) GetFloat(key string, def float64) float64 {
-	if e, ok := b.m[key]; ok && e.kind == KindFloat {
+	if e, ok := b.lookup(key); ok && e.kind == KindFloat {
 		return e.flt
 	}
 	return def
@@ -142,7 +164,7 @@ func (b *Bundle) PutBool(key string, v bool) { b.m[key] = entry{kind: KindBool, 
 
 // GetBool returns the boolean under key, or def if absent or mistyped.
 func (b *Bundle) GetBool(key string, def bool) bool {
-	if e, ok := b.m[key]; ok && e.kind == KindBool {
+	if e, ok := b.lookup(key); ok && e.kind == KindBool {
 		return e.boolean
 	}
 	return def
@@ -157,7 +179,7 @@ func (b *Bundle) PutStringSlice(key string, v []string) {
 
 // GetStringSlice returns a copy of the slice under key, or nil if absent.
 func (b *Bundle) GetStringSlice(key string) []string {
-	if e, ok := b.m[key]; ok && e.kind == KindStringSlice {
+	if e, ok := b.lookup(key); ok && e.kind == KindStringSlice {
 		cp := make([]string, len(e.strs))
 		copy(cp, e.strs)
 		return cp
@@ -174,7 +196,7 @@ func (b *Bundle) PutIntSlice(key string, v []int64) {
 
 // GetIntSlice returns a copy of the slice under key, or nil if absent.
 func (b *Bundle) GetIntSlice(key string) []int64 {
-	if e, ok := b.m[key]; ok && e.kind == KindIntSlice {
+	if e, ok := b.lookup(key); ok && e.kind == KindIntSlice {
 		cp := make([]int64, len(e.ints))
 		copy(cp, e.ints)
 		return cp
@@ -189,7 +211,7 @@ func (b *Bundle) PutBundle(key string, v *Bundle) { b.m[key] = entry{kind: KindB
 
 // GetBundle returns the nested bundle under key, or nil if absent.
 func (b *Bundle) GetBundle(key string) *Bundle {
-	if e, ok := b.m[key]; ok && e.kind == KindBundle {
+	if e, ok := b.lookup(key); ok && e.kind == KindBundle {
 		return e.nested
 	}
 	return nil

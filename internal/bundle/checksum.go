@@ -1,0 +1,19 @@
+package bundle
+
+import "hash/fnv"
+
+// Checksum returns a content hash of the bundle: FNV-1a over the
+// canonical String rendering, so two bundles with equal contents hash
+// equally regardless of insertion order. The guard's checksummed state
+// transfer (§ supervision) hashes the bundle before handing it to the
+// transport and re-hashes on arrival; a mismatch means the transfer
+// corrupted or dropped entries in flight. A nil bundle hashes to 0 so a
+// wholly lost transfer is always detectable.
+func (b *Bundle) Checksum() uint64 {
+	if b == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(b.String()))
+	return h.Sum64()
+}

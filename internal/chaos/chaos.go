@@ -24,6 +24,7 @@ import (
 
 	"rchdroid/internal/app"
 	"rchdroid/internal/atms"
+	"rchdroid/internal/bundle"
 	"rchdroid/internal/config"
 	"rchdroid/internal/looper"
 	"rchdroid/internal/sim"
@@ -51,6 +52,8 @@ const (
 	PointMigration
 	// PointProcess — kills and memory-pressure trims.
 	PointProcess
+	// PointXfer — corrupted or dropped saved-state bundle transfers.
+	PointXfer
 
 	numPoints
 )
@@ -70,6 +73,8 @@ func (p Point) String() string {
 		return "migration"
 	case PointProcess:
 		return "process"
+	case PointXfer:
+		return "xfer"
 	}
 	return fmt.Sprintf("point(%d)", int(p))
 }
@@ -117,6 +122,12 @@ type Options struct {
 	// Trim delivers a memory-pressure trim (NextProcessEvent). Max is
 	// unused.
 	Trim Rate
+	// XferCorrupt damages a saved-state bundle in transit (one entry
+	// lost), so its content checksum no longer matches. Max is unused.
+	XferCorrupt Rate
+	// XferDrop loses the whole saved-state bundle in transit. Max is
+	// unused.
+	XferDrop Rate
 }
 
 // rates returns the knobs in canonical (encoding) order.
@@ -126,6 +137,7 @@ func (o *Options) rates() []*Rate {
 		&o.AsyncDelay, &o.AsyncDrop,
 		&o.ConfigEcho, &o.CoreStall, &o.FlushStall,
 		&o.Kill, &o.Trim,
+		&o.XferCorrupt, &o.XferDrop,
 	}
 }
 
@@ -143,6 +155,20 @@ func Light() Options {
 		CoreStall:  Rate{Permille: 100, Max: 60 * time.Millisecond},
 		FlushStall: Rate{Permille: 80, Max: 250 * time.Millisecond},
 	}
+}
+
+// Guarded is the supervision-sweep preset: Light's oracle-safe faults
+// plus the failures the guard exists to absorb — phase stalls long
+// enough to trip the watchdog and saved-state transfers that corrupt or
+// vanish in flight. Still no message drops, kills or trims, so a
+// differential pair sees the same external world; the guard (not the
+// plan) decides which activities fall back to stock handling.
+func Guarded() Options {
+	o := Light()
+	o.CoreStall = Rate{Permille: 220, Max: 950 * time.Millisecond}
+	o.XferCorrupt = Rate{Permille: 180}
+	o.XferDrop = Rate{Permille: 90}
+	return o
 }
 
 // Heavy is the stress preset: everything Light does, harder, plus
@@ -391,6 +417,50 @@ func (p *Plan) OnMigrationFlush(pending int) time.Duration {
 	d := p.draw(PointMigration, p.opts.FlushStall.Max)
 	p.record(PointMigration, fmt.Sprintf("flush(%d views)", pending), fmt.Sprintf("defer %v", d))
 	return d
+}
+
+// TransferFault is one saved-state transfer decision: the bundle is
+// either corrupted in flight (one entry lost, checksum broken) or lost
+// wholesale. Apply materialises the fault on a bundle.
+type TransferFault struct {
+	Corrupt bool
+	Drop    bool
+}
+
+// Apply returns the bundle as it arrives on the far side of the
+// transfer: nil when dropped, a clone missing its first (sorted) key
+// when corrupted, the original otherwise. Callers without a checksum
+// verifier should treat a nil arrival as an empty bundle — that is what
+// a stock restart restores after a lost transfer.
+func (f TransferFault) Apply(b *bundle.Bundle) *bundle.Bundle {
+	if f.Drop {
+		return nil
+	}
+	if f.Corrupt && b != nil {
+		if keys := b.Keys(); len(keys) > 0 {
+			c := b.Clone()
+			c.Remove(keys[0])
+			return c
+		}
+	}
+	return b
+}
+
+// OnStateTransfer draws the fault for one saved-state transfer attempt.
+// The attempt index is only documentation — retries consume fresh rolls
+// from the same stream, so a retried transfer may succeed.
+func (p *Plan) OnStateTransfer(attempt int) TransferFault {
+	var f TransferFault
+	if p.roll(PointXfer, p.opts.XferDrop) {
+		f.Drop = true
+		p.record(PointXfer, fmt.Sprintf("transfer(attempt %d)", attempt), "drop bundle")
+		return f
+	}
+	if p.roll(PointXfer, p.opts.XferCorrupt) {
+		f.Corrupt = true
+		p.record(PointXfer, fmt.Sprintf("transfer(attempt %d)", attempt), "corrupt bundle")
+	}
+	return f
 }
 
 // NextProcessEvent draws the next process-level fault. Stress drivers

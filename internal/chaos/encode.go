@@ -13,15 +13,17 @@ import (
 // encoded plans, and oracle failures are written into the bundle fuzz
 // corpus as encoded plans.
 
-// planMagic versions the encoding.
-const planMagic = "CHAOS1"
+// planMagic versions the encoding. CHAOS2 added the two transfer-fault
+// rates; CHAOS1 blobs no longer decode (the format is a fuzz corpus
+// exchange format, not a stable archive).
+const planMagic = "CHAOS2"
 
 // maxFaultDuration bounds every Rate.Max a decoded plan may carry; it
 // keeps fuzzed plans inside the range the simulator's 2s handling-time
 // discard and the oracle's drain windows were designed for.
 const maxFaultDuration = 10 * time.Second
 
-const encodedSize = len(planMagic) + 8 + 10*(2+4)
+const encodedSize = len(planMagic) + 8 + 12*(2+4)
 
 // Encode serialises the plan's seed and options.
 func (p *Plan) Encode() []byte { return EncodeOptions(p.seed, p.opts) }

@@ -5,7 +5,9 @@ import (
 
 	"rchdroid/internal/app"
 	"rchdroid/internal/bundle"
+	"rchdroid/internal/chaos"
 	"rchdroid/internal/config"
+	"rchdroid/internal/guard"
 	"rchdroid/internal/trace"
 	"rchdroid/internal/view"
 )
@@ -36,6 +38,14 @@ type ShadowHandler struct {
 	// server's actual decision.
 	pendingShadow *app.Activity
 
+	// changesInFlight counts RCHDroid handlings between the enter-shadow
+	// transition and their settling point (flipDone, or the sunny launch's
+	// resume). While non-zero the guard's deferred shadow release must
+	// wait: a stale resume notification can arrive mid-handling, and
+	// releasing then would destroy the instance the queued flip is about
+	// to bring back.
+	changesInFlight int
+
 	// zombies are former shadow activities kept alive only because they
 	// still have asynchronous tasks in flight; they are destroyed as soon
 	// as those tasks drain.
@@ -45,9 +55,20 @@ type ShadowHandler struct {
 	// (the chaos layer's "interrupt the handling mid-flight" knob).
 	stall func(phase string) time.Duration
 
+	// guard, when non-nil, supervises the handler: watchdog deadlines
+	// around each phase, checksummed snapshot transfer, quarantine
+	// gating. All call sites tolerate nil.
+	guard *guard.Guard
+
+	// xfer, if set, is the chaos fault model for the shadow-snapshot
+	// bundle transfer (consulted once per attempt).
+	xfer func(attempt int) chaos.TransferFault
+
 	// Counters for reports.
-	initLaunches int
-	flips        int
+	initLaunches  int
+	flips         int
+	zombiesReaped int
+	stockRouted   int
 }
 
 // NewShadowHandler returns a handler using the given migrator and GC.
@@ -63,6 +84,17 @@ func (h *ShadowHandler) InitLaunches() int { return h.initLaunches }
 
 // Flips returns how many coin-flip handlings ran.
 func (h *ShadowHandler) Flips() int { return h.flips }
+
+// ZombiesReaped returns how many demoted shadows were destroyed after
+// their asynchronous work drained.
+func (h *ShadowHandler) ZombiesReaped() int { return h.zombiesReaped }
+
+// StockRouted returns how many runtime changes the guard routed through
+// the stock restart path.
+func (h *ShadowHandler) StockRouted() int { return h.stockRouted }
+
+// Guard returns the supervising guard, or nil.
+func (h *ShadowHandler) Guard() *guard.Guard { return h.guard }
 
 // Migrator returns the lazy-migration engine.
 func (h *ShadowHandler) Migrator() *Migrator { return h.migrator }
@@ -87,6 +119,20 @@ func (h *ShadowHandler) stallFor(phase string) time.Duration {
 // with the cheap flip transition when the coupled shadow instance already
 // matches the new configuration (the ATMS will coin-flip it back).
 func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activity, newCfg config.Configuration) {
+	class := a.Class().Name
+	if !h.guard.Allow(class) {
+		// Degraded: the guard quarantined this class (or opened the
+		// process breaker), so the change takes the stock restart path.
+		// Any leftover shadow coupling for the class goes first — a
+		// quarantined activity must not keep a shadow partner.
+		h.guard.NoteStockRoute(class)
+		if sh := t.CurrentShadow(); sh != nil && sh.Class() == a.Class() {
+			h.releaseShadow(t, sh)
+		}
+		h.handleStockRouted(t, a, newCfg)
+		return
+	}
+	h.guard.ArmPhase(class, "runtimeChange")
 	m := t.Process().Model()
 	partner := t.CurrentShadow()
 	flipLikely := partner != nil && partner != a &&
@@ -95,8 +141,11 @@ func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activi
 	// The phases below are queued messages; a second change delivered
 	// back-to-back may already have moved this activity out of the
 	// foreground by the time they run. Such a stale handling aborts at
-	// the first phase and never contacts the ATMS.
+	// the first phase and never contacts the ATMS. stockFallback marks
+	// the aborts that must degrade to the stock path instead of simply
+	// fizzling (the snapshot transfer failed every retry).
 	aborted := false
+	stockFallback := false
 
 	if flipLikely {
 		t.RunCharged("rch:enterShadow(flip)", func() time.Duration {
@@ -112,11 +161,18 @@ func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activi
 			// tracking RCHDroid already patches into View.invalidate, so
 			// the flip transition's fixed cost covers it; the flip later
 			// pays only for the views actually mutated this tenure.
-			a.SetShadowSnapshot(a.SaveInstanceState())
+			snap, extra, ok := h.guard.Transfer(class, a.SaveInstanceState, h.xfer)
+			if !ok {
+				h.guard.Quarantine(class, "transfer:failed")
+				aborted, stockFallback = true, true
+				return extra
+			}
+			a.SetShadowSnapshot(snap)
 			a.EnterShadow(t.Process().Scheduler().Now())
 			h.migrator.InstallHook(a)
 			h.pendingShadow = a
-			return m.ShadowFlipTransition + h.stallFor("enterShadow(flip)")
+			h.changesInFlight++
+			return m.ShadowFlipTransition + extra + h.stallFor("enterShadow(flip)")
 		})
 	} else {
 		// A stale shadow instance (configuration mismatch or post-GC
@@ -131,24 +187,99 @@ func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activi
 				return 0
 			}
 			n := a.ViewCount()
-			a.SetShadowSnapshot(a.SaveInstanceState())
+			snap, extra, ok := h.guard.Transfer(class, a.SaveInstanceState, h.xfer)
+			if !ok {
+				h.guard.Quarantine(class, "transfer:failed")
+				aborted, stockFallback = true, true
+				return extra
+			}
+			a.SetShadowSnapshot(snap)
 			a.EnterShadow(t.Process().Scheduler().Now())
 			t.SetCurrentShadow(a)
 			h.migrator.InstallHook(a)
 			h.pendingShadow = a
-			return m.ShadowTransition + m.SaveState(n) + h.stallFor("enterShadow")
+			h.changesInFlight++
+			return m.ShadowTransition + m.SaveState(n) + extra + h.stallFor("enterShadow")
 		})
 	}
 
 	// Step ②: request a sunny-state start from the ATMS.
 	t.RunCharged("rch:requestSunny", func() time.Duration {
 		if aborted {
+			if stockFallback {
+				h.guard.NoteStockRoute(class)
+				h.handleStockRouted(t, a, newCfg)
+			} else {
+				// A stale handling never reaches the ATMS, so no resume
+				// of its own will come back to disarm the watchdog; the
+				// newer in-flight handling owns the class's deadline now.
+				h.guard.DisarmPhase(class, "runtimeChange")
+			}
 			return 0
 		}
 		intent := app.NewIntent(t.Process().App().Name, a.Class().Name).WithFlags(app.FlagSunny)
 		t.System().RequestStartActivity(intent, a.Token())
 		return 0
 	})
+}
+
+// handleStockRouted replays the Android-10 save/destroy/relaunch path
+// for a change the guard refused to hand to the shadow machinery. The
+// phases mirror PerformSaveAndDestroy cost-for-cost, with one deliberate
+// deviation: an instance with asynchronous work still in flight is
+// demoted to a stopped zombie instead of destroyed — tearing it down
+// would re-create the very §2.2 crash the guard exists to contain, and
+// "strictly better than stock" is the one asymmetry the transparency
+// oracle permits.
+func (h *ShadowHandler) handleStockRouted(t *app.ActivityThread, a *app.Activity, newCfg config.Configuration) {
+	h.stockRouted++
+	m := t.Process().Model()
+	class, token := a.Class(), a.Token()
+	var saved *bundle.Bundle
+	aborted := false
+	t.RunCharged("stock:save", func() time.Duration {
+		if !a.State().Visible() {
+			aborted = true
+			return 0
+		}
+		saved = a.SaveInstanceStateStock()
+		return m.SaveState(a.ViewCount())
+	})
+	t.RunCharged("stock:teardown", func() time.Duration {
+		if aborted {
+			return 0
+		}
+		// The async check must run in-phase: a task started by a message
+		// queued ahead of this one would be missed at schedule time.
+		if a.AsyncInFlight() > 0 {
+			n := a.ViewCount()
+			a.DemoteToStopped()
+			h.zombies = append(h.zombies, a)
+			t.Process().UpdateMemory()
+			return m.DestroyTree(n)
+		}
+		// PerformDestroy queues its own charged message, so the teardown
+		// cost lands one hop later; the serial looper makes the total
+		// latency identical to the stock relaunch:destroy phase.
+		t.PerformDestroy(a)
+		return 0
+	})
+	t.RunCharged("stock:relaunch", func() time.Duration {
+		if aborted {
+			return 0
+		}
+		t.PerformLaunch(class, token, newCfg, app.LaunchOptions{Saved: saved})
+		return 0
+	})
+}
+
+// settleChange marks the in-flight handling that reached its settling
+// point as done. Floored at zero: a flip reply that arrives after its
+// handling aborted never incremented the counter.
+func (h *ShadowHandler) settleChange() {
+	if h.changesInFlight > 0 {
+		h.changesInFlight--
+	}
 }
 
 // releaseShadow removes the shadow coupling of a and either destroys the
@@ -184,6 +315,7 @@ func (h *ShadowHandler) reapZombies(t *app.ActivityThread) {
 		}
 		if z.AsyncInFlight() == 0 {
 			t.PerformDestroy(z)
+			h.zombiesReaped++
 			continue
 		}
 		remaining = append(remaining, z)
@@ -200,6 +332,7 @@ func (h *ShadowHandler) Zombies() int { return len(h.zombies) }
 // resume (the handleResumeActivity modification).
 func (h *ShadowHandler) HandleSunnyLaunch(t *app.ActivityThread, class *app.ActivityClass, token int, newCfg config.Configuration) {
 	h.initLaunches++
+	h.guard.ArmPhase(class.Name, "sunnyLaunch")
 	m := t.Process().Model()
 	// Reconcile a mispredicted flip: the thread expected the server to
 	// reuse its shadow partner, but the server created a record instead
@@ -253,10 +386,14 @@ func (h *ShadowHandler) HandleSunnyLaunch(t *app.ActivityThread, class *app.Acti
 			}
 		},
 		OnResumed: func(sunny *app.Activity) {
+			h.settleChange()
 			t.SetCurrentSunny(sunny)
 			clearDirtyTree(sunny.Decor())
 			if h.gc != nil {
 				h.gc.Arm(t)
+			}
+			if h.guard.Enabled() {
+				h.guard.SelfCheck(sunny.Class().Name)
 			}
 		},
 	})
@@ -269,6 +406,9 @@ func (h *ShadowHandler) HandleFlip(t *app.ActivityThread, shadowToken int, newCf
 	h.flips++
 	m := t.Process().Model()
 	incoming := t.Activity(shadowToken)
+	if incoming != nil {
+		h.guard.ArmPhase(incoming.Class().Name, "flip")
+	}
 	outgoing := t.CurrentSunny()
 	if h.pendingShadow != nil {
 		outgoing = h.pendingShadow
@@ -317,6 +457,7 @@ func (h *ShadowHandler) HandleFlip(t *app.ActivityThread, shadowToken int, newCf
 		return m.ResumeBase + extra + m.WindowRelayout
 	})
 	t.RunCharged("rch:flipDone", func() time.Duration {
+		h.settleChange()
 		t.Process().UpdateMemory()
 		if h.gc != nil {
 			h.gc.Arm(t)
@@ -326,6 +467,14 @@ func (h *ShadowHandler) HandleFlip(t *app.ActivityThread, shadowToken int, newCf
 		}
 		return 0
 	})
+	if h.guard.Enabled() && incoming != nil {
+		// Zero-cost by construction: with the guard disabled the flip
+		// timeline is tick-identical.
+		t.RunCharged("guard:selfCheck", func() time.Duration {
+			h.guard.SelfCheck(incoming.Class().Name)
+			return 0
+		})
+	}
 }
 
 // AfterUICallback implements app.ChangeHandler: the lazy-migration flush

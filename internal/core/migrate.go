@@ -230,6 +230,10 @@ func (m *Migrator) RemoveHook(a *app.Activity) {
 // PendingCount returns the number of views awaiting migration.
 func (m *Migrator) PendingCount() int { return len(m.pending) }
 
+// FlushDeferred reports whether an injected flush deferral is pending —
+// a window in which unflushed views are expected, not a leak.
+func (m *Migrator) FlushDeferred() bool { return m.deferred }
+
 // Flush migrates every pending view to its sunny peer as one charged
 // phase — the lazy-migration step that runs when an asynchronous task's
 // callback has finished updating the shadow tree. It is a no-op with

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"rchdroid/internal/app"
 	"rchdroid/internal/atms"
 	"rchdroid/internal/chaos"
+	"rchdroid/internal/guard"
+	"rchdroid/internal/view"
 )
 
 // Options configure an RCHDroid installation.
@@ -28,10 +31,16 @@ type Options struct {
 	// for the §3.3 lazy scheme).
 	EagerMigration bool
 	// Chaos, if non-nil, arms the core-side fault hooks from the plan:
-	// phase stalls on the shadow handler and flush deferral on the
-	// migrator. The app/system-side hooks (looper, async, config echo)
-	// are armed separately via chaos.Plan.Install.
+	// phase stalls on the shadow handler, flush deferral on the migrator
+	// and corruption/drop on the snapshot transfer. The app/system-side
+	// hooks (looper, async, config echo) are armed separately via
+	// chaos.Plan.Install.
 	Chaos *chaos.Plan
+	// Guard, if non-nil, arms the supervision layer: ANR-style watchdogs
+	// around the handling phases, checksummed snapshot transfer with
+	// retry, post-flip self-checks, and the per-activity degradation
+	// ladder that falls back to the stock restart path.
+	Guard *guard.Config
 }
 
 // DefaultOptions returns the configuration the paper evaluates.
@@ -46,6 +55,7 @@ type RCHDroid struct {
 	Migrator *Migrator
 	GC       *ThresholdGC
 	Policy   *CoinFlipPolicy
+	Guard    *guard.Guard
 }
 
 // Install wires RCHDroid onto a process and its system server:
@@ -61,11 +71,91 @@ func Install(sys *atms.ATMS, proc *app.Process, opts Options) *RCHDroid {
 	}
 	handler := NewShadowHandler(migrator, gc)
 	handler.quadraticMapping = opts.QuadraticMapping
+	var g *guard.Guard
+	if opts.Guard != nil {
+		g = guard.New(*opts.Guard, proc.Scheduler(), proc, sys)
+		handler.guard = g
+	}
 	if opts.Chaos != nil {
 		handler.SetPhaseStall(opts.Chaos.OnCorePhase)
-		migrator.SetFlushFault(opts.Chaos.OnMigrationFlush)
+		handler.xfer = opts.Chaos.OnStateTransfer
+		if g != nil {
+			// Wrap the flush fault so the guard sees deferrals: the first
+			// deferral arms the migrationFlush watchdog and the consult
+			// that finally lets the flush through disarms it. A deferral
+			// chain that never completes within the deadline is exactly
+			// the hang the watchdog is for.
+			var flushClass string
+			migrator.SetFlushFault(func(pending int) time.Duration {
+				d := opts.Chaos.OnMigrationFlush(pending)
+				if d > 0 {
+					if sh := proc.Thread().CurrentShadow(); sh != nil {
+						flushClass = sh.Class().Name
+						g.ArmPhase(flushClass, "migrationFlush")
+					}
+				} else if flushClass != "" {
+					g.DisarmPhase(flushClass, "migrationFlush")
+					flushClass = ""
+				}
+				return d
+			})
+		} else {
+			migrator.SetFlushFault(opts.Chaos.OnMigrationFlush)
+		}
 	}
 	proc.Thread().SetChangeHandler(handler)
+
+	if g != nil {
+		g.SetReleaser(func(class string) bool {
+			t := proc.Thread()
+			if handler.changesInFlight > 0 {
+				// A handling is mid-flight (enter-shadow done, flip or
+				// launch still queued); releasing now would destroy the
+				// instance it is about to foreground. Retry at the next
+				// resume — the settling point always produces one.
+				return false
+			}
+			if p := handler.pendingShadow; p != nil && p.Class().Name == class {
+				handler.pendingShadow = nil
+			}
+			if sh := t.CurrentShadow(); sh != nil && sh.Class().Name == class {
+				handler.releaseShadow(t, sh)
+			}
+			return true
+		})
+		g.SetAuxCheck(func() []string {
+			var issues []string
+			if !migrator.FlushDeferred() && migrator.PendingCount() > 0 {
+				issues = append(issues, fmt.Sprintf("migrator: %d unflushed dirty shadow views", migrator.PendingCount()))
+			}
+			// Every mapped essence pair must point at a live peer with a
+			// matching ID; views without an ID are legitimately unmapped.
+			if sh := proc.Thread().CurrentShadow(); sh != nil && sh.State() == app.StateShadow {
+				view.Walk(sh.Decor(), func(v view.View) bool {
+					peer := v.Base().SunnyPeer()
+					if peer == nil {
+						return true
+					}
+					if peer.Base().Released() {
+						issues = append(issues, fmt.Sprintf("essence map: view %d's sunny peer is released", int(v.Base().ID())))
+					} else if peer.Base().ID() != v.Base().ID() {
+						issues = append(issues, fmt.Sprintf("essence map: view %d mapped to peer %d", int(v.Base().ID()), int(peer.Base().ID())))
+					}
+					return true
+				})
+			}
+			return issues
+		})
+		proc.UILooper().SetDispatchObserver(g.OnDispatch)
+		sys.AddHandlingObserver(func(class string, token int) {
+			// Observers fire for every process on the server; arm only
+			// for tokens this process owns.
+			if proc.Thread().Activity(token) != nil {
+				g.ArmPhase(class, "handling")
+			}
+		})
+		sys.AddResumeObserver(g.OnResumed)
+	}
 
 	var policy *CoinFlipPolicy
 	if opts.DisableCoinFlip {
@@ -77,7 +167,7 @@ func Install(sys *atms.ATMS, proc *app.Process, opts Options) *RCHDroid {
 			sys.Starter().SetPolicy(policy)
 		}
 	}
-	return &RCHDroid{Handler: handler, Migrator: migrator, GC: gc, Policy: policy}
+	return &RCHDroid{Handler: handler, Migrator: migrator, GC: gc, Policy: policy, Guard: g}
 }
 
 // MigrationTimes returns the lazy-migration batch durations (Fig 10b).

@@ -5,6 +5,9 @@ import (
 	"time"
 
 	"rchdroid/internal/benchapp"
+	"rchdroid/internal/core"
+	"rchdroid/internal/costmodel"
+	"rchdroid/internal/guard"
 	"rchdroid/internal/trace"
 )
 
@@ -53,5 +56,48 @@ func TestTraceOverheadGuard(t *testing.T) {
 	}
 	if spans == 0 {
 		t.Error("armed tracer recorded no spans")
+	}
+}
+
+// TestGuardIdleAnchor is the supervision tax check: arming the guard on
+// a fault-free run must keep the steady-state flip on the 89.2 ms anchor
+// without moving virtual time by a single tick. The watchdog observes
+// deadlines, it never charges the timeline — and with no faults it must
+// stay entirely idle.
+func TestGuardIdleAnchor(t *testing.T) {
+	bare := steadyFlip(t, nil)
+
+	cfg := guard.DefaultConfig()
+	opts := core.DefaultOptions()
+	opts.Guard = &cfg
+	r := NewRigWithOptions(benchapp.New(benchapp.Config{Images: 4}), ModeRCHDroid, costmodel.Default(), opts)
+	if _, err := r.Rotate(); err != nil {
+		t.Fatalf("init rotation: %v", err)
+	}
+	guarded, err := r.Rotate()
+	if err != nil {
+		t.Fatalf("flip rotation: %v", err)
+	}
+
+	if guarded != bare {
+		t.Errorf("guard moved virtual time: %v with guard, %v without", guarded, bare)
+	}
+	withinPct(t, "flip ms (guard idle)", ms(guarded), 89.2, 3)
+
+	g := r.RCH.Guard
+	if !g.Enabled() {
+		t.Fatal("guard not installed on the guarded rig")
+	}
+	if g.ANRs() != 0 || g.DispatchOverruns() != 0 {
+		t.Errorf("watchdog fired on a healthy run: %d ANRs, %d dispatch overruns",
+			g.ANRs(), g.DispatchOverruns())
+	}
+	if g.Quarantines() != 0 || g.BreakerOpens() != 0 || g.SelfCheckFailures() != 0 {
+		t.Errorf("guard degraded a healthy run: %d quarantines, %d breaker opens, %d self-check failures",
+			g.Quarantines(), g.BreakerOpens(), g.SelfCheckFailures())
+	}
+	if g.Retries() != 0 || g.TransferFailures() != 0 {
+		t.Errorf("transfer path retried without faults: %d retries, %d failures",
+			g.Retries(), g.TransferFailures())
 	}
 }

@@ -1,0 +1,303 @@
+package guard_test
+
+import (
+	"testing"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/atms"
+	"rchdroid/internal/benchapp"
+	"rchdroid/internal/bundle"
+	"rchdroid/internal/chaos"
+	"rchdroid/internal/config"
+	"rchdroid/internal/core"
+	"rchdroid/internal/costmodel"
+	"rchdroid/internal/guard"
+	"rchdroid/internal/sim"
+)
+
+// rig boots a minimal system with one resumed benchapp activity and a
+// guard wired directly (no core handler), for unit-level ladder tests.
+type rig struct {
+	sched *sim.Scheduler
+	sys   *atms.ATMS
+	proc  *app.Process
+	g     *guard.Guard
+	class string
+	token int
+}
+
+func newRig(t *testing.T, cfg guard.Config) *rig {
+	t.Helper()
+	sched := sim.NewScheduler()
+	model := costmodel.Default()
+	sys := atms.New(sched, model)
+	proc := app.NewProcess(sched, model, benchapp.New(benchapp.Config{Images: 2}))
+	g := guard.New(cfg, sched, proc, sys)
+	sys.LaunchApp(proc)
+	sched.Advance(2 * time.Second)
+	fg := proc.Thread().ForegroundActivity()
+	if fg == nil {
+		t.Fatal("rig: no foreground activity after launch")
+	}
+	return &rig{sched: sched, sys: sys, proc: proc, g: g,
+		class: fg.Class().Name, token: fg.Token()}
+}
+
+// stockCycle simulates one stock-routed change reaching its resume.
+func (r *rig) stockCycle() {
+	r.g.NoteStockRoute(r.class)
+	r.g.OnResumed(r.token)
+}
+
+func TestLadderQuarantineAndRecovery(t *testing.T) {
+	cfg := guard.DefaultConfig()
+	cfg.ProbationK = 2
+	r := newRig(t, cfg)
+	g := r.g
+
+	if !g.Allow(r.class) {
+		t.Fatal("fresh class not allowed")
+	}
+	g.Quarantine(r.class, "test:manual")
+	if g.Allow(r.class) {
+		t.Fatal("quarantined class still allowed")
+	}
+	if g.Quarantines() != 1 {
+		t.Fatalf("Quarantines = %d, want 1", g.Quarantines())
+	}
+	g.Quarantine(r.class, "test:again")
+	if g.Quarantines() != 1 {
+		t.Fatalf("quarantine not idempotent: %d", g.Quarantines())
+	}
+	if got := g.Modes()[r.class]; got != "quarantined" {
+		t.Fatalf("mode = %q, want quarantined", got)
+	}
+
+	// One clean stock change is not enough; the second recovers.
+	r.stockCycle()
+	if g.Allow(r.class) {
+		t.Fatal("recovered after 1/2 clean changes")
+	}
+	r.stockCycle()
+	if !g.Allow(r.class) {
+		t.Fatal("not recovered after ProbationK clean changes")
+	}
+	if g.Recoveries() != 1 {
+		t.Fatalf("Recoveries = %d, want 1", g.Recoveries())
+	}
+
+	// A resume without a stock route in flight must not advance probation.
+	g.Quarantine(r.class, "test:again")
+	g.OnResumed(r.token)
+	g.OnResumed(r.token)
+	if g.Allow(r.class) {
+		t.Fatal("recovered on resumes with no stock-routed change")
+	}
+}
+
+func TestBreakerIsFinal(t *testing.T) {
+	cfg := guard.DefaultConfig()
+	cfg.BreakerThreshold = 1
+	cfg.ProbationK = 1
+	r := newRig(t, cfg)
+	g := r.g
+
+	g.Quarantine(r.class, "test:breaker")
+	if !g.BreakerOpen() || g.BreakerOpens() != 1 {
+		t.Fatalf("breaker not open at threshold: open=%v opens=%d", g.BreakerOpen(), g.BreakerOpens())
+	}
+	if g.Allow(r.class) || g.Allow("SomeOtherActivity") {
+		t.Fatal("open breaker still allows RCHDroid handling")
+	}
+	// Probation cannot close an open breaker.
+	for i := 0; i < 5; i++ {
+		r.stockCycle()
+	}
+	if g.Recoveries() != 0 || g.Allow(r.class) {
+		t.Fatalf("breaker-open class recovered: recoveries=%d allow=%v",
+			g.Recoveries(), g.Allow(r.class))
+	}
+}
+
+func TestWatchdogFiresOnDeadline(t *testing.T) {
+	cfg := guard.DefaultConfig()
+	r := newRig(t, cfg)
+	g := r.g
+
+	// A disarmed phase never fires.
+	g.ArmPhase(r.class, "runtimeChange")
+	g.DisarmPhase(r.class, "runtimeChange")
+	r.sched.Advance(2 * cfg.PhaseDeadline)
+	if g.ANRs() != 0 {
+		t.Fatalf("disarmed watchdog fired: %d ANRs", g.ANRs())
+	}
+
+	// An armed phase that never completes is an ANR and a quarantine.
+	g.ArmPhase(r.class, "runtimeChange")
+	r.sched.Advance(cfg.PhaseDeadline / 2)
+	if g.ANRs() != 0 {
+		t.Fatal("watchdog fired before its deadline")
+	}
+	r.sched.Advance(cfg.PhaseDeadline)
+	if g.ANRs() != 1 {
+		t.Fatalf("ANRs = %d, want 1", g.ANRs())
+	}
+	if g.Allow(r.class) {
+		t.Fatal("ANR did not quarantine the class")
+	}
+	if g.FirstQuarantineAt() == 0 {
+		t.Fatal("FirstQuarantineAt not recorded")
+	}
+}
+
+func TestDispatchOverrunAttribution(t *testing.T) {
+	cfg := guard.DefaultConfig()
+	r := newRig(t, cfg)
+	g := r.g
+
+	// An overrun with no armed phase is counted but not attributed.
+	g.OnDispatch("someMessage", r.sched.Now(), cfg.DispatchDeadline+time.Millisecond)
+	if g.DispatchOverruns() != 1 || g.Quarantines() != 0 {
+		t.Fatalf("unattributed overrun: overruns=%d quarantines=%d",
+			g.DispatchOverruns(), g.Quarantines())
+	}
+	// With a handling in flight the overrun quarantines its class.
+	g.ArmPhase(r.class, "runtimeChange")
+	g.OnDispatch("rch:enterShadow", r.sched.Now(), cfg.DispatchDeadline+time.Millisecond)
+	if g.Quarantines() != 1 || g.Allow(r.class) {
+		t.Fatalf("attributed overrun did not quarantine: quarantines=%d", g.Quarantines())
+	}
+}
+
+func TestTransferRetriesAndBackoff(t *testing.T) {
+	cfg := guard.DefaultConfig()
+	cfg.TransferRetries = 3
+	cfg.RetryBackoff = 5 * time.Millisecond
+	r := newRig(t, cfg)
+	g := r.g
+
+	save := func() *bundle.Bundle {
+		b := bundle.New()
+		b.PutString("k", "v")
+		b.PutInt("n", 42)
+		return b
+	}
+
+	// Two failures then success: the snapshot survives and the charged
+	// backoff is the deterministic exponential sum 5ms + 10ms.
+	calls := 0
+	snap, backoff, ok := g.Transfer(r.class, save, func(attempt int) chaos.TransferFault {
+		calls++
+		if attempt == 0 {
+			return chaos.TransferFault{Drop: true}
+		}
+		if attempt == 1 {
+			return chaos.TransferFault{Corrupt: true}
+		}
+		return chaos.TransferFault{}
+	})
+	if !ok || calls != 3 {
+		t.Fatalf("transfer ok=%v after %d attempts", ok, calls)
+	}
+	if got := snap.GetString("k", ""); got != "v" {
+		t.Fatalf("snapshot corrupted: k=%q", got)
+	}
+	if want := 5*time.Millisecond + 10*time.Millisecond; backoff != want {
+		t.Fatalf("backoff = %v, want %v", backoff, want)
+	}
+	if g.Retries() != 2 {
+		t.Fatalf("Retries = %d, want 2", g.Retries())
+	}
+
+	// Every attempt failing reports degradation to the caller.
+	snap, _, ok = g.Transfer(r.class, save, func(int) chaos.TransferFault {
+		return chaos.TransferFault{Drop: true}
+	})
+	if ok || snap != nil {
+		t.Fatalf("all-fail transfer returned ok=%v snap=%v", ok, snap)
+	}
+	if g.TransferFailures() != 1 {
+		t.Fatalf("TransferFailures = %d, want 1", g.TransferFailures())
+	}
+}
+
+// TestNilGuardNoOps exercises every entry point on a nil *Guard — the
+// disabled configuration must be safe everywhere.
+func TestNilGuardNoOps(t *testing.T) {
+	var g *guard.Guard
+	if g.Enabled() {
+		t.Fatal("nil guard claims enabled")
+	}
+	if !g.Allow("X") {
+		t.Fatal("nil guard refused a handling")
+	}
+	g.NoteStockRoute("X")
+	g.ArmPhase("X", "runtimeChange")
+	g.DisarmPhase("X", "runtimeChange")
+	g.OnDispatch("m", 0, time.Hour)
+	g.OnResumed(1)
+	g.Quarantine("X", "cause")
+	g.SetReleaser(func(string) bool { return true })
+	g.SetAuxCheck(func() []string { return nil })
+	if got := g.SelfCheck("X"); got != nil {
+		t.Fatalf("nil guard self-check returned %v", got)
+	}
+	b := bundle.New()
+	b.PutString("k", "v")
+	snap, backoff, ok := g.Transfer("X", func() *bundle.Bundle { return b }, nil)
+	if !ok || backoff != 0 || snap.GetString("k", "") != "v" {
+		t.Fatalf("nil guard transfer: ok=%v backoff=%v", ok, backoff)
+	}
+	// A dropped bundle on the unguarded path reads as empty, not nil.
+	snap, _, ok = g.Transfer("X", func() *bundle.Bundle { return b },
+		func(int) chaos.TransferFault { return chaos.TransferFault{Drop: true} })
+	if !ok || snap == nil || snap.Len() != 0 {
+		t.Fatalf("nil guard dropped transfer: ok=%v snap=%v", ok, snap)
+	}
+	if g.ANRs()+g.Retries()+g.Quarantines()+g.Recoveries()+g.BreakerOpens() != 0 {
+		t.Fatal("nil guard counters non-zero")
+	}
+	if g.Report() != "guard: disabled\n" {
+		t.Fatalf("nil guard report: %q", g.Report())
+	}
+}
+
+// TestReportByteIdentical runs the same guarded chaos scenario twice and
+// requires the rendered report to match byte-for-byte — supervision
+// decisions are part of the deterministic replay contract.
+func TestReportByteIdentical(t *testing.T) {
+	run := func() string {
+		sched := sim.NewScheduler()
+		model := costmodel.Default()
+		sys := atms.New(sched, model)
+		proc := app.NewProcess(sched, model, benchapp.New(benchapp.Config{
+			Images:    2,
+			TaskDelay: 100 * time.Millisecond,
+		}))
+		plan := chaos.NewPlan(1234, chaos.Guarded())
+		plan.BindClock(sched)
+		opts := core.DefaultOptions()
+		opts.Chaos = plan
+		cfg := guard.DefaultConfig()
+		opts.Guard = &cfg
+		rch := core.Install(sys, proc, opts)
+		plan.Install(sys, proc)
+		sys.LaunchApp(proc)
+		sched.Advance(2 * time.Second)
+		cfg2 := config.Default()
+		for i := 0; i < 4; i++ {
+			cfg2 = cfg2.Rotated()
+			sys.PushConfiguration(cfg2)
+			sched.Advance(3 * time.Second)
+		}
+		return rch.Guard.Report()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("guard reports differ between identical runs:\n%s----\n%s", a, b)
+	}
+	if a == "" || a == "guard: disabled\n" {
+		t.Fatalf("unexpected report: %q", a)
+	}
+}

@@ -68,6 +68,13 @@ type FaultInjector func(name string, cost time.Duration) Fault
 // SetFaultInjector installs (or, with nil, removes) the fault injector.
 func (l *Looper) SetFaultInjector(fn FaultInjector) { l.fault = fn }
 
+// SetDispatchObserver installs (or, with nil, removes) a completion
+// observer called after every dispatched message with the message name,
+// its start time and its final occupancy.
+func (l *Looper) SetDispatchObserver(fn func(name string, start sim.Time, occupancy time.Duration)) {
+	l.onDispatch = fn
+}
+
 // Looper is a single-threaded message processor.
 type Looper struct {
 	name      string
@@ -81,6 +88,11 @@ type Looper struct {
 	pump      *sim.Event
 	current   *Message
 	fault     FaultInjector
+
+	// onDispatch, if set, observes every completed dispatch with its
+	// total occupancy (cost plus charges plus stalls). The guard's
+	// ANR-style watchdog hangs off this seam.
+	onDispatch func(name string, start sim.Time, occupancy time.Duration)
 
 	// onBusy, if set, observes every executed message (used by the
 	// metrics recorder to compute CPU usage over time).
@@ -276,6 +288,11 @@ func (l *Looper) dispatch() {
 		l.current = m
 		m.Run()
 		l.current = nil
+		if l.onDispatch != nil {
+			// Occupancy measured after Run so it includes every Charge
+			// and injected stall folded into the message.
+			l.onDispatch(m.Name, now, l.busyUntil.Sub(now))
+		}
 		break
 	}
 	l.schedulePump()

@@ -1,0 +1,141 @@
+package metrics_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/atms"
+	"rchdroid/internal/benchapp"
+	"rchdroid/internal/chaos"
+	"rchdroid/internal/config"
+	"rchdroid/internal/core"
+	"rchdroid/internal/costmodel"
+	"rchdroid/internal/guard"
+	"rchdroid/internal/metrics"
+	"rchdroid/internal/sim"
+	"rchdroid/internal/trace"
+)
+
+// guardedRun drives a traced, guarded chaos scenario and returns the
+// tracer plus every rendered report the run feeds: the trace summary,
+// the ATMS stack dump and the guard's own report.
+func guardedRun(t *testing.T) (*trace.Tracer, string, string, string) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	model := costmodel.Default()
+	tracer := trace.New(sched)
+	sys := atms.New(sched, model)
+	sys.SetTracer(tracer)
+	proc := app.NewProcess(sched, model, benchapp.New(benchapp.Config{
+		Images:    2,
+		TaskDelay: 100 * time.Millisecond,
+	}))
+	proc.SetTracer(tracer)
+	plan := chaos.NewPlan(77, chaos.Guarded())
+	plan.BindClock(sched)
+	plan.SetTracer(tracer)
+	opts := core.DefaultOptions()
+	opts.Chaos = plan
+	cfg := guard.DefaultConfig()
+	opts.Guard = &cfg
+	rch := core.Install(sys, proc, opts)
+	plan.Install(sys, proc)
+	sys.LaunchApp(proc)
+	sched.Advance(2 * time.Second)
+	c := config.Default()
+	for i := 0; i < 6; i++ {
+		c = c.Rotated()
+		sys.PushConfiguration(c)
+		sched.Advance(3 * time.Second)
+	}
+	st := metrics.AnalyzeTrace(tracer.Events())
+	return tracer, st.Render(0), sys.DumpStack(), rch.Guard.Report()
+}
+
+// TestAnalyzeTraceGuardCounters checks the guard section of the trace
+// summary: watchdog margins for the phases a healthy handling disarms,
+// and counters consistent between the in-memory trace and the guard.
+func TestAnalyzeTraceGuardCounters(t *testing.T) {
+	tracer, rendered, _, report := guardedRun(t)
+	st := metrics.AnalyzeTrace(tracer.Events())
+
+	if len(st.GuardMargins) == 0 {
+		t.Fatal("no guard deadline margins collected")
+	}
+	for phase, margins := range st.GuardMargins {
+		for _, m := range margins {
+			if m <= 0 {
+				t.Fatalf("phase %s recorded non-positive margin %v", phase, m)
+			}
+		}
+	}
+	total := st.GuardANRs + st.GuardRetries + st.GuardQuarantines +
+		st.GuardRecoveries + st.GuardStockRoutes
+	if total == 0 {
+		t.Fatal("Guarded preset produced no guard activity in the trace")
+	}
+	if !bytes.Contains([]byte(rendered), []byte("guard:")) {
+		t.Fatalf("rendered summary misses the guard section:\n%s", rendered)
+	}
+	if !bytes.Contains([]byte(rendered), []byte("guard deadline margin")) {
+		t.Fatalf("rendered summary misses the margin table:\n%s", rendered)
+	}
+	if report == "guard: disabled\n" {
+		t.Fatal("guard report claims disabled")
+	}
+}
+
+// TestGuardStatsSurviveJSONRoundTrip re-reads the exported trace (where
+// durations become formatted strings) and requires the same guard
+// counters and margins — the path rchtrace takes.
+func TestGuardStatsSurviveJSONRoundTrip(t *testing.T) {
+	tracer, _, _, _ := guardedRun(t)
+	direct := metrics.AnalyzeTrace(tracer.Events())
+
+	var buf bytes.Buffer
+	if err := tracer.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	evs, _, err := trace.ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	reread := metrics.AnalyzeTrace(evs)
+
+	if direct.GuardANRs != reread.GuardANRs ||
+		direct.GuardRetries != reread.GuardRetries ||
+		direct.GuardQuarantines != reread.GuardQuarantines ||
+		direct.GuardRecoveries != reread.GuardRecoveries ||
+		direct.GuardBreakerOpens != reread.GuardBreakerOpens ||
+		direct.GuardStockRoutes != reread.GuardStockRoutes ||
+		direct.GuardSelfCheckFails != reread.GuardSelfCheckFails {
+		t.Fatalf("guard counters changed across JSON round trip:\ndirect %+v\nreread %+v", direct, reread)
+	}
+	if len(direct.GuardMargins) != len(reread.GuardMargins) {
+		t.Fatalf("margin phases changed: %d vs %d", len(direct.GuardMargins), len(reread.GuardMargins))
+	}
+	for phase, ms := range direct.GuardMargins {
+		if len(reread.GuardMargins[phase]) != len(ms) {
+			t.Fatalf("phase %s margins: %d vs %d", phase, len(ms), len(reread.GuardMargins[phase]))
+		}
+	}
+}
+
+// TestReportsByteIdenticalAcrossRuns re-runs the identical guarded
+// scenario and compares every rendered report byte for byte — the
+// export-determinism contract for the summaries the CLI prints.
+func TestReportsByteIdenticalAcrossRuns(t *testing.T) {
+	_, render1, dump1, report1 := guardedRun(t)
+	_, render2, dump2, report2 := guardedRun(t)
+	if render1 != render2 {
+		t.Fatalf("trace summaries differ between identical runs:\n%s----\n%s", render1, render2)
+	}
+	if dump1 != dump2 {
+		t.Fatalf("stack dumps differ between identical runs:\n%s----\n%s", dump1, dump2)
+	}
+	if report1 != report2 {
+		t.Fatalf("guard reports differ between identical runs:\n%s----\n%s", report1, report2)
+	}
+}

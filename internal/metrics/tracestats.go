@@ -48,12 +48,45 @@ type TraceStats struct {
 	ChaosByKind map[string]int
 	Crashes     int
 	LogcatLines int
+
+	// Supervision (guard) counters read off guard-category instants.
+	GuardANRs           int
+	GuardRetries        int
+	GuardQuarantines    int
+	GuardRecoveries     int
+	GuardBreakerOpens   int
+	GuardStockRoutes    int
+	GuardSelfCheckFails int
+
+	// GuardMargins collects, per watchdog phase, how much headroom each
+	// disarmed deadline had left — the margin histograms that show how
+	// close a healthy run sails to its ANR deadlines.
+	GuardMargins map[string][]time.Duration
 }
 
 // AnalyzeTrace derives the summary from events (as recorded by a
 // trace.Tracer or re-read from an exported file).
+// asDuration coerces an instant argument to a duration: in-memory
+// traces carry time.Duration values, re-read JSON exports carry their
+// formatted strings.
+func asDuration(v any) (time.Duration, bool) {
+	switch x := v.(type) {
+	case time.Duration:
+		return x, true
+	case string:
+		if d, err := time.ParseDuration(x); err == nil {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
 func AnalyzeTrace(events []trace.Event) TraceStats {
-	st := TraceStats{Events: len(events), ChaosByKind: make(map[string]int)}
+	st := TraceStats{
+		Events:       len(events),
+		ChaosByKind:  make(map[string]int),
+		GuardMargins: make(map[string][]time.Duration),
+	}
 	durs := make(map[string][]float64)
 	asyncOpen := make(map[uint64]trace.Event)
 	argOf := func(e trace.Event, key string) any {
@@ -98,6 +131,25 @@ func AnalyzeTrace(events []trace.Event) TraceStats {
 				st.Migrations++
 			case "crash":
 				st.Crashes++
+			case "guard:anr":
+				st.GuardANRs++
+			case "guard:retry":
+				st.GuardRetries++
+			case "guard:quarantine":
+				st.GuardQuarantines++
+			case "guard:recover":
+				st.GuardRecoveries++
+			case "guard:breakerOpen":
+				st.GuardBreakerOpens++
+			case "guard:stockRoute":
+				st.GuardStockRoutes++
+			case "guard:selfCheckFail":
+				st.GuardSelfCheckFails++
+			case "guard:disarm":
+				phase, _ := argOf(e, "phase").(string)
+				if m, ok := asDuration(argOf(e, "margin")); ok && phase != "" {
+					st.GuardMargins[phase] = append(st.GuardMargins[phase], m)
+				}
 			}
 		case trace.PhaseAsyncBegin:
 			if e.Name == "runtimeChange" {
@@ -184,6 +236,36 @@ func (st TraceStats) Render(limit int) string {
 	}
 	if st.LogcatLines > 0 {
 		fmt.Fprintf(&sb, "logcat lines: %d\n", st.LogcatLines)
+	}
+	if st.GuardANRs+st.GuardRetries+st.GuardQuarantines+st.GuardRecoveries+
+		st.GuardBreakerOpens+st.GuardStockRoutes+st.GuardSelfCheckFails > 0 {
+		fmt.Fprintf(&sb, "guard: %d ANRs, %d transfer retries, %d quarantines, %d recoveries, %d breaker opens, %d stock routes, %d self-check failures\n",
+			st.GuardANRs, st.GuardRetries, st.GuardQuarantines, st.GuardRecoveries,
+			st.GuardBreakerOpens, st.GuardStockRoutes, st.GuardSelfCheckFails)
+	}
+	if len(st.GuardMargins) > 0 {
+		phases := make([]string, 0, len(st.GuardMargins))
+		for p := range st.GuardMargins {
+			phases = append(phases, p)
+		}
+		sort.Strings(phases)
+		fmt.Fprintf(&sb, "%-32s %6s %10s %10s %10s\n",
+			"guard deadline margin", "count", "p50 ms", "p95 ms", "min ms")
+		for _, p := range phases {
+			margins := st.GuardMargins[p]
+			xs := make([]float64, len(margins))
+			min := margins[0]
+			for i, m := range margins {
+				xs[i] = float64(m)
+				if m < min {
+					min = m
+				}
+			}
+			fmt.Fprintf(&sb, "%-32s %6d %s %s %s\n", p, len(margins),
+				ms(time.Duration(Percentile(xs, 50))),
+				ms(time.Duration(Percentile(xs, 95))),
+				ms(min))
+		}
 	}
 	if len(st.Phases) > 0 {
 		fmt.Fprintf(&sb, "%-32s %6s %10s %10s %10s %10s\n",

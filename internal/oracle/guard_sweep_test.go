@@ -1,0 +1,149 @@
+package oracle_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/atms"
+	"rchdroid/internal/chaos"
+	"rchdroid/internal/core"
+	"rchdroid/internal/guard"
+	"rchdroid/internal/oracle"
+)
+
+var (
+	guardSeeds = flag.Int("oracle.guard-seeds", 256,
+		"number of seeds the guarded-chaos sweep covers (short mode caps at 64)")
+	guardReplay = flag.Uint64("oracle.guard-replay", 0,
+		"replay a single failing guarded seed with its full verdict")
+)
+
+// guardedInstaller wires RCHDroid with the supervision layer armed. The
+// Guard getter reads back the guard the most recent Install created, so
+// the verdict carries the supervision summary.
+func guardedInstaller() oracle.Installer {
+	var g *guard.Guard
+	return oracle.Installer{
+		Name: "RCHDroid-guarded",
+		Install: func(sys *atms.ATMS, proc *app.Process, plan *chaos.Plan) {
+			opts := core.DefaultOptions()
+			opts.Chaos = plan
+			cfg := guard.DefaultConfig()
+			opts.Guard = &cfg
+			g = core.Install(sys, proc, opts).Guard
+		},
+		Guard: func() *guard.Guard { return g },
+	}
+}
+
+// guardFailureTrace mirrors failureTrace for the guarded sweep: it
+// replays the failing seed under the Guarded preset and writes the
+// timeline to ./artifacts/ (created on demand).
+func guardFailureTrace(t *testing.T, seed uint64) string {
+	t.Helper()
+	if !*traceOnFail {
+		return ""
+	}
+	raw, err := oracle.TraceRCHWith(seed, guardedInstaller(), 0, chaos.Guarded())
+	if err != nil {
+		return fmt.Sprintf("\ntrace-on-fail: %v", err)
+	}
+	if err := os.MkdirAll("artifacts", 0o755); err != nil {
+		return fmt.Sprintf("\ntrace-on-fail: %v", err)
+	}
+	path := filepath.Join("artifacts", fmt.Sprintf("seed%d.guarded.trace.json", seed))
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Sprintf("\ntrace-on-fail: %v", err)
+	}
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		abs = path
+	}
+	return fmt.Sprintf("\ntrace:  %s (open with rchtrace, chrome://tracing or ui.perfetto.dev)", abs)
+}
+
+// TestGuardedChaosSweep drives the supervised build through the heavy
+// Guarded preset (core stalls long enough to trip the watchdog, plus
+// transfer corruption and drops). The judge runs mode-aware: every
+// activity must end the run either RCHDroid-equivalent or exactly
+// stock-equivalent, never a hybrid, and every quarantine or breaker
+// open must be preceded by a landed injection.
+func TestGuardedChaosSweep(t *testing.T) {
+	if *guardReplay != 0 {
+		v := oracle.DifferentialOpts(*guardReplay, guardedInstaller(), chaos.Guarded())
+		t.Logf("replay verdict:\n%s%s", v.String(), guardFailureTrace(t, *guardReplay))
+		if !v.OK() {
+			t.Fail()
+		}
+		return
+	}
+	seeds := *guardSeeds
+	if testing.Short() && seeds > 64 {
+		seeds = 64
+	}
+	const shards = 8
+	per := (seeds + shards - 1) / shards
+	for shard := 0; shard < shards; shard++ {
+		lo, hi := shard*per+1, (shard+1)*per
+		if hi > seeds {
+			hi = seeds
+		}
+		if lo > hi {
+			continue
+		}
+		t.Run(fmt.Sprintf("seeds_%d-%d", lo, hi), func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(lo); seed <= uint64(hi); seed++ {
+				v := oracle.DifferentialOpts(seed, guardedInstaller(), chaos.Guarded())
+				if !v.OK() {
+					t.Errorf("%s\nreplay: go test ./internal/oracle -run TestGuardedChaosSweep -oracle.guard-replay=%d -v%s",
+						v.String(), seed, guardFailureTrace(t, seed))
+					return
+				}
+			}
+		})
+	}
+}
+
+// TestGuardSavesRawFailures is the counterfactual: on the same seeds and
+// the same fault plan, the unguarded build must reproduce raw contract
+// failures (that is what the Guarded preset is tuned to cause), and the
+// guarded build must pass every one of those seeds.
+func TestGuardSavesRawFailures(t *testing.T) {
+	rawFailures := 0
+	for seed := uint64(1); seed <= 96; seed++ {
+		raw := oracle.DifferentialOpts(seed, rchInstaller(), chaos.Guarded())
+		if raw.OK() {
+			continue
+		}
+		rawFailures++
+		guarded := oracle.DifferentialOpts(seed, guardedInstaller(), chaos.Guarded())
+		if !guarded.OK() {
+			t.Fatalf("seed %d fails even with the guard:\nraw:     %s\nguarded: %s",
+				seed, raw.String(), guarded.String())
+		}
+	}
+	if rawFailures == 0 {
+		t.Fatal("Guarded preset caused no raw failures in 96 seeds; the counterfactual is vacuous")
+	}
+	t.Logf("guard recovered %d raw-failing seeds", rawFailures)
+}
+
+// TestGuardDeterministic re-runs guarded seeds and requires bit-identical
+// verdicts, including the guard summary — quarantine decisions and retry
+// backoffs are part of the deterministic replay contract.
+func TestGuardDeterministic(t *testing.T) {
+	for _, seed := range []uint64{3, 19, 77} {
+		a := oracle.DifferentialOpts(seed, guardedInstaller(), chaos.Guarded())
+		b := oracle.DifferentialOpts(seed, guardedInstaller(), chaos.Guarded())
+		as := fmt.Sprintf("%s|%+v", a.String(), a.RCH)
+		bs := fmt.Sprintf("%s|%+v", b.String(), b.RCH)
+		if as != bs {
+			t.Fatalf("seed %d: guarded verdicts differ between identical runs:\n%s\n----\n%s", seed, as, bs)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"rchdroid/internal/chaos"
 	"rchdroid/internal/config"
 	"rchdroid/internal/costmodel"
+	"rchdroid/internal/guard"
 	"rchdroid/internal/sim"
 	"rchdroid/internal/trace"
 	"rchdroid/internal/view"
@@ -23,6 +24,25 @@ import (
 type Installer struct {
 	Name    string
 	Install func(sys *atms.ATMS, proc *app.Process, plan *chaos.Plan)
+	// Guard, if set, returns the guard armed by the most recent Install
+	// call, so the run result can carry its supervision summary.
+	Guard func() *guard.Guard
+}
+
+// GuardSummary captures the supervision layer's decisions for one run.
+// The zero value means "guard disabled".
+type GuardSummary struct {
+	Enabled           bool
+	ANRs              int
+	Retries           int
+	TransferFailures  int
+	Quarantines       int
+	Recoveries        int
+	BreakerOpens      int
+	SelfCheckFailures int
+	FirstQuarantineAt sim.Time
+	// Modes maps each supervised class to its final ladder mode.
+	Modes map[string]string
 }
 
 // ModelState is the ground-truth user state of the oracle app, read
@@ -69,6 +89,11 @@ type RunResult struct {
 	HandlingViolation string
 	Handlings         int
 	Injections        int
+	// FirstInjectionAt is the virtual time of the first landed fault
+	// (zero when no fault landed).
+	FirstInjectionAt sim.Time
+	// Guard summarises the supervision layer (zero value when disabled).
+	Guard GuardSummary
 }
 
 // Verdict is the differential comparison for one seed.
@@ -89,6 +114,10 @@ func (v *Verdict) String() string {
 	fmt.Fprintf(&sb, "seed=%d stock[crashed=%v applied=%d handlings=%d] rch[crashed=%v applied=%d handlings=%d inj=%d]",
 		v.Seed, v.Stock.Crashed, v.Stock.Applied, v.Stock.Handlings,
 		v.RCH.Crashed, v.RCH.Applied, v.RCH.Handlings, v.RCH.Injections)
+	if g := v.RCH.Guard; g.Enabled {
+		fmt.Fprintf(&sb, " guard[anrs=%d retries=%d xferFail=%d quarantines=%d recoveries=%d breaker=%d]",
+			g.ANRs, g.Retries, g.TransferFailures, g.Quarantines, g.Recoveries, g.BreakerOpens)
+	}
 	for _, f := range v.Failures {
 		fmt.Fprintf(&sb, "\n  FAIL: %s", f)
 	}
@@ -146,9 +175,9 @@ var oracleInvariants = InvariantConfig{MaxInstancesPerProcess: 3, CheckMemoryFlo
 // oracle app, a chaos plan on the same seed — installs the handler under
 // test and executes the scenario script. A non-nil tracer is armed on
 // every layer (system server, process, chaos plan) before the launch.
-func runOnce(name string, sc Scenario, install func(*atms.ATMS, *app.Process, *chaos.Plan), tracer *trace.Tracer) RunResult {
+func runOnce(inst Installer, sc Scenario, opts chaos.Options, tracer *trace.Tracer) RunResult {
 	res := RunResult{
-		Name:          name,
+		Name:          inst.Name,
 		Started:       make([]bool, sc.Tasks),
 		Delivered:     make([]int, sc.Tasks),
 		DroppedByPlan: make([]bool, sc.Tasks),
@@ -160,11 +189,11 @@ func runOnce(name string, sc Scenario, install func(*atms.ATMS, *app.Process, *c
 	sys.SetTracer(tracer)
 	proc := app.NewProcess(sched, model, OracleApp(sc.Images))
 	proc.SetTracer(tracer)
-	plan := chaos.NewPlan(sc.Seed, chaos.Light())
+	plan := chaos.NewPlan(sc.Seed, opts)
 	plan.BindClock(sched)
 	plan.SetTracer(tracer)
-	if install != nil {
-		install(sys, proc, plan)
+	if inst.Install != nil {
+		inst.Install(sys, proc, plan)
 	}
 	plan.Install(sys, proc)
 	sys.LaunchApp(proc)
@@ -306,7 +335,27 @@ func runOnce(name string, sc Scenario, install func(*atms.ATMS, *app.Process, *c
 			break
 		}
 	}
-	res.Injections = len(plan.Injections())
+	inj := plan.Injections()
+	res.Injections = len(inj)
+	if len(inj) > 0 {
+		res.FirstInjectionAt = inj[0].At
+	}
+	if inst.Guard != nil {
+		if g := inst.Guard(); g.Enabled() {
+			res.Guard = GuardSummary{
+				Enabled:           true,
+				ANRs:              g.ANRs(),
+				Retries:           g.Retries(),
+				TransferFailures:  g.TransferFailures(),
+				Quarantines:       g.Quarantines(),
+				Recoveries:        g.Recoveries(),
+				BreakerOpens:      g.BreakerOpens(),
+				SelfCheckFailures: g.SelfCheckFailures(),
+				FirstQuarantineAt: g.FirstQuarantineAt(),
+				Modes:             g.Modes(),
+			}
+		}
+	}
 	return res
 }
 
@@ -314,10 +363,17 @@ func runOnce(name string, sc Scenario, install func(*atms.ATMS, *app.Process, *c
 // handler and under the installer's handler, then judges the
 // transparency contract.
 func Differential(seed uint64, rch Installer) Verdict {
+	return DifferentialOpts(seed, rch, chaos.Light())
+}
+
+// DifferentialOpts is Differential under an explicit chaos preset —
+// both runs replay the same plan, so the comparison stays apples to
+// apples at any fault intensity.
+func DifferentialOpts(seed uint64, rch Installer, opts chaos.Options) Verdict {
 	sc := GenScenario(seed)
 	v := Verdict{Seed: seed}
-	v.Stock = runOnce("Android-10", sc, nil, nil)
-	v.RCH = runOnce(rch.Name, sc, rch.Install, nil)
+	v.Stock = runOnce(Installer{Name: "Android-10"}, sc, opts, nil)
+	v.RCH = runOnce(rch, sc, opts, nil)
 	v.judge()
 	return v
 }
@@ -329,9 +385,15 @@ func Differential(seed uint64, rch Installer) Verdict {
 // passing sweep. Capacity bounds the ring (≤ 0 uses the default), so
 // the dump always holds the tail of the run: the part where it failed.
 func TraceRCH(seed uint64, rch Installer, capacity int) ([]byte, error) {
+	return TraceRCHWith(seed, rch, capacity, chaos.Light())
+}
+
+// TraceRCHWith is TraceRCH under an explicit chaos preset, for
+// replaying failures found by sweeps that run heavier presets.
+func TraceRCHWith(seed uint64, rch Installer, capacity int, opts chaos.Options) ([]byte, error) {
 	sc := GenScenario(seed)
 	tracer := trace.NewRing(nil, capacity)
-	runOnce(rch.Name, sc, rch.Install, tracer)
+	runOnce(rch, sc, opts, tracer)
 	return tracer.MarshalJSON()
 }
 
@@ -348,12 +410,21 @@ func TraceRCH(seed uint64, rch Installer, capacity int) ([]byte, error) {
 //	Differential — if the stock run survived, the stock-persisted
 //	essence (onSaveInstanceState keys and values, tree shape) must be
 //	identical across handlers: the app cannot tell them apart.
+//
+//	Guarded runs — a quarantined activity degrades to exact stock
+//	semantics, so the full-state absolute no longer applies to it (the
+//	stock-essence equality still does: RCHDroid-or-stock, never a
+//	hybrid). Handling times may exceed the bound only when the watchdog
+//	actually fired on them. Degradation must be fault-attributed: a
+//	quarantine (or breaker open) without a previously landed injection
+//	is a supervision bug, not robustness.
 func (v *Verdict) judge() {
 	fail := func(format string, args ...any) {
 		v.Failures = append(v.Failures, fmt.Sprintf(format, args...))
 	}
 
 	r := &v.RCH
+	quarantined := r.Guard.Enabled && r.Guard.Quarantines > 0
 	if r.Crashed {
 		fail("%s crashed: %s", r.Name, r.CrashCause)
 	}
@@ -363,11 +434,29 @@ func (v *Verdict) judge() {
 	if r.FinalMissing {
 		fail("%s: no foreground activity at end of scenario", r.Name)
 	}
-	if !r.Crashed && !r.FinalMissing && r.Actual != r.Expected {
+	if !r.Crashed && !r.FinalMissing && r.Actual != r.Expected && !quarantined {
 		fail("%s lost user state: actual %+v, expected %+v", r.Name, r.Actual, r.Expected)
 	}
-	if r.HandlingViolation != "" {
+	if r.HandlingViolation != "" && !(r.Guard.Enabled && r.Guard.ANRs > 0) {
 		fail("%s: %s", r.Name, r.HandlingViolation)
+	}
+	if r.Guard.Enabled {
+		// Injections counts landed faults; FirstInjectionAt alone cannot
+		// distinguish "none" from a fault on the very first tick.
+		if quarantined {
+			if r.Injections == 0 {
+				fail("%s: quarantined with no injected fault", r.Name)
+			} else if r.Guard.FirstQuarantineAt < r.FirstInjectionAt {
+				fail("%s: first quarantine at %v precedes first injection at %v",
+					r.Name, r.Guard.FirstQuarantineAt, r.FirstInjectionAt)
+			}
+		}
+		if r.Guard.BreakerOpens > 0 && r.Injections == 0 {
+			fail("%s: breaker opened with no injected fault", r.Name)
+		}
+		if r.Guard.SelfCheckFailures > 0 && r.Injections == 0 {
+			fail("%s: self-check failed with no injected fault", r.Name)
+		}
 	}
 	for i, started := range r.Started {
 		want := 0

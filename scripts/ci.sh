@@ -10,7 +10,14 @@
 #   4. go test -race — full suite, short mode, race detector on
 #   5. trace guard   — 89.2 ms flip anchor with tracing disabled, and
 #                      zero virtual-time drift with tracing enabled
-#   6. oracle sweep  — 64-seed differential RCHDroid-vs-stock run
+#   6. guard idle    — same anchor with the supervision guard armed but
+#                      idle: the watchdog must be tick-for-tick free
+#   7. oracle sweep  — 64-seed differential RCHDroid-vs-stock run
+#   8. guarded sweep — 256-seed guarded-chaos run: zero invariant
+#                      violations, no quarantine/breaker decision without
+#                      a preceding injected fault, and every activity
+#                      either RCHDroid-equivalent or exactly
+#                      stock-equivalent (never a hybrid)
 #
 # The oracle sweep is deliberately rerun outside -short so the
 # differential harness itself is exercised even in the quick gate; a
@@ -40,8 +47,15 @@ go test -race -short ./...
 echo "==> trace overhead guard"
 go test ./internal/experiments -run TestTraceOverheadGuard -count=1
 
+echo "==> guard idle anchor"
+go test ./internal/experiments -run TestGuardIdleAnchor -count=1
+
 echo "==> oracle sweep (64 seeds)"
 go test ./internal/oracle -run TestTransparencyOracleSweep \
     -oracle.seeds=64 -oracle.trace-on-fail -count=1
+
+echo "==> guarded chaos sweep (256 seeds)"
+go test ./internal/oracle -run 'TestGuardedChaosSweep|TestGuardSavesRawFailures|TestGuardDeterministic' \
+    -oracle.guard-seeds=256 -oracle.trace-on-fail -count=1
 
 echo "ci: all green"
