@@ -175,6 +175,7 @@ func main() {
 			fmt.Println("\nlogcat:")
 			fmt.Print(indent(lc.Dump()))
 		}
+		exitCrashed(proc, *mode)
 		return
 	}
 
@@ -217,6 +218,17 @@ func main() {
 	if *showLog {
 		fmt.Println("\nlogcat:")
 		fmt.Print(indent(lc.Dump()))
+	}
+	exitCrashed(proc, *mode)
+}
+
+// exitCrashed makes a crash under RCHDroid a non-zero exit: stock mode
+// crashing is the demo (that is what the paper fixes), but the RCHDroid
+// handler dying is a harness failure scripts must be able to detect.
+func exitCrashed(proc *app.Process, mode string) {
+	if mode == "rchdroid" && proc.Crashed() {
+		fmt.Fprintf(os.Stderr, "rchsim: app crashed under RCHDroid: %v\n", proc.CrashCause())
+		os.Exit(1)
 	}
 }
 

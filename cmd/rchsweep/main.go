@@ -1,0 +1,247 @@
+// Command rchsweep fans a seed sweep across a deterministic worker
+// pool. It is the CI face of internal/sweep: the merged report, verdict
+// set, and failure output are byte-identical at any -workers value, a
+// failing seed prints the exact replay command, and any failure —
+// including a recovered worker panic, which is attributed to its seed —
+// exits non-zero.
+//
+// Usage:
+//
+//	rchsweep -mode=oracle -seeds=512            # differential sweep, GOMAXPROCS workers
+//	rchsweep -mode=guard -seeds=1024            # guarded-chaos sweep
+//	rchsweep -mode=monkey -seeds=54             # monkey×chaos TP-27 stress
+//	rchsweep -mode=oracle -seeds=64 -crosscheck # byte-compare workers=1 vs workers=N
+//	rchsweep -bench -mode=oracle,guard -seeds=256 -bench-out BENCH_sweep.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"rchdroid/internal/chaos"
+	"rchdroid/internal/oracle"
+	"rchdroid/internal/sweep"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonReport is the -json shape of a merged sweep: like the text
+// report, it carries no timings or worker count, so it is byte-identical
+// at any -workers value.
+type jsonReport struct {
+	Mode    string       `json:"mode"`
+	Start   uint64       `json:"start"`
+	Seeds   int          `json:"seeds"`
+	Tally   string       `json:"tally"`
+	Results []jsonResult `json:"results"`
+}
+
+type jsonResult struct {
+	Seed     uint64   `json:"seed"`
+	OK       bool     `json:"ok"`
+	Detail   string   `json:"detail"`
+	Failures []string `json:"failures,omitempty"`
+	Replay   string   `json:"replay,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rchsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "oracle", "sweep mode: oracle | guard | monkey (-bench accepts a comma list)")
+	seeds := fs.Int("seeds", 64, "number of consecutive seeds to run")
+	start := fs.Uint64("start", 1, "first seed (inclusive)")
+	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	verbose := fs.Bool("v", false, "print the full merged report, not just failures")
+	asJSON := fs.Bool("json", false, "emit the merged report as JSON")
+	crosscheck := fs.Bool("crosscheck", false, "run the range at -workers=1 and -workers=N and require byte-identical reports")
+	traceOnFail := fs.Bool("trace-on-fail", false, "write each failing seed's RCHDroid-side trace to ./artifacts/ (oracle and guard modes)")
+	bench := fs.Bool("bench", false, "measure sequential vs parallel throughput instead of sweeping")
+	benchOut := fs.String("bench-out", "", "with -bench: write the JSON artifact here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *seeds < 0 {
+		fmt.Fprintln(stderr, "rchsweep: -seeds must be non-negative")
+		return 2
+	}
+
+	if *bench {
+		return runBench(*mode, *seeds, *workers, *benchOut, stdout, stderr)
+	}
+
+	fn, replay, err := sweep.ForMode(*mode)
+	if err != nil {
+		fmt.Fprintf(stderr, "rchsweep: %v\n", err)
+		return 2
+	}
+	cfg := sweep.Config{Mode: *mode, Start: *start, Count: *seeds, Workers: *workers, Replay: replay}
+	rep := sweep.Run(cfg, fn)
+	fmt.Fprintf(stderr, "rchsweep: mode=%s seeds=%d workers=%d elapsed=%v (%.0f seeds/sec)\n",
+		rep.Mode, rep.Count, rep.Workers, rep.Elapsed.Round(time.Millisecond), seedsPerSec(rep))
+
+	if *crosscheck {
+		cfg.Workers = 1
+		seq := sweep.Run(cfg, fn)
+		fmt.Fprintf(stderr, "rchsweep: crosscheck sequential elapsed=%v\n", seq.Elapsed.Round(time.Millisecond))
+		if seq.String() != rep.String() || seq.FailureOutput() != rep.FailureOutput() {
+			fmt.Fprintf(stderr, "rchsweep: DETERMINISM VIOLATION: workers=1 and workers=%d reports differ\n--- sequential\n%s--- parallel\n%s",
+				rep.Workers, seq.String(), rep.String())
+			return 1
+		}
+		fmt.Fprintf(stderr, "rchsweep: crosscheck ok: workers=1 and workers=%d reports byte-identical\n", rep.Workers)
+	}
+
+	switch {
+	case *asJSON:
+		if err := writeJSON(stdout, rep); err != nil {
+			fmt.Fprintf(stderr, "rchsweep: %v\n", err)
+			return 1
+		}
+	case *verbose:
+		fmt.Fprint(stdout, rep.String())
+	default:
+		if out := rep.FailureOutput(); out != "" {
+			fmt.Fprint(stdout, out)
+		} else {
+			fmt.Fprintln(stdout, rep.Tally())
+		}
+	}
+
+	if !rep.OK() {
+		for _, res := range rep.Panicked() {
+			fmt.Fprintf(stderr, "rchsweep: worker panic on seed %d: %s\n%s\n", res.Seed, res.PanicVal, res.PanicStack)
+		}
+		if *traceOnFail {
+			for _, res := range rep.Failed() {
+				writeFailureTrace(stderr, *mode, res.Seed)
+			}
+		}
+		return 1
+	}
+	return 0
+}
+
+func seedsPerSec(rep *sweep.Report) float64 {
+	if rep.Elapsed <= 0 {
+		return 0
+	}
+	return float64(rep.Count) / rep.Elapsed.Seconds()
+}
+
+func writeJSON(w io.Writer, rep *sweep.Report) error {
+	out := jsonReport{Mode: rep.Mode, Start: rep.Start, Seeds: rep.Count, Tally: rep.Tally()}
+	for _, res := range rep.Results {
+		jr := jsonResult{Seed: res.Seed, OK: res.OK, Detail: res.Detail, Failures: res.Failures}
+		if !res.OK && rep.Replay != "" {
+			jr.Replay = fmt.Sprintf(rep.Replay, res.Seed)
+		}
+		out.Results = append(out.Results, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// writeFailureTrace re-runs a failing seed's RCHDroid side with the
+// ring tracer armed and drops the timeline in ./artifacts/, mirroring
+// the test suite's -oracle.trace-on-fail behaviour.
+func writeFailureTrace(stderr io.Writer, mode string, seed uint64) {
+	var raw []byte
+	var err error
+	var name string
+	switch mode {
+	case "oracle":
+		raw, err = oracle.TraceRCH(seed, sweep.RCHInstaller(), 0)
+		name = fmt.Sprintf("seed%d.trace.json", seed)
+	case "guard":
+		raw, err = oracle.TraceRCHWith(seed, sweep.GuardedInstaller(), 0, chaos.Guarded())
+		name = fmt.Sprintf("seed%d.guarded.trace.json", seed)
+	default:
+		return // monkey runs have no single-seed trace replay (yet)
+	}
+	if err == nil {
+		if err = os.MkdirAll("artifacts", 0o755); err == nil {
+			path := filepath.Join("artifacts", name)
+			if err = os.WriteFile(path, raw, 0o644); err == nil {
+				if abs, aerr := filepath.Abs(path); aerr == nil {
+					path = abs
+				}
+				fmt.Fprintf(stderr, "rchsweep: trace for seed %d: %s\n", seed, path)
+				return
+			}
+		}
+	}
+	fmt.Fprintf(stderr, "rchsweep: trace-on-fail seed %d: %v\n", seed, err)
+}
+
+// runBench measures the listed modes and writes the BENCH_sweep.json
+// artifact: seeds/sec sequential vs parallel, speedup, and per-seed
+// p50/p95 wall time.
+func runBench(modes string, seeds, workers int, outPath string, stdout, stderr io.Writer) int {
+	file := sweep.BenchFile{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, mode := range strings.Split(modes, ",") {
+		mode = strings.TrimSpace(mode)
+		if mode == "" {
+			continue
+		}
+		b, err := sweep.RunBench(mode, seeds, workers)
+		if err != nil {
+			fmt.Fprintf(stderr, "rchsweep: bench %s: %v\n", mode, err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "rchsweep: bench %s: %.0f seeds/sec sequential, %.0f parallel (×%.2f, %d workers), identical=%v\n",
+			mode, b.SeqSeedsPerSec, b.ParSeedsPerSec, b.Speedup, b.WorkersParallel, b.ReportsIdentical)
+		if !b.ReportsIdentical {
+			fmt.Fprintf(stderr, "rchsweep: bench %s: DETERMINISM VIOLATION: sequential and parallel reports differ\n", mode)
+			return 1
+		}
+		if b.Failures > 0 {
+			fmt.Fprintf(stderr, "rchsweep: bench %s: sweep failed %d seeds; run `rchsweep -mode=%s -seeds=%d` for the replay lines\n",
+				mode, b.Failures, mode, seeds)
+			return 1
+		}
+		file.Benches = append(file.Benches, b)
+	}
+	if len(file.Benches) == 0 {
+		fmt.Fprintln(stderr, "rchsweep: -bench got no modes")
+		return 2
+	}
+	w := stdout
+	if outPath != "" {
+		if dir := filepath.Dir(outPath); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintf(stderr, "rchsweep: %v\n", err)
+				return 1
+			}
+		}
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "rchsweep: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(file); err != nil {
+		fmt.Fprintf(stderr, "rchsweep: %v\n", err)
+		return 1
+	}
+	if outPath != "" {
+		fmt.Fprintf(stderr, "rchsweep: bench artifact written to %s\n", outPath)
+	}
+	return 0
+}

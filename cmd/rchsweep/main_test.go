@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExitCodes pins the ci.sh contract: clean sweeps exit 0, usage
+// errors exit 2, and the output carries the tally.
+func TestExitCodes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-mode=oracle", "-seeds=8"}, &out, &errOut); code != 0 {
+		t.Fatalf("clean sweep exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "ok: 8 seeds") {
+		t.Fatalf("missing tally:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-mode=bogus", "-seeds=1"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown mode exited %d, want 2", code)
+	}
+	if code := run([]string{"-seeds=-1"}, &out, &errOut); code != 2 {
+		t.Fatalf("negative seeds exited %d, want 2", code)
+	}
+}
+
+// TestCrosscheckFlag runs the determinism cross-check end to end.
+func TestCrosscheckFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-mode=oracle", "-seeds=12", "-workers=4", "-crosscheck"}, &out, &errOut); code != 0 {
+		t.Fatalf("crosscheck exited %d\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "crosscheck ok") {
+		t.Fatalf("crosscheck verdict missing:\n%s", errOut.String())
+	}
+}
+
+// TestJSONOutput checks the -json report carries per-seed verdicts and
+// no timing fields (the canonical shape).
+func TestJSONOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-mode=oracle", "-seeds=4", "-json"}, &out, &errOut); code != 0 {
+		t.Fatalf("json sweep exited %d\nstderr:\n%s", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{`"mode": "oracle"`, `"seeds": 4`, `"seed": 4`, `"tally": "ok: 4 seeds"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("json output missing %s:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "elapsed") || strings.Contains(s, "workers") {
+		t.Fatalf("json report leaks timing/pool fields:\n%s", s)
+	}
+}

@@ -46,6 +46,15 @@ type ShadowHandler struct {
 	// to bring back.
 	changesInFlight int
 
+	// handlingGen increments at every scheduled handling. The stock-routed
+	// phases capture it at schedule time and fizzle if a newer handling
+	// has been scheduled since: the save/teardown/relaunch messages sit on
+	// the looper, and a back-to-back change delivered in between (e.g. the
+	// moment the guard recovers a quarantined class) owns the screen from
+	// its own path — letting the stale relaunch run anyway resurrects the
+	// old token as a second visible activity.
+	handlingGen int
+
 	// zombies are former shadow activities kept alive only because they
 	// still have asynchronous tasks in flight; they are destroyed as soon
 	// as those tasks drain.
@@ -120,6 +129,8 @@ func (h *ShadowHandler) stallFor(phase string) time.Duration {
 // matches the new configuration (the ATMS will coin-flip it back).
 func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activity, newCfg config.Configuration) {
 	class := a.Class().Name
+	h.handlingGen++
+	gen := h.handlingGen
 	if !h.guard.Allow(class) {
 		// Degraded: the guard quarantined this class (or opened the
 		// process breaker), so the change takes the stock restart path.
@@ -129,7 +140,7 @@ func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activi
 		if sh := t.CurrentShadow(); sh != nil && sh.Class() == a.Class() {
 			h.releaseShadow(t, sh)
 		}
-		h.handleStockRouted(t, a, newCfg)
+		h.handleStockRouted(t, a, newCfg, gen)
 		return
 	}
 	h.guard.ArmPhase(class, "runtimeChange")
@@ -208,7 +219,7 @@ func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activi
 		if aborted {
 			if stockFallback {
 				h.guard.NoteStockRoute(class)
-				h.handleStockRouted(t, a, newCfg)
+				h.handleStockRouted(t, a, newCfg, gen)
 			} else {
 				// A stale handling never reaches the ATMS, so no resume
 				// of its own will come back to disarm the watchdog; the
@@ -231,14 +242,24 @@ func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activi
 // would re-create the very §2.2 crash the guard exists to contain, and
 // "strictly better than stock" is the one asymmetry the transparency
 // oracle permits.
-func (h *ShadowHandler) handleStockRouted(t *app.ActivityThread, a *app.Activity, newCfg config.Configuration) {
+//
+// gen is the handling generation captured at schedule time. The phases
+// run as queued looper messages; by the time they execute, a newer
+// handling for the class may have been scheduled (a back-to-back change,
+// or a chaos config echo landing right as the guard recovers the class
+// from quarantine). That newer handling — whichever path it takes — owns
+// the screen, so a superseded stock route must fizzle entirely: tearing
+// down and relaunching the old token anyway would put a second visible
+// activity next to the one the newer handling produces.
+func (h *ShadowHandler) handleStockRouted(t *app.ActivityThread, a *app.Activity, newCfg config.Configuration, gen int) {
 	h.stockRouted++
 	m := t.Process().Model()
 	class, token := a.Class(), a.Token()
 	var saved *bundle.Bundle
 	aborted := false
+	superseded := func() bool { return h.handlingGen != gen }
 	t.RunCharged("stock:save", func() time.Duration {
-		if !a.State().Visible() {
+		if superseded() || !a.State().Visible() {
 			aborted = true
 			return 0
 		}
@@ -246,7 +267,8 @@ func (h *ShadowHandler) handleStockRouted(t *app.ActivityThread, a *app.Activity
 		return m.SaveState(a.ViewCount())
 	})
 	t.RunCharged("stock:teardown", func() time.Duration {
-		if aborted {
+		if aborted || superseded() || !a.State().Visible() {
+			aborted = true
 			return 0
 		}
 		// The async check must run in-phase: a task started by a message
@@ -265,7 +287,7 @@ func (h *ShadowHandler) handleStockRouted(t *app.ActivityThread, a *app.Activity
 		return 0
 	})
 	t.RunCharged("stock:relaunch", func() time.Duration {
-		if aborted {
+		if aborted || superseded() {
 			return 0
 		}
 		t.PerformLaunch(class, token, newCfg, app.LaunchOptions{Saved: saved})

@@ -8,6 +8,7 @@ import (
 	"rchdroid/internal/atms"
 	"rchdroid/internal/chaos"
 	"rchdroid/internal/guard"
+	"rchdroid/internal/trace"
 	"rchdroid/internal/view"
 )
 
@@ -56,6 +57,11 @@ type RCHDroid struct {
 	GC       *ThresholdGC
 	Policy   *CoinFlipPolicy
 	Guard    *guard.Guard
+	// PolicyMismatch is non-empty when Install found a foreign starter
+	// policy already in place and refused to run the coin flip. The
+	// condition is also logged, traced, and surfaced through the guard
+	// self-check, so it can never silently disable the flip.
+	PolicyMismatch string
 }
 
 // Install wires RCHDroid onto a process and its system server:
@@ -76,6 +82,10 @@ func Install(sys *atms.ATMS, proc *app.Process, opts Options) *RCHDroid {
 		g = guard.New(*opts.Guard, proc.Scheduler(), proc, sys)
 		handler.guard = g
 	}
+	// policyMismatch is filled by the starter-policy wiring below; the
+	// guard's aux self-check closure captures it so a mismatched install
+	// keeps failing self-checks instead of degrading silently.
+	var policyMismatch string
 	if opts.Chaos != nil {
 		handler.SetPhaseStall(opts.Chaos.OnCorePhase)
 		handler.xfer = opts.Chaos.OnStateTransfer
@@ -125,6 +135,9 @@ func Install(sys *atms.ATMS, proc *app.Process, opts Options) *RCHDroid {
 		})
 		g.SetAuxCheck(func() []string {
 			var issues []string
+			if policyMismatch != "" {
+				issues = append(issues, policyMismatch)
+			}
 			if !migrator.FlushDeferred() && migrator.PendingCount() > 0 {
 				issues = append(issues, fmt.Sprintf("migrator: %d unflushed dirty shadow views", migrator.PendingCount()))
 			}
@@ -161,13 +174,30 @@ func Install(sys *atms.ATMS, proc *app.Process, opts Options) *RCHDroid {
 	if opts.DisableCoinFlip {
 		sys.Starter().SetPolicy(alwaysCreatePolicy{})
 	} else {
-		policy, _ = sys.Starter().Policy().(*CoinFlipPolicy)
-		if policy == nil {
+		switch p := sys.Starter().Policy().(type) {
+		case nil:
 			policy = NewCoinFlipPolicy()
 			sys.Starter().SetPolicy(policy)
+		case *CoinFlipPolicy:
+			// Shared server: a second install on the same system reuses
+			// the policy already wired into the starter.
+			policy = p
+		default:
+			// A foreign policy is already installed (e.g. an ablation stub
+			// left over from a previous install). Clobbering it would skew
+			// whatever configured it, and running without the coin flip
+			// must not be silent: log it, drop a trace instant, and let
+			// the guard self-check keep flagging the install.
+			policyMismatch = fmt.Sprintf("starter policy is %T, want *core.CoinFlipPolicy; coin flip disabled", p)
+			if lc := sys.Logcat(); lc != nil {
+				lc.W("RCHDroid", "%s", policyMismatch)
+			}
+			sys.Tracer().Instant(sys.Track(), "rch:policyMismatch", "rch",
+				trace.Arg{Key: "policy", Val: fmt.Sprintf("%T", p)})
 		}
 	}
-	return &RCHDroid{Handler: handler, Migrator: migrator, GC: gc, Policy: policy, Guard: g}
+	return &RCHDroid{Handler: handler, Migrator: migrator, GC: gc, Policy: policy, Guard: g,
+		PolicyMismatch: policyMismatch}
 }
 
 // MigrationTimes returns the lazy-migration batch durations (Fig 10b).

@@ -1,27 +1,18 @@
 package monkey
 
 import (
-	"errors"
 	"testing"
-	"time"
 
-	"rchdroid/internal/app"
 	"rchdroid/internal/appset"
-	"rchdroid/internal/atms"
-	"rchdroid/internal/chaos"
-	"rchdroid/internal/core"
-	"rchdroid/internal/costmodel"
-	"rchdroid/internal/oracle"
-	"rchdroid/internal/sim"
 )
 
 // TestMonkeyUnderHeavyChaosOnTP27 is the stress net: every TP-27 app
 // model runs under RCHDroid with the Heavy chaos preset while the monkey
 // injects events, and between event chunks the chaos plan may kill the
 // process (rebooted with RCHDroid reinstalled, like a real low-memory
-// kill) or deliver a memory trim. The assertions are survival ones: no
-// handler panic, no lifecycle-invariant violation, and no crash that the
-// plan did not inject itself.
+// kill) or deliver a memory trim. The stress itself lives in Stress so
+// the sweep engine can fan the same scenario across workers; this test
+// is the assertion wrapper.
 func TestMonkeyUnderHeavyChaosOnTP27(t *testing.T) {
 	models := appset.TP27()
 	seeds := []uint64{1, 2}
@@ -30,69 +21,14 @@ func TestMonkeyUnderHeavyChaosOnTP27(t *testing.T) {
 		seeds = seeds[:1]
 	}
 	for _, m := range models {
-		m := m
 		t.Run(m.Name, func(t *testing.T) {
 			t.Parallel()
 			for _, seed := range seeds {
-				stressOne(t, m, seed)
+				res := Stress(m, seed, StressOptions{})
+				for _, f := range res.Failures {
+					t.Errorf("seed %d: %s\nreplay plan seed: %d", seed, f, seed^0xC0FFEE)
+				}
 			}
 		})
-	}
-}
-
-func stressOne(t *testing.T, m appset.Model, seed uint64) {
-	t.Helper()
-	sched := sim.NewScheduler()
-	model := costmodel.Default()
-	sys := atms.New(sched, model)
-	plan := chaos.NewPlan(seed^0xC0FFEE, chaos.Heavy())
-	plan.BindClock(sched)
-
-	boot := func() *app.Process {
-		proc := app.NewProcess(sched, model, m.Build())
-		opts := core.DefaultOptions()
-		opts.Chaos = plan
-		core.Install(sys, proc, opts)
-		plan.Install(sys, proc)
-		sys.LaunchApp(proc)
-		sched.Advance(2 * time.Second)
-		return proc
-	}
-	proc := boot()
-
-	const chunks, eventsPerChunk = 8, 12
-	kills := 0
-	for chunk := 0; chunk < chunks; chunk++ {
-		out := Run(sched, sys, proc, Options{
-			Events:     eventsPerChunk,
-			Seed:       seed*1000 + uint64(chunk),
-			ChangeBias: 35,
-		})
-		if out.Crashed {
-			t.Fatalf("seed %d chunk %d: RCHDroid app crashed under chaos: %v\nreplay plan seed: %d",
-				seed, chunk, out.CrashCause, plan.Seed())
-		}
-		errs := oracle.CheckInvariants([]*app.Process{proc}, oracle.InvariantConfig{CheckMemoryFloor: true})
-		for _, err := range errs {
-			t.Fatalf("seed %d chunk %d: invariant violated: %v\nreplay plan seed: %d",
-				seed, chunk, err, plan.Seed())
-		}
-		switch plan.NextProcessEvent() {
-		case chaos.ProcKill:
-			kills++
-			proc.Crash(chaos.ErrKilled)
-			if !errors.Is(proc.CrashCause(), chaos.ErrKilled) {
-				t.Fatalf("seed %d chunk %d: kill cause lost: %v", seed, chunk, proc.CrashCause())
-			}
-			proc = boot() // the user reopens the app after the LMK kill
-		case chaos.ProcTrim:
-			proc.TrimMemory()
-			sched.Advance(500 * time.Millisecond)
-		}
-	}
-	// Drain and final check on the surviving process.
-	sched.Advance(5 * time.Second)
-	for _, err := range oracle.CheckInvariants([]*app.Process{proc}, oracle.InvariantConfig{CheckMemoryFloor: true}) {
-		t.Fatalf("seed %d final: invariant violated: %v (kills=%d)", seed, err, kills)
 	}
 }

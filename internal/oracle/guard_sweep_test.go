@@ -5,14 +5,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
-	"rchdroid/internal/app"
-	"rchdroid/internal/atms"
 	"rchdroid/internal/chaos"
-	"rchdroid/internal/core"
-	"rchdroid/internal/guard"
 	"rchdroid/internal/oracle"
+	"rchdroid/internal/sweep"
 )
 
 var (
@@ -22,23 +20,11 @@ var (
 		"replay a single failing guarded seed with its full verdict")
 )
 
-// guardedInstaller wires RCHDroid with the supervision layer armed. The
-// Guard getter reads back the guard the most recent Install created, so
-// the verdict carries the supervision summary.
-func guardedInstaller() oracle.Installer {
-	var g *guard.Guard
-	return oracle.Installer{
-		Name: "RCHDroid-guarded",
-		Install: func(sys *atms.ATMS, proc *app.Process, plan *chaos.Plan) {
-			opts := core.DefaultOptions()
-			opts.Chaos = plan
-			cfg := guard.DefaultConfig()
-			opts.Guard = &cfg
-			g = core.Install(sys, proc, opts).Guard
-		},
-		Guard: func() *guard.Guard { return g },
-	}
-}
+// guardedInstaller wires RCHDroid with the supervision layer armed —
+// shared with the sweep engine; each call returns an independent
+// installer whose Guard getter reads back the guard the most recent
+// Install created, so the verdict carries the supervision summary.
+func guardedInstaller() oracle.Installer { return sweep.GuardedInstaller() }
 
 // guardFailureTrace mirrors failureTrace for the guarded sweep: it
 // replays the failing seed under the Guarded preset and writes the
@@ -85,27 +71,36 @@ func TestGuardedChaosSweep(t *testing.T) {
 	if testing.Short() && seeds > 64 {
 		seeds = 64
 	}
-	const shards = 8
-	per := (seeds + shards - 1) / shards
-	for shard := 0; shard < shards; shard++ {
-		lo, hi := shard*per+1, (shard+1)*per
-		if hi > seeds {
-			hi = seeds
-		}
-		if lo > hi {
+	rep := sweep.Run(sweep.Config{
+		Mode:   "guard",
+		Start:  1,
+		Count:  seeds,
+		Replay: sweep.ReplayGuard,
+	}, sweep.GuardRunner())
+	for _, res := range rep.Failed() {
+		if res.Panicked {
+			t.Errorf("seed %d panicked: %s\n%s", res.Seed, res.PanicVal, res.PanicStack)
 			continue
 		}
-		t.Run(fmt.Sprintf("seeds_%d-%d", lo, hi), func(t *testing.T) {
-			t.Parallel()
-			for seed := uint64(lo); seed <= uint64(hi); seed++ {
-				v := oracle.DifferentialOpts(seed, guardedInstaller(), chaos.Guarded())
-				if !v.OK() {
-					t.Errorf("%s\nreplay: go test ./internal/oracle -run TestGuardedChaosSweep -oracle.guard-replay=%d -v%s",
-						v.String(), seed, guardFailureTrace(t, seed))
-					return
-				}
-			}
-		})
+		t.Errorf("%s\n%s\nreplay: "+sweep.ReplayGuard+"%s",
+			res.Detail, strings.Join(res.Failures, "\n"), res.Seed, guardFailureTrace(t, res.Seed))
+	}
+}
+
+// TestGuardRecoveryMidStockRouteRegression pins guarded seed 613, first
+// caught when the sweep gate was raised to 1024 seeds: a chaos config
+// echo landed at the exact tick the guard recovered the class from
+// quarantine, while the previous change's stock-routed relaunch was
+// still queued on the looper. The recovered change took the RCHDroid
+// path and the stale stock relaunch ran anyway, resurrecting the old
+// token as a second visible activity. The handler now supersedes a
+// queued stock route whenever a newer handling is scheduled
+// (core.TestStaleStockRouteSupersededByRCHHandling is the unit-level
+// counterpart).
+func TestGuardRecoveryMidStockRouteRegression(t *testing.T) {
+	v := oracle.DifferentialOpts(613, guardedInstaller(), chaos.Guarded())
+	if !v.OK() {
+		t.Fatalf("guarded seed 613 regressed:\n%s", v.String())
 	}
 }
 

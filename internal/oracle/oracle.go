@@ -107,9 +107,9 @@ type Verdict struct {
 // OK reports whether the transparency contract held.
 func (v *Verdict) OK() bool { return len(v.Failures) == 0 }
 
-// String renders the verdict with the replay seed first — the one line
-// needed to reproduce.
-func (v *Verdict) String() string {
+// Summary renders the one-line verdict header (replay seed first, no
+// failure lines) — the deterministic per-seed line sweep reports merge.
+func (v *Verdict) Summary() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "seed=%d stock[crashed=%v applied=%d handlings=%d] rch[crashed=%v applied=%d handlings=%d inj=%d]",
 		v.Seed, v.Stock.Crashed, v.Stock.Applied, v.Stock.Handlings,
@@ -118,6 +118,14 @@ func (v *Verdict) String() string {
 		fmt.Fprintf(&sb, " guard[anrs=%d retries=%d xferFail=%d quarantines=%d recoveries=%d breaker=%d]",
 			g.ANRs, g.Retries, g.TransferFailures, g.Quarantines, g.Recoveries, g.BreakerOpens)
 	}
+	return sb.String()
+}
+
+// String renders the verdict with the replay seed first — the one line
+// needed to reproduce.
+func (v *Verdict) String() string {
+	var sb strings.Builder
+	sb.WriteString(v.Summary())
 	for _, f := range v.Failures {
 		fmt.Fprintf(&sb, "\n  FAIL: %s", f)
 	}
@@ -147,8 +155,12 @@ func essenceOf(a *app.Activity) string {
 }
 
 // readModel reads the ground-truth widget state off the foreground
-// instance.
-func readModel(a *app.Activity) ModelState {
+// instance. The counter extra is seeded in OnCreate, so it must exist
+// as an int64 on every live instance; an absent or mistyped value is
+// reported as an error instead of silently reading 0 — the silent zero
+// can make a run that dropped the counter compare equal to one that
+// kept it, turning a real divergence into a vacuous pass.
+func readModel(a *app.Activity) (ModelState, error) {
 	var m ModelState
 	if et, ok := a.FindViewByID(EditID).(*view.EditText); ok {
 		m.Text, m.Cursor = et.Text(), et.Cursor()
@@ -162,8 +174,15 @@ func readModel(a *app.Activity) ModelState {
 	if lv, ok := a.FindViewByID(ListID).(*view.ListView); ok {
 		m.SelRow = lv.SelectorPosition()
 	}
-	m.Counter, _ = a.Extra(counterKey).(int64)
-	return m
+	switch c := a.Extra(CounterKey).(type) {
+	case int64:
+		m.Counter = c
+	case nil:
+		return m, fmt.Errorf("counter extra absent")
+	default:
+		return m, fmt.Errorf("counter extra mistyped: %T(%v)", c, c)
+	}
+	return m, nil
 }
 
 // oracleInvariants is the sampling config used at quiescent points: the
@@ -201,7 +220,10 @@ func runOnce(inst Installer, sc Scenario, opts chaos.Options, tracer *trace.Trac
 	if fg := proc.Thread().ForegroundActivity(); fg != nil {
 		// Ground truth starts from the freshly launched instance (e.g. a
 		// list's selector begins at -1, not the zero value).
-		res.Expected = readModel(fg)
+		var err error
+		if res.Expected, err = readModel(fg); err != nil {
+			res.Invariant = fmt.Sprintf("launch: %v", err)
+		}
 	}
 
 	// ui posts a script interaction onto the app's UI looper; it runs at
@@ -272,8 +294,15 @@ func runOnce(inst Installer, sc Scenario, opts chaos.Options, tracer *trace.Trac
 			})
 		case "bump":
 			ui(o.kind, func(fg *app.Activity) {
-				c, _ := fg.Extra(counterKey).(int64)
-				fg.PutExtra(counterKey, c+1)
+				c, ok := fg.Extra(CounterKey).(int64)
+				if !ok && res.Invariant == "" {
+					// Bumping would silently repair a dropped or corrupted
+					// counter (0+1 looks like a legitimate first bump), so
+					// flag it before overwriting.
+					res.Invariant = fmt.Sprintf("step %d (bump): counter extra absent/mistyped: %T",
+						step, fg.Extra(CounterKey))
+				}
+				fg.PutExtra(CounterKey, c+1)
 				res.Expected.Counter = c + 1
 			})
 		case "touch":
@@ -319,7 +348,10 @@ func runOnce(inst Installer, sc Scenario, opts chaos.Options, tracer *trace.Trac
 		}
 		if fg := proc.Thread().ForegroundActivity(); fg != nil {
 			res.Essence = essenceOf(fg)
-			res.Actual = readModel(fg)
+			var err error
+			if res.Actual, err = readModel(fg); err != nil && res.Invariant == "" {
+				res.Invariant = fmt.Sprintf("final: %v", err)
+			}
 		} else {
 			res.FinalMissing = true
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"rchdroid/internal/app"
@@ -13,6 +14,7 @@ import (
 	"rchdroid/internal/config"
 	"rchdroid/internal/core"
 	"rchdroid/internal/oracle"
+	"rchdroid/internal/sweep"
 	"rchdroid/internal/view"
 )
 
@@ -53,23 +55,17 @@ func failureTrace(t *testing.T, seed uint64) string {
 }
 
 // rchInstaller wires RCHDroid (with its core-side chaos hooks) onto a
-// fresh system — the seam through which the oracle, which core's own
-// tests import, reaches core without an import cycle.
-func rchInstaller() oracle.Installer {
-	return oracle.Installer{
-		Name: "RCHDroid",
-		Install: func(sys *atms.ATMS, proc *app.Process, plan *chaos.Plan) {
-			opts := core.DefaultOptions()
-			opts.Chaos = plan
-			core.Install(sys, proc, opts)
-		},
-	}
-}
+// fresh system — shared with the sweep engine, which owns the seam
+// through which the oracle (imported by core's own tests) reaches core
+// without an import cycle.
+func rchInstaller() oracle.Installer { return sweep.RCHInstaller() }
 
 // TestTransparencyOracleSweep is the tentpole: a deterministic sweep of
 // seeded chaotic scenarios, each run under stock Android 10 and under
-// RCHDroid, asserting the transparency contract. A failure prints the
-// seed and the exact command that replays it.
+// RCHDroid, asserting the transparency contract. The seeds fan out
+// across the internal/sweep worker pool (the 1000-seed soak rides the
+// same engine); a failure prints the seed and the exact command that
+// replays it.
 func TestTransparencyOracleSweep(t *testing.T) {
 	if *replaySeed != 0 {
 		v := oracle.Differential(*replaySeed, rchInstaller())
@@ -83,27 +79,19 @@ func TestTransparencyOracleSweep(t *testing.T) {
 	if testing.Short() && seeds > 128 {
 		seeds = 128
 	}
-	const shards = 8
-	per := (seeds + shards - 1) / shards
-	for shard := 0; shard < shards; shard++ {
-		lo, hi := shard*per+1, (shard+1)*per
-		if hi > seeds {
-			hi = seeds
-		}
-		if lo > hi {
+	rep := sweep.Run(sweep.Config{
+		Mode:   "oracle",
+		Start:  1,
+		Count:  seeds,
+		Replay: sweep.ReplayOracle,
+	}, sweep.OracleRunner())
+	for _, res := range rep.Failed() {
+		if res.Panicked {
+			t.Errorf("seed %d panicked: %s\n%s", res.Seed, res.PanicVal, res.PanicStack)
 			continue
 		}
-		t.Run(fmt.Sprintf("seeds_%d-%d", lo, hi), func(t *testing.T) {
-			t.Parallel()
-			for seed := uint64(lo); seed <= uint64(hi); seed++ {
-				v := oracle.Differential(seed, rchInstaller())
-				if !v.OK() {
-					t.Errorf("%s\nreplay: go test ./internal/oracle -run TestTransparencyOracleSweep -oracle.replay=%d -v%s",
-						v.String(), seed, failureTrace(t, seed))
-					return
-				}
-			}
-		})
+		t.Errorf("%s\n%s\nreplay: "+sweep.ReplayOracle+"%s",
+			res.Detail, strings.Join(res.Failures, "\n"), res.Seed, failureTrace(t, res.Seed))
 	}
 }
 

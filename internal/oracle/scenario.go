@@ -23,10 +23,11 @@ const (
 	ImgIDBase view.ID = 100
 )
 
-// counterKey is the activity-private extra the app persists through
+// CounterKey is the activity-private extra the app persists through
 // OnSaveInstanceState — state that survives ONLY if the handler runs the
-// full save/restore contract.
-const counterKey = "counter"
+// full save/restore contract. Exported so regression tests can plant a
+// mistyped value and prove the oracle rejects it.
+const CounterKey = "counter"
 
 // listItems is the oracle app's fixed list content.
 var listItems = []string{"alpha", "beta", "gamma", "delta", "epsilon"}
@@ -59,14 +60,19 @@ func OracleApp(images int) *app.App {
 
 	cls := &app.ActivityClass{Name: "OracleActivity"}
 	cls.Callbacks.OnCreate = func(a *app.Activity, saved *bundle.Bundle) {
+		// Seed the counter so the extra exists from the first frame of
+		// every instance: a later absence is dropped state, never a fresh
+		// launch, which lets readModel treat absent/mistyped as a
+		// violation instead of silently reading 0.
+		a.PutExtra(CounterKey, int64(0))
 		a.SetContentView("layout/main")
 	}
 	cls.Callbacks.OnSaveInstanceState = func(a *app.Activity, out *bundle.Bundle) {
-		c, _ := a.Extra(counterKey).(int64)
-		out.PutInt(counterKey, c)
+		c, _ := a.Extra(CounterKey).(int64)
+		out.PutInt(CounterKey, c)
 	}
 	cls.Callbacks.OnRestoreInstanceState = func(a *app.Activity, saved *bundle.Bundle) {
-		a.PutExtra(counterKey, saved.GetInt(counterKey, 0))
+		a.PutExtra(CounterKey, saved.GetInt(CounterKey, 0))
 	}
 	return &app.App{Name: "oracleapp", Resources: res, Main: cls}
 }

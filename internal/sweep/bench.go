@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+
+	"rchdroid/internal/metrics"
+)
+
+// Bench is one mode's sequential-vs-parallel throughput measurement —
+// the unit of the BENCH_sweep.json trajectory.
+type Bench struct {
+	Mode            string                `json:"mode"`
+	Seeds           int                   `json:"seeds"`
+	WorkersParallel int                   `json:"workers_parallel"`
+	SeqSeconds      float64               `json:"sequential_seconds"`
+	ParSeconds      float64               `json:"parallel_seconds"`
+	SeqSeedsPerSec  float64               `json:"sequential_seeds_per_sec"`
+	ParSeedsPerSec  float64               `json:"parallel_seeds_per_sec"`
+	Speedup         float64               `json:"speedup"`
+	SeqPerSeed      metrics.DurationStats `json:"sequential_per_seed"`
+	ParPerSeed      metrics.DurationStats `json:"parallel_per_seed"`
+	// ReportsIdentical asserts the determinism contract held for this
+	// very measurement: the two merged reports were byte-identical.
+	ReportsIdentical bool `json:"reports_identical"`
+	Failures         int  `json:"failures"`
+}
+
+// BenchFile is the on-disk shape of BENCH_sweep.json.
+type BenchFile struct {
+	Generated  string  `json:"generated"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Benches    []Bench `json:"benches"`
+}
+
+// RunBench measures one mode: a -workers=1 run and a -workers=N run
+// over the same seed range, byte-comparing the merged reports along the
+// way. workers ≤ 0 means GOMAXPROCS.
+func RunBench(mode string, seeds, workers int) (Bench, error) {
+	fn, replay, err := ForMode(mode)
+	if err != nil {
+		return Bench{}, err
+	}
+	if seeds <= 0 {
+		return Bench{}, fmt.Errorf("bench needs a positive seed count, got %d", seeds)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cfg := Config{Mode: mode, Start: 1, Count: seeds, Replay: replay}
+
+	cfg.Workers = 1
+	seq := Run(cfg, fn)
+	cfg.Workers = workers
+	par := Run(cfg, fn)
+
+	b := Bench{
+		Mode:             mode,
+		Seeds:            seeds,
+		WorkersParallel:  par.Workers,
+		SeqSeconds:       seq.Elapsed.Seconds(),
+		ParSeconds:       par.Elapsed.Seconds(),
+		SeqPerSeed:       metrics.SummarizeDurations(seq.Walls()),
+		ParPerSeed:       metrics.SummarizeDurations(par.Walls()),
+		ReportsIdentical: seq.String() == par.String() && seq.FailureOutput() == par.FailureOutput(),
+		Failures:         len(par.Failed()),
+	}
+	if b.SeqSeconds > 0 {
+		b.SeqSeedsPerSec = float64(seeds) / b.SeqSeconds
+	}
+	if b.ParSeconds > 0 {
+		b.ParSeedsPerSec = float64(seeds) / b.ParSeconds
+	}
+	if b.ParSeconds > 0 {
+		b.Speedup = b.SeqSeconds / b.ParSeconds
+	}
+	return b, nil
+}

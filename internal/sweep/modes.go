@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"fmt"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/appset"
+	"rchdroid/internal/atms"
+	"rchdroid/internal/chaos"
+	"rchdroid/internal/core"
+	"rchdroid/internal/guard"
+	"rchdroid/internal/monkey"
+	"rchdroid/internal/oracle"
+)
+
+// Replay command formats — the exact lines a failing seed prints, per
+// the ci.sh contract. Each has one %d verb for the seed.
+const (
+	ReplayOracle = "go test ./internal/oracle -run TestTransparencyOracleSweep -oracle.replay=%d -v"
+	ReplayGuard  = "go test ./internal/oracle -run TestGuardedChaosSweep -oracle.guard-replay=%d -v"
+	ReplayMonkey = "go run ./cmd/rchsweep -mode=monkey -start=%d -seeds=1 -v"
+)
+
+// RCHInstaller wires RCHDroid (with its core-side chaos hooks) onto a
+// fresh system — the seam through which the sweep reaches core without
+// the oracle package importing it (core's tests import the oracle).
+func RCHInstaller() oracle.Installer {
+	return oracle.Installer{
+		Name: "RCHDroid",
+		Install: func(sys *atms.ATMS, proc *app.Process, plan *chaos.Plan) {
+			opts := core.DefaultOptions()
+			opts.Chaos = plan
+			core.Install(sys, proc, opts)
+		},
+	}
+}
+
+// GuardedInstaller wires RCHDroid with the supervision layer armed. The
+// Guard getter reads back the guard the most recent Install created, so
+// the verdict carries the supervision summary. Each call returns an
+// independent installer — workers must never share one.
+func GuardedInstaller() oracle.Installer {
+	var g *guard.Guard
+	return oracle.Installer{
+		Name: "RCHDroid-guarded",
+		Install: func(sys *atms.ATMS, proc *app.Process, plan *chaos.Plan) {
+			opts := core.DefaultOptions()
+			opts.Chaos = plan
+			cfg := guard.DefaultConfig()
+			opts.Guard = &cfg
+			g = core.Install(sys, proc, opts).Guard
+		},
+		Guard: func() *guard.Guard { return g },
+	}
+}
+
+// verdictOutcome folds a differential verdict into a sweep outcome.
+func verdictOutcome(v oracle.Verdict) Outcome {
+	return Outcome{OK: v.OK(), Detail: v.Summary(), Failures: v.Failures}
+}
+
+// OracleRunner runs one seed of the differential RCHDroid-vs-stock
+// oracle under the Light chaos preset.
+func OracleRunner() Runner {
+	return func(seed uint64) Outcome {
+		return verdictOutcome(oracle.Differential(seed, RCHInstaller()))
+	}
+}
+
+// GuardRunner runs one seed of the guarded-chaos sweep: the supervised
+// build under the heavy Guarded preset, judged mode-aware.
+func GuardRunner() Runner {
+	return func(seed uint64) Outcome {
+		return verdictOutcome(oracle.DifferentialOpts(seed, GuardedInstaller(), chaos.Guarded()))
+	}
+}
+
+// MonkeyRunner runs one seed of the monkey×chaos stress: the TP-27
+// model picked by the seed, driven through event chunks with LMK
+// kills/trims in between.
+func MonkeyRunner() Runner {
+	models := appset.TP27()
+	return func(seed uint64) Outcome {
+		m := models[int((seed-1)%uint64(len(models)))]
+		res := monkey.Stress(m, seed, monkey.StressOptions{})
+		return Outcome{OK: res.OK(), Detail: res.Summary(), Failures: res.Failures}
+	}
+}
+
+// ForMode resolves a mode name to its runner and replay format.
+func ForMode(mode string) (Runner, string, error) {
+	switch mode {
+	case "oracle":
+		return OracleRunner(), ReplayOracle, nil
+	case "guard":
+		return GuardRunner(), ReplayGuard, nil
+	case "monkey":
+		return MonkeyRunner(), ReplayMonkey, nil
+	}
+	return nil, "", fmt.Errorf("unknown sweep mode %q (want oracle, guard or monkey)", mode)
+}

@@ -1,0 +1,258 @@
+// Package sweep is the deterministic worker-pool engine behind the
+// repo's seed sweeps. It fans fully isolated seeded scenarios (oracle
+// differential runs, guarded-chaos runs, monkey×chaos stress) across
+// GOMAXPROCS goroutines and merges the results in seed order, under a
+// hard contract: the merged report, the verdict set, and the failure
+// output of a parallel sweep are byte-identical to the sequential
+// run's. Per-seed wall times and pool bookkeeping are kept out of the
+// canonical output so they cannot leak scheduling noise into it.
+//
+// Worker panics are recovered, attributed to the seed that raised them,
+// and re-surfaced after the merge as ordinary failures (the captured
+// stack rides along as a diagnostic, outside the canonical bytes).
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Outcome is what a Runner reports for one seed. Detail and Failures
+// must derive from the seed alone — no wall-clock time, no worker
+// identity — so the merged report stays byte-identical at any worker
+// count.
+type Outcome struct {
+	OK       bool
+	Detail   string   // one-line deterministic summary
+	Failures []string // deterministic failure lines, empty when OK
+}
+
+// Runner executes one seeded scenario. It must not share mutable
+// simulation state across calls: each invocation boots its own world.
+type Runner func(seed uint64) Outcome
+
+// Config describes one sweep.
+type Config struct {
+	// Mode labels the sweep in reports ("oracle", "guard", "monkey", …).
+	Mode string
+	// Start is the first seed, inclusive (0 means 1 — seed 0 is the
+	// chaos layer's "off" value).
+	Start uint64
+	// Count is how many consecutive seeds to run.
+	Count int
+	// Workers sizes the pool; ≤ 0 means GOMAXPROCS. The pool is capped
+	// at Count — idle workers cannot change the output either way.
+	Workers int
+	// Replay is a printf format with one %d verb producing the exact
+	// command that reproduces a failing seed.
+	Replay string
+}
+
+// SeedResult is the merged record for one seed. Wall and PanicStack are
+// diagnostics: they are excluded from the canonical report so parallel
+// and sequential sweeps render the same bytes.
+type SeedResult struct {
+	Seed uint64
+	Outcome
+	Panicked   bool
+	PanicVal   string
+	PanicStack string
+	Wall       time.Duration
+}
+
+// Report is a merged sweep: Results[i] holds seed Start+i regardless of
+// which worker ran it or when it finished.
+type Report struct {
+	Mode    string
+	Start   uint64
+	Count   int
+	Workers int
+	Replay  string
+	Elapsed time.Duration
+	Results []SeedResult
+}
+
+// Run executes the sweep. Seeds are claimed from an atomic cursor and
+// each result is written to its own slot of a seed-indexed slice, so
+// the merge is free and the output order is the seed order by
+// construction.
+func Run(cfg Config, fn Runner) *Report {
+	if cfg.Start == 0 {
+		cfg.Start = 1
+	}
+	if cfg.Count < 0 {
+		cfg.Count = 0
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Count {
+		workers = cfg.Count
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rep := &Report{
+		Mode:    cfg.Mode,
+		Start:   cfg.Start,
+		Count:   cfg.Count,
+		Workers: workers,
+		Replay:  cfg.Replay,
+		Results: make([]SeedResult, cfg.Count),
+	}
+	t0 := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.Count) {
+					return
+				}
+				rep.Results[i] = runSeed(fn, cfg.Start+uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(t0)
+	return rep
+}
+
+// runSeed runs one seed with panic isolation: a panicking runner is
+// recovered, attributed to this seed, and recorded as a failure instead
+// of taking the pool (and the other seeds' results) down with it.
+func runSeed(fn Runner, seed uint64) (res SeedResult) {
+	res.Seed = seed
+	t0 := time.Now()
+	defer func() {
+		res.Wall = time.Since(t0)
+		if r := recover(); r != nil {
+			res.OK = false
+			res.Panicked = true
+			res.PanicVal = fmt.Sprint(r)
+			res.PanicStack = stripGoroutineHeader(debug.Stack())
+			res.Failures = append(res.Failures, "panic: "+res.PanicVal)
+			if res.Detail == "" {
+				res.Detail = fmt.Sprintf("seed=%d panicked", seed)
+			}
+		}
+	}()
+	res.Outcome = fn(seed)
+	return
+}
+
+// stripGoroutineHeader drops the "goroutine N [running]:" line: the
+// goroutine id is pool scheduling, not part of the failure.
+func stripGoroutineHeader(stack []byte) string {
+	s := string(stack)
+	if i := strings.Index(s, "\n"); i >= 0 && strings.HasPrefix(s, "goroutine ") {
+		s = s[i+1:]
+	}
+	return strings.TrimRight(s, "\n")
+}
+
+// OK reports whether every seed passed.
+func (r *Report) OK() bool { return len(r.Failed()) == 0 }
+
+// Failed returns the failing seeds in seed order (panics included).
+func (r *Report) Failed() []SeedResult {
+	var out []SeedResult
+	for _, res := range r.Results {
+		if !res.OK {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// Panicked returns the seeds whose runner panicked, in seed order.
+func (r *Report) Panicked() []SeedResult {
+	var out []SeedResult
+	for _, res := range r.Results {
+		if res.Panicked {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// Walls returns the per-seed wall times in seed order (diagnostic /
+// bench input; never part of the canonical report).
+func (r *Report) Walls() []time.Duration {
+	out := make([]time.Duration, len(r.Results))
+	for i, res := range r.Results {
+		out[i] = res.Wall
+	}
+	return out
+}
+
+// String renders the canonical merged report: the per-seed verdict
+// lines and failures in seed order, followed by the tally. It contains
+// no timings and no worker count, so it is byte-identical between
+// -workers=1 and -workers=N runs of the same seed range.
+func (r *Report) String() string {
+	var sb strings.Builder
+	last := r.Start + uint64(r.Count)
+	if r.Count > 0 {
+		last--
+	}
+	fmt.Fprintf(&sb, "sweep mode=%s seeds=%d..%d\n", r.Mode, r.Start, last)
+	for _, res := range r.Results {
+		status := "ok  "
+		if !res.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&sb, "%s %s\n", status, res.Detail)
+		for _, f := range res.Failures {
+			fmt.Fprintf(&sb, "     FAIL: %s\n", f)
+		}
+	}
+	sb.WriteString(r.Tally())
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// FailureOutput renders only the failing seeds, each with its replay
+// line — the part of the report ci.sh puts in front of the user. Like
+// String, it is byte-identical at any worker count.
+func (r *Report) FailureOutput() string {
+	failed := r.Failed()
+	if len(failed) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, res := range failed {
+		fmt.Fprintf(&sb, "%s\n", res.Detail)
+		for _, f := range res.Failures {
+			fmt.Fprintf(&sb, "  FAIL: %s\n", f)
+		}
+		if r.Replay != "" {
+			fmt.Fprintf(&sb, "  replay: %s\n", fmt.Sprintf(r.Replay, res.Seed))
+		}
+	}
+	sb.WriteString(r.Tally())
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// Tally is the one-line sweep verdict.
+func (r *Report) Tally() string {
+	failed := r.Failed()
+	if len(failed) == 0 {
+		return fmt.Sprintf("ok: %d seeds", r.Count)
+	}
+	panics := len(r.Panicked())
+	if panics > 0 {
+		return fmt.Sprintf("FAIL: %d of %d seeds failed (%d panicked)", len(failed), r.Count, panics)
+	}
+	return fmt.Sprintf("FAIL: %d of %d seeds failed", len(failed), r.Count)
+}

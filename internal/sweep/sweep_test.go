@@ -1,0 +1,169 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestParallelSweepByteIdentical is the engine's core contract: a
+// -workers=8 sweep and a -workers=1 sweep over the same seed range must
+// merge to byte-identical reports, verdict sets, and failure output.
+// It runs in the short suite, so ci.sh's `go test -race -short` is also
+// the tier-1 race-detector pass over a parallel sweep.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	for _, mode := range []string{"oracle", "guard"} {
+		t.Run(mode, func(t *testing.T) {
+			fn, replay, err := ForMode(mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{Mode: mode, Start: 1, Count: 24, Replay: replay}
+			cfg.Workers = 1
+			seq := Run(cfg, fn)
+			cfg.Workers = 8
+			par := Run(cfg, fn)
+			if par.Workers != 8 {
+				t.Fatalf("parallel run used %d workers, want 8", par.Workers)
+			}
+			if seq.String() != par.String() {
+				t.Fatalf("merged reports differ between -workers=1 and -workers=8:\n--- sequential\n%s--- parallel\n%s",
+					seq.String(), par.String())
+			}
+			if seq.FailureOutput() != par.FailureOutput() {
+				t.Fatalf("failure output differs between -workers=1 and -workers=8:\n--- sequential\n%s--- parallel\n%s",
+					seq.FailureOutput(), par.FailureOutput())
+			}
+			if !par.OK() {
+				t.Fatalf("sweep failed:\n%s", par.FailureOutput())
+			}
+		})
+	}
+}
+
+// TestMonkeyModeParallel smoke-tests the third mode: a parallel
+// monkey×chaos sweep over a few TP-27 models comes back clean and
+// byte-identical to its sequential twin.
+func TestMonkeyModeParallel(t *testing.T) {
+	fn, replay, err := ForMode("monkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Mode: "monkey", Start: 1, Count: 6, Replay: replay}
+	cfg.Workers = 1
+	seq := Run(cfg, fn)
+	cfg.Workers = 6
+	par := Run(cfg, fn)
+	if seq.String() != par.String() {
+		t.Fatalf("monkey reports differ:\n--- sequential\n%s--- parallel\n%s", seq.String(), par.String())
+	}
+	if !par.OK() {
+		t.Fatalf("monkey sweep failed:\n%s", par.FailureOutput())
+	}
+}
+
+// TestPanicAttribution plants a panicking runner on one seed: the pool
+// must recover it, pin it to that seed, keep every other seed's result,
+// and surface it as a failure with the replay line — at any worker
+// count, with identical canonical bytes.
+func TestPanicAttribution(t *testing.T) {
+	fn := func(seed uint64) Outcome {
+		if seed == 5 {
+			panic("boom on seed 5")
+		}
+		return Outcome{OK: true, Detail: fmt.Sprintf("seed=%d clean", seed)}
+	}
+	cfg := Config{Mode: "test", Start: 1, Count: 9, Replay: "rerun -seed=%d"}
+	cfg.Workers = 1
+	seq := Run(cfg, fn)
+	cfg.Workers = 4
+	par := Run(cfg, fn)
+
+	if seq.String() != par.String() || seq.FailureOutput() != par.FailureOutput() {
+		t.Fatalf("panic run not byte-identical across worker counts:\n%s----\n%s", seq.String(), par.String())
+	}
+	if par.OK() {
+		t.Fatal("report with a panicked seed claims OK")
+	}
+	failed := par.Failed()
+	if len(failed) != 1 || failed[0].Seed != 5 {
+		t.Fatalf("failed = %+v, want exactly seed 5", failed)
+	}
+	p := failed[0]
+	if !p.Panicked || p.PanicVal != "boom on seed 5" {
+		t.Fatalf("panic not attributed: %+v", p)
+	}
+	if len(p.Failures) != 1 || p.Failures[0] != "panic: boom on seed 5" {
+		t.Fatalf("panic not folded into failures: %v", p.Failures)
+	}
+	if p.PanicStack == "" || strings.HasPrefix(p.PanicStack, "goroutine ") {
+		t.Fatalf("stack missing or still carries the goroutine header:\n%s", p.PanicStack)
+	}
+	out := par.FailureOutput()
+	if !strings.Contains(out, "replay: rerun -seed=5") {
+		t.Fatalf("failure output lacks the replay line:\n%s", out)
+	}
+	if !strings.Contains(par.Tally(), "1 panicked") {
+		t.Fatalf("tally does not count the panic: %s", par.Tally())
+	}
+	// The other 8 seeds must have completed despite the panic.
+	for _, res := range par.Results {
+		if res.Seed != 5 && !res.OK {
+			t.Fatalf("seed %d lost to a neighbour's panic: %+v", res.Seed, res)
+		}
+	}
+}
+
+// TestSeedIndexedMerge pins the merge layout: Results[i] is seed
+// Start+i, worker counts are clamped sanely, and empty sweeps work.
+func TestSeedIndexedMerge(t *testing.T) {
+	fn := func(seed uint64) Outcome {
+		return Outcome{OK: true, Detail: fmt.Sprintf("seed=%d", seed)}
+	}
+	rep := Run(Config{Mode: "test", Start: 100, Count: 7, Workers: 32}, fn)
+	if rep.Workers != 7 {
+		t.Fatalf("workers not capped at count: %d", rep.Workers)
+	}
+	for i, res := range rep.Results {
+		if res.Seed != 100+uint64(i) {
+			t.Fatalf("Results[%d].Seed = %d, want %d", i, res.Seed, 100+i)
+		}
+	}
+	empty := Run(Config{Mode: "test", Count: 0}, fn)
+	if !empty.OK() || len(empty.Results) != 0 {
+		t.Fatalf("empty sweep misbehaved: %+v", empty)
+	}
+	// Start 0 defaults to 1: seed 0 is the chaos layer's "off" value.
+	one := Run(Config{Mode: "test", Count: 1}, fn)
+	if one.Results[0].Seed != 1 {
+		t.Fatalf("Start=0 ran seed %d, want 1", one.Results[0].Seed)
+	}
+}
+
+// TestRunBenchSmoke exercises the bench path end to end on a small
+// range: throughputs populated, per-seed stats sane, determinism
+// cross-check green.
+func TestRunBenchSmoke(t *testing.T) {
+	b, err := RunBench("oracle", 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.ReportsIdentical {
+		t.Fatal("bench found non-identical sequential/parallel reports")
+	}
+	if b.Failures != 0 {
+		t.Fatalf("bench sweep failed %d seeds", b.Failures)
+	}
+	if b.SeqSeedsPerSec <= 0 || b.ParSeedsPerSec <= 0 || b.Speedup <= 0 {
+		t.Fatalf("throughput not measured: %+v", b)
+	}
+	if b.SeqPerSeed.N != 16 || b.ParPerSeed.N != 16 {
+		t.Fatalf("per-seed stats incomplete: %+v / %+v", b.SeqPerSeed, b.ParPerSeed)
+	}
+	if b.SeqPerSeed.P95MS < b.SeqPerSeed.P50MS {
+		t.Fatalf("p95 below p50: %+v", b.SeqPerSeed)
+	}
+	if _, err := RunBench("no-such-mode", 4, 1); err == nil {
+		t.Fatal("bench accepted an unknown mode")
+	}
+}

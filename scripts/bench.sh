@@ -1,0 +1,31 @@
+#!/bin/sh
+# scripts/bench.sh [-quick] [-out FILE] [-seeds N] [-workers N]
+#
+# Measures the sweep engine's sequential-vs-parallel throughput and
+# writes the bench artifact (default BENCH_sweep.json at the repo
+# root): seeds/sec at -workers=1 and -workers=GOMAXPROCS, the speedup,
+# and per-seed p50/p95 wall times for the oracle and guarded-chaos
+# sweeps. Every measurement doubles as a determinism check — the two
+# merged reports are byte-compared and the bench fails on any drift.
+#
+#   scripts/bench.sh            # full measurement (512 seeds per mode)
+#   scripts/bench.sh -quick     # CI-sized (128 seeds per mode)
+set -eu
+cd "$(dirname "$0")/.."
+
+seeds=512
+out=BENCH_sweep.json
+workers=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+        -quick) seeds=128 ;;
+        -out) shift; out="$1" ;;
+        -seeds) shift; seeds="$1" ;;
+        -workers) shift; workers="$1" ;;
+        *) echo "bench.sh: unknown flag $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+go run ./cmd/rchsweep -bench -mode=oracle,guard \
+    -seeds="$seeds" -workers="$workers" -bench-out "$out"

@@ -7,23 +7,36 @@
 #   1. gofmt         — no unformatted files
 #   2. go vet        — static checks
 #   3. go build      — every package compiles
-#   4. go test -race — full suite, short mode, race detector on
+#   4. go test -race — full suite, short mode, race detector on (this is
+#                      also the tier-1 race pass over a parallel sweep:
+#                      internal/sweep's determinism tests run -workers=8
+#                      pools in short mode)
 #   5. trace guard   — 89.2 ms flip anchor with tracing disabled, and
 #                      zero virtual-time drift with tracing enabled
 #   6. guard idle    — same anchor with the supervision guard armed but
 #                      idle: the watchdog must be tick-for-tick free
-#   7. oracle sweep  — 64-seed differential RCHDroid-vs-stock run
-#   8. guarded sweep — 256-seed guarded-chaos run: zero invariant
-#                      violations, no quarantine/breaker decision without
-#                      a preceding injected fault, and every activity
-#                      either RCHDroid-equivalent or exactly
-#                      stock-equivalent (never a hybrid)
+#   7. oracle sweep  — 512-seed differential RCHDroid-vs-stock run on
+#                      the parallel sweep engine (GOMAXPROCS workers)
+#   8. determinism   — 64-seed sequential cross-check: -workers=1 and
+#                      -workers=N merged reports must be byte-identical
+#   9. guarded sweep — 1024-seed guarded-chaos run on the engine: zero
+#                      invariant violations, no quarantine/breaker
+#                      decision without a preceding injected fault, and
+#                      every activity either RCHDroid-equivalent or
+#                      exactly stock-equivalent (never a hybrid)
+#  10. counterfactual — guard-off runs must reproduce the raw failures
+#                      the guard recovers, and guarded verdicts replay
+#                      bit-identically
+#  11. bench         — scripts/bench.sh -quick (CI-sized measurement + determinism
+#                      byte-compare; written to ./artifacts/ so the committed
+#                      512-seed BENCH_sweep.json stays stable)
+#                      (seeds/sec sequential vs parallel, speedup,
+#                      per-seed p50/p95)
 #
-# The oracle sweep is deliberately rerun outside -short so the
-# differential harness itself is exercised even in the quick gate; a
-# failure prints the exact -oracle.replay=<seed> invocation and, with
-# trace-on-fail armed, writes the failing seed's Perfetto trace to
-# ./artifacts/.
+# The sweeps run on cmd/rchsweep: any failing seed (including a
+# recovered worker panic, attributed to its seed) exits non-zero and
+# prints the exact -oracle.replay=<seed> invocation; -trace-on-fail
+# writes the failing seed's Perfetto trace to ./artifacts/.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -50,12 +63,19 @@ go test ./internal/experiments -run TestTraceOverheadGuard -count=1
 echo "==> guard idle anchor"
 go test ./internal/experiments -run TestGuardIdleAnchor -count=1
 
-echo "==> oracle sweep (64 seeds)"
-go test ./internal/oracle -run TestTransparencyOracleSweep \
-    -oracle.seeds=64 -oracle.trace-on-fail -count=1
+echo "==> oracle sweep (512 seeds, parallel engine)"
+go run ./cmd/rchsweep -mode=oracle -seeds=512 -trace-on-fail
 
-echo "==> guarded chaos sweep (256 seeds)"
-go test ./internal/oracle -run 'TestGuardedChaosSweep|TestGuardSavesRawFailures|TestGuardDeterministic' \
-    -oracle.guard-seeds=256 -oracle.trace-on-fail -count=1
+echo "==> sequential determinism cross-check (64 seeds)"
+go run ./cmd/rchsweep -mode=oracle -seeds=64 -crosscheck
+
+echo "==> guarded chaos sweep (1024 seeds, parallel engine)"
+go run ./cmd/rchsweep -mode=guard -seeds=1024 -trace-on-fail
+
+echo "==> guard counterfactual + replay determinism"
+go test ./internal/oracle -run 'TestGuardSavesRawFailures|TestGuardDeterministic' -count=1
+
+echo "==> sweep bench (quick)"
+scripts/bench.sh -quick -out artifacts/BENCH_sweep.quick.json
 
 echo "ci: all green"
