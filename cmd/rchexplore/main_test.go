@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rchdroid/internal/explore"
+	"rchdroid/internal/oracle/corpus"
+)
+
+// runCLI invokes run() with captured streams.
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestListInventory(t *testing.T) {
+	code, out, _ := runCLI("-list", "-depth=2")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, sc := range corpus.All() {
+		if !strings.Contains(out, sc.Name) {
+			t.Errorf("-list output missing scenario %q:\n%s", sc.Name, out)
+		}
+	}
+	if !strings.Contains(out, "space=") {
+		t.Errorf("-list output missing space sizes:\n%s", out)
+	}
+}
+
+func TestBadFlagsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-depth=-1"},
+		{"-scenario=no-such-scenario"},
+		{"-schedule=0"}, // needs exactly one scenario
+		{"-scenario=double-rotation", "-schedule=999999"}, // out of range
+		{"-checkpoint=f.json"},                            // needs exactly one scenario
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(args...); code != 2 {
+			t.Errorf("run(%v) exited %d, want 2", args, code)
+		}
+	}
+}
+
+func TestReplayEmptySchedulePasses(t *testing.T) {
+	// Index 0 is always the empty schedule: the scenario with no injected
+	// faults, which every corpus entry survives.
+	code, out, _ := runCLI("-scenario=double-rotation", "-depth=1", "-schedule=0")
+	if code != 0 {
+		t.Fatalf("empty-schedule replay exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Errorf("replay output missing PASS:\n%s", out)
+	}
+	if !strings.Contains(out, "essence:") {
+		t.Errorf("replay output missing differential observables:\n%s", out)
+	}
+}
+
+func TestExploreDeterministic(t *testing.T) {
+	// The merged report must be byte-identical run-to-run, including at
+	// different worker counts — the acceptance property of the explorer.
+	code1, out1, _ := runCLI("-scenario=double-rotation", "-depth=1", "-workers=1")
+	code2, out2, _ := runCLI("-scenario=double-rotation", "-depth=1", "-workers=4")
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("exploration exited %d / %d:\n%s", code1, code2, out1)
+	}
+	if out1 != out2 {
+		t.Fatalf("exploration not deterministic across worker counts:\n--- workers=1\n%s\n--- workers=4\n%s", out1, out2)
+	}
+}
+
+func TestCheckpointResume(t *testing.T) {
+	sc, ok := corpus.ByName("double-rotation")
+	if !ok {
+		t.Fatal("double-rotation missing from corpus")
+	}
+	total := explore.SpaceFor(&sc, 1).Size()
+	ckpt := filepath.Join(t.TempDir(), "frontier.json")
+
+	// Walk the space in chunks of 3; each invocation advances the frontier.
+	chunks := 0
+	for {
+		code, out, _ := runCLI("-scenario=double-rotation", "-depth=1", "-chunk=3", "-checkpoint="+ckpt)
+		if code != 0 {
+			t.Fatalf("chunked walk exited %d:\n%s", code, out)
+		}
+		chunks++
+		if chunks > int(total) {
+			t.Fatalf("frontier never reached done after %d invocations", chunks)
+		}
+		b, err := os.ReadFile(ckpt)
+		if err != nil {
+			t.Fatalf("read checkpoint: %v", err)
+		}
+		f, err := explore.DecodeFrontier(b)
+		if err != nil {
+			t.Fatalf("decode checkpoint: %v", err)
+		}
+		if f.Scenario != sc.Name || f.Depth != 1 || f.Total != total {
+			t.Fatalf("checkpoint misdescribes the walk: %+v", f)
+		}
+		if f.Done() {
+			if !strings.Contains(out, "frontier: done") {
+				t.Errorf("final chunk output missing done marker:\n%s", out)
+			}
+			break
+		}
+		if !strings.Contains(out, "rerun to continue") {
+			t.Errorf("mid-walk output missing continue marker:\n%s", out)
+		}
+	}
+	if chunks < 2 {
+		t.Fatalf("space of %d schedules finished in %d chunk(s) of 3 — resume path untested", total, chunks)
+	}
+
+	// A checkpoint for a different walk must be rejected, not silently
+	// reused.
+	if code, _, stderr := runCLI("-scenario=kill-resume", "-depth=1", "-chunk=3", "-checkpoint="+ckpt); code != 2 {
+		t.Errorf("mismatched checkpoint accepted (exit %d, stderr %q)", code, stderr)
+	}
+}

@@ -1,0 +1,47 @@
+// Backstack demonstrates the corpus entry for multi-activity
+// navigation: a compose activity starts on top of an inbox, the user
+// types a reply and rotates, navigates back, and rotates the survivor.
+// A change handled while a start or back transition is in flight is
+// where per-activity bookkeeping goes wrong — the oracle's invariants
+// bound visible activities system-wide (the scenario declares
+// MaxVisible for the legitimate overlap window) and live instances per
+// process at every step. The space has no kill action: a single
+// system-held bundle cannot model two activities' records.
+package main
+
+import (
+	"fmt"
+
+	"rchdroid/internal/explore"
+	"rchdroid/internal/oracle/corpus"
+)
+
+func main() {
+	sc, _ := corpus.ByName("backstack")
+	sp := explore.SpaceFor(&sc, 1)
+
+	fmt.Printf("scenario %q: %s\n", sc.Name, sc.About)
+	fmt.Printf("actions at each edge: %v (NoKill=%v), max visible: %d\n\n",
+		sp.Actions, sc.NoKill, sc.MaxVisible)
+
+	// Inject an extra rotation at every edge in turn — including inside
+	// the start and back transitions — and show where stock state goes.
+	for e := 0; e < sp.Edges; e++ {
+		sched, err := sp.ParseSchedule(fmt.Sprintf("[e%d:config]", e))
+		if err != nil {
+			panic(err)
+		}
+		idx, _ := sp.IndexOf(sched)
+		v := explore.RunIndex(&sc, sp, idx)
+		status := "all schedules classified"
+		if !v.OK() {
+			status = "UNCLASSIFIED"
+		}
+		fmt.Printf("  after step %-8s (%s): stock losses %d, rch losses %d — %s\n",
+			sc.Steps[e].Kind, v.Schedule, len(v.Stock.Losses), len(v.RCH.Losses), status)
+	}
+	fmt.Println()
+
+	res := explore.Explore(&sc, explore.Options{Depth: 1})
+	fmt.Print(res.String())
+}

@@ -1,0 +1,46 @@
+// Dialogmidchange demonstrates the corpus entry for the classic leaked
+// dialog window: an async task finishes after a rotation restarted the
+// activity, and its completion callback dismisses a dialog owned by the
+// dead instance. Stock Android crashes with a leaked-window error on
+// many interleavings — the scenario declares StockMayCrash, so those
+// runs classify rather than fail the gate — while RCHDroid's surviving
+// instance keeps the dialog reference valid. The explorer counts the
+// stock crashes across the whole bounded space.
+package main
+
+import (
+	"fmt"
+
+	"rchdroid/internal/explore"
+	"rchdroid/internal/oracle/corpus"
+)
+
+func main() {
+	sc, _ := corpus.ByName("dialog-fragment")
+	sp := explore.SpaceFor(&sc, 1)
+
+	fmt.Printf("scenario %q: %s\n", sc.Name, sc.About)
+	fmt.Printf("declared: StockMayCrash=%v — a stock crash classifies, an RCHDroid crash never does\n\n",
+		sc.StockMayCrash)
+
+	// One emblematic interleaving: drain the async completion right after
+	// the scripted rotation tore the dialog's owner down.
+	sched, err := sp.ParseSchedule("[e5:async]")
+	if err != nil {
+		panic(err)
+	}
+	idx, _ := sp.IndexOf(sched)
+	v := explore.RunIndex(&sc, sp, idx)
+	fmt.Printf("schedule %s:\n", v.Schedule)
+	if v.Stock.Crashed {
+		fmt.Printf("  stock crashed: %s\n", v.Stock.CrashCause)
+	} else {
+		fmt.Println("  stock survived this interleaving")
+	}
+	fmt.Printf("  rchdroid crashed: %v (losses %d)\n\n", v.RCH.Crashed, len(v.RCH.Losses))
+
+	res := explore.Explore(&sc, explore.Options{Depth: 1})
+	fmt.Print(res.String())
+	fmt.Printf("stock died on %d of %d schedules; rchdroid on none\n",
+		res.StockCrashes, res.Space.Size())
+}

@@ -1,0 +1,45 @@
+// Killresume demonstrates the corpus entry for background process death:
+// the system kills the editor while it holds saved notes and fresh
+// unsaved input, relaunches it from the system-held bundle, and then
+// rotates the recovered instance. Saved-bucket state must survive the
+// kill under BOTH handlers — a bundle that drops it means the
+// save/restore contract itself broke, which the oracle reports
+// separately from ordinary restart losses. The explorer then adds a
+// second kill (or config change, async drain, flush stall) at every
+// edge.
+package main
+
+import (
+	"fmt"
+
+	"rchdroid/internal/explore"
+	"rchdroid/internal/oracle/corpus"
+)
+
+func main() {
+	sc, _ := corpus.ByName("kill-resume")
+	sp := explore.SpaceFor(&sc, 1)
+
+	fmt.Printf("scenario %q: %s\n\n", sc.Name, sc.About)
+
+	// A schedule that kills the process a second time, right after the
+	// scripted relaunch typed new state into the recovered instance.
+	sched, err := sp.ParseSchedule("[e6:kill]")
+	if err != nil {
+		panic(err)
+	}
+	idx, _ := sp.IndexOf(sched)
+	v := explore.RunIndex(&sc, sp, idx)
+	fmt.Printf("schedule %s: stock run was killed %d times\n", v.Schedule, v.Stock.Kills)
+	for _, ks := range v.Stock.KillStates {
+		fmt.Printf("  captured bundle: %s\n", ks)
+	}
+	if len(v.Stock.KillLosses) == 0 {
+		fmt.Println("  saved-bucket state survived every kill (the contract held)")
+	}
+	fmt.Printf("  stock end-of-run losses: %d (unsaved buckets only)\n", len(v.Stock.Losses))
+	fmt.Printf("  rchdroid end-of-run losses: %d\n\n", len(v.RCH.Losses))
+
+	res := explore.Explore(&sc, explore.Options{Depth: 1})
+	fmt.Print(res.String())
+}

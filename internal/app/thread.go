@@ -78,13 +78,26 @@ type ActivityThread struct {
 
 	currentShadow *Activity
 	currentSunny  *Activity
+
+	// pendingBackground remembers tokens whose moveToBackground arrived
+	// while the instance was mid-relaunch (no visible instance to stop):
+	// the in-flight relaunch consumes the entry and settles into the
+	// stopped state instead of resuming over the covering activity.
+	pendingBackground map[int]bool
+	// retired marks tokens the server has destroyed (back navigation,
+	// task removal). A stock relaunch reuses its token, so a relaunch
+	// racing the destroy could otherwise resurrect the instance after
+	// its record left the stack; launches of retired tokens abort.
+	retired map[int]bool
 }
 
 func newActivityThread(p *Process) *ActivityThread {
 	return &ActivityThread{
-		proc:       p,
-		activities: make(map[int]*Activity),
-		handler:    RestartHandler{},
+		proc:              p,
+		activities:        make(map[int]*Activity),
+		handler:           RestartHandler{},
+		pendingBackground: make(map[int]bool),
+		retired:           make(map[int]bool),
 	}
 }
 
@@ -110,14 +123,18 @@ func (t *ActivityThread) Activities() map[int]*Activity { return t.activities }
 // Activity returns the instance for token, or nil.
 func (t *ActivityThread) Activity(token int) *Activity { return t.activities[token] }
 
-// ForegroundActivity returns the visible instance, or nil.
+// ForegroundActivity returns the visible instance, or nil. When a
+// transition transiently overlaps two visible instances, the newest
+// (highest-token) one wins — the deterministic stand-in for the
+// stack-top activity, independent of map iteration order.
 func (t *ActivityThread) ForegroundActivity() *Activity {
+	var fg *Activity
 	for _, a := range t.activities {
-		if a.State().Visible() {
-			return a
+		if a.State().Visible() && (fg == nil || a.token > fg.token) {
+			fg = a
 		}
 	}
-	return nil
+	return fg
 }
 
 // CurrentShadow returns RCHDroid's shadow-instance pointer.
@@ -199,6 +216,10 @@ func (t *ActivityThread) ScheduleFlip(shadowToken int, newCfg config.Configurati
 func (t *ActivityThread) ScheduleMoveToBackground(token int) {
 	a := t.activities[token]
 	if a == nil || !a.State().Visible() {
+		// The instance is mid-relaunch (or already gone): defer the
+		// backgrounding so the replacement launch completes stopped
+		// rather than resuming over the activity that covered it.
+		t.pendingBackground[token] = true
 		if t.handler != nil {
 			t.handler.HandleForegroundSwitch(t)
 		}
@@ -230,6 +251,7 @@ func (t *ActivityThread) ScheduleMoveToBackground(token int) {
 // ScheduleMoveToForeground resumes a stopped activity when its task
 // returns to the front.
 func (t *ActivityThread) ScheduleMoveToForeground(token int) {
+	delete(t.pendingBackground, token)
 	a := t.activities[token]
 	if a == nil || a.State() != StateStopped {
 		return
@@ -255,6 +277,26 @@ func (t *ActivityThread) ScheduleMoveToForeground(token int) {
 	})
 }
 
+// SunnyCancelHandler is implemented by change handlers whose sunny-start
+// requests the server may cancel (the requester was covered by another
+// activity while the request was in flight).
+type SunnyCancelHandler interface {
+	HandleSunnyCancel(t *ActivityThread, token int)
+}
+
+// ScheduleSunnyCancel is the server's reply to a sunny start whose
+// requester is no longer the task's visible top: the handler unwinds
+// the enter-shadow instead of launching a replacement over the activity
+// the user navigated to.
+func (t *ActivityThread) ScheduleSunnyCancel(token int) {
+	t.RunCharged("rch:cancelSunny", func() time.Duration {
+		if h, ok := t.handler.(SunnyCancelHandler); ok {
+			h.HandleSunnyCancel(t, token)
+		}
+		return 0
+	})
+}
+
 // ScheduleTrimMemory is the low-memory transaction: the change handler
 // releases whatever it can, then the footprint is re-reported.
 func (t *ActivityThread) ScheduleTrimMemory() {
@@ -270,6 +312,11 @@ func (t *ActivityThread) ScheduleTrimMemory() {
 // ScheduleDestroy is the destroy transaction (back navigation, task
 // removal, or shadow GC reclaim).
 func (t *ActivityThread) ScheduleDestroy(token int) {
+	delete(t.pendingBackground, token)
+	// The record is off the stack for good; a relaunch of the same token
+	// still in flight (its old instance already torn down, its replacement
+	// not yet created) must not resurrect the activity.
+	t.retired[token] = true
 	a := t.activities[token]
 	if a == nil {
 		return
@@ -284,8 +331,16 @@ func (t *ActivityThread) ScheduleDestroy(token int) {
 func (t *ActivityThread) PerformLaunch(class *ActivityClass, token int, cfg config.Configuration, opts LaunchOptions) *Activity {
 	a := newActivity(class, t.proc, token, cfg)
 	m := t.proc.model
+	aborted := false
 
 	t.RunCharged("launch:create", func() time.Duration {
+		if t.retired[token] {
+			// The server destroyed this token while the launch was queued
+			// (back navigation racing a relaunch): abort before creating
+			// anything, so the finished activity stays gone.
+			aborted = true
+			return 0
+		}
 		t.activities[token] = a
 		a.setState(StateCreated)
 		if class.Callbacks.OnCreate != nil {
@@ -298,6 +353,9 @@ func (t *ActivityThread) PerformLaunch(class *ActivityClass, token int, cfg conf
 
 	if opts.Saved != nil {
 		t.RunCharged("launch:restore", func() time.Duration {
+			if aborted {
+				return 0
+			}
 			a.RestoreInstanceState(opts.Saved)
 			t.traceBundle("bundleRestore", opts.Saved)
 			return m.RestoreState(a.ViewCount())
@@ -306,6 +364,9 @@ func (t *ActivityThread) PerformLaunch(class *ActivityClass, token int, cfg conf
 
 	if opts.ExtraPhase != nil {
 		t.RunCharged("launch:extra", func() time.Duration {
+			if aborted {
+				return 0
+			}
 			name, cost, work := opts.ExtraPhase(a)
 			if work != nil {
 				work()
@@ -318,9 +379,25 @@ func (t *ActivityThread) PerformLaunch(class *ActivityClass, token int, cfg conf
 	}
 
 	t.RunCharged("launch:resume", func() time.Duration {
+		if aborted {
+			return 0
+		}
 		a.setState(StateStarted)
 		if class.Callbacks.OnStart != nil {
 			class.Callbacks.OnStart(a)
+		}
+		// A moveToBackground that raced this relaunch (another activity
+		// covered this token while the old instance was being torn down)
+		// was deferred to here: the replacement settles into the stopped
+		// state instead of resuming over the activity the user navigated
+		// to, like a server-directed relaunch-to-stopped.
+		if t.pendingBackground[token] {
+			delete(t.pendingBackground, token)
+			a.setState(StateStopped)
+			if class.Callbacks.OnStop != nil {
+				class.Callbacks.OnStop(a)
+			}
+			return m.ConfigApply / 2
 		}
 		if opts.Sunny {
 			a.setState(StateSunny)
@@ -336,7 +413,14 @@ func (t *ActivityThread) PerformLaunch(class *ActivityClass, token int, cfg conf
 	})
 
 	t.RunCharged("launch:done", func() time.Duration {
+		if aborted {
+			return 0
+		}
 		t.proc.UpdateMemory()
+		if !a.State().Visible() {
+			// Relaunched into the background: no resume to report.
+			return 0
+		}
 		if opts.OnResumed != nil {
 			opts.OnResumed(a)
 		}
@@ -390,6 +474,13 @@ func (t *ActivityThread) PerformSaveAndDestroy(a *Activity, done func(saved *bun
 		a.checkWindowLeaks()
 		a.releaseDialogs()
 		a.decor.Release()
+		// Stop tracking the dead instance immediately — the replacement
+		// re-registers under the same token in launch:create, and probes
+		// that land inside the relaunch window must not see a destroyed
+		// instance in the thread table.
+		if t.activities[a.token] == a {
+			delete(t.activities, a.token)
+		}
 		t.proc.UpdateMemory()
 		return m.DestroyTree(n)
 	})
@@ -408,6 +499,13 @@ func (t *ActivityThread) PerformDestroy(a *Activity) {
 	m := t.proc.model
 	t.RunCharged("destroy:"+a.class.Name, func() time.Duration {
 		if !a.State().Alive() {
+			// Already torn down (e.g. by a relaunch racing this destroy) —
+			// but if the dead instance still occupies its slot, the aborted
+			// relaunch will never overwrite it, so unregister it here.
+			if t.activities[a.token] == a {
+				delete(t.activities, a.token)
+				t.proc.UpdateMemory()
+			}
 			return 0
 		}
 		n := a.ViewCount()

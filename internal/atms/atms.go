@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rchdroid/internal/app"
+	"rchdroid/internal/bundle"
 	"rchdroid/internal/config"
 	"rchdroid/internal/costmodel"
 	"rchdroid/internal/ipc"
@@ -163,6 +164,15 @@ func (a *ATMS) ChargeServer(d time.Duration) { a.sysLooper.Charge(d) }
 // server and schedules the initial launch of its main activity. It
 // returns the token of the root record.
 func (a *ATMS) LaunchApp(proc *app.Process) int {
+	return a.LaunchAppWithState(proc, nil)
+}
+
+// LaunchAppWithState is LaunchApp for the relaunch-after-process-death
+// path: the system server still holds the instance-state bundle the
+// dead process produced at its last stock save, and hands it to the
+// fresh main instance — a user returning to an app the low-memory
+// killer evicted. A nil bundle is a cold start.
+func (a *ATMS) LaunchAppWithState(proc *app.Process, saved *bundle.Bundle) int {
 	token := a.nextToken
 	a.nextToken++
 	proc.Thread().BindSystem(&threadFacade{atms: a})
@@ -184,7 +194,7 @@ func (a *ATMS) LaunchApp(proc *app.Process) int {
 		a.stack.PushTask(task)
 		cfg := a.globalConfig
 		a.bus.Transact(proc.Endpoint(), "scheduleLaunch", 256, 0, func() {
-			proc.Thread().ScheduleLaunch(rec.Class, token, cfg, app.LaunchOptions{})
+			proc.Thread().ScheduleLaunch(rec.Class, token, cfg, app.LaunchOptions{Saved: saved})
 		})
 	})
 	return token
@@ -376,6 +386,57 @@ func (a *ATMS) AddResumeObserver(fn func(token int)) {
 	a.resumeObservers = append(a.resumeObservers, fn)
 }
 
+// ensureActivityConfiguration is the AOSP freshness check, armed after a
+// measured runtime change concludes. Rapid successive changes can race
+// the in-flight handling: the newest delivery lands while the foreground
+// instance is mid-transition and is dropped as a stale binder
+// transaction, leaving the resumed instance on a superseded
+// configuration forever while the server's record claims it is current —
+// the stale-foreground race the schedule-space explorer reproduces with
+// [config, rotate, rotate] back to back. The check is deferred so the
+// handler's own coalescing gets to finish first (an immediate re-dispatch
+// would double-route changes the handler was about to coalesce), and
+// re-armed a bounded number of times while the transition is still
+// settling. Resumes outside a measured handling (task switches, back
+// navigation) deliberately keep their stale configuration until the next
+// change, matching the repo's background-activity semantics.
+func (a *ATMS) ensureActivityConfiguration(tries int) {
+	const (
+		ensureDelay    = 150 * time.Millisecond
+		ensureMaxTries = 20
+	)
+	if tries > ensureMaxTries {
+		return
+	}
+	a.sched.After(ensureDelay, "atms:ensureConfig", func() {
+		a.RunOnServer("ensureConfig", 0, func() {
+			task := a.stack.TopTask()
+			if task == nil {
+				return
+			}
+			rec := topNonShadow(task)
+			if rec == nil || rec.Proc.Crashed() {
+				return
+			}
+			inst := rec.Proc.Thread().Activity(rec.Token)
+			if inst == nil || !inst.State().Visible() || !rec.resumed {
+				a.ensureActivityConfiguration(tries + 1)
+				return
+			}
+			if inst.Config().Diff(a.globalConfig) == config.None {
+				return
+			}
+			newCfg := a.globalConfig
+			a.logf("ATMS", "foreground resumed stale (built for %v, global %v): re-delivering",
+				inst.Config(), newCfg)
+			rec.resumed = false
+			a.bus.Transact(rec.Proc.Endpoint(), "runtimeChange", 128, 0, func() {
+				rec.Proc.Thread().ScheduleRuntimeChange(rec.Token, newCfg)
+			})
+		})
+	})
+}
+
 // notifyResumed finalises a handling measurement.
 func (a *ATMS) notifyResumed(token int) {
 	a.RunOnServer("notifyResumed", 0, func() {
@@ -389,6 +450,7 @@ func (a *ATMS) notifyResumed(token int) {
 		}
 		if a.measuring {
 			a.measuring = false
+			a.ensureActivityConfiguration(0)
 			d := a.sched.Now().Sub(a.handlingStart)
 			// A resume that arrives implausibly late belongs to a later
 			// launch, not to the measured change — the measured handling

@@ -252,6 +252,10 @@ type Plan struct {
 	truncated    int
 	droppedAsync map[string]int
 
+	// directives are scripted injections (see script.go), consulted
+	// before any random roll at the same decision points.
+	directives []*Directive
+
 	tracer *trace.Tracer
 	track  trace.TrackID
 }
@@ -350,6 +354,9 @@ func (p *Plan) record(pt Point, label, effect string) {
 // OnMessage implements looper.FaultInjector: stalls may hit any message,
 // delays and drops only droppable ones.
 func (p *Plan) OnMessage(name string, cost time.Duration) looper.Fault {
+	if d := p.consultScript(PointLooper, name); d != nil {
+		return p.scriptMessage(d, name)
+	}
 	var f looper.Fault
 	if p.roll(PointLooper, p.opts.MsgStall) {
 		f.Stall = p.draw(PointLooper, p.opts.MsgStall.Max)
@@ -371,6 +378,9 @@ func (p *Plan) OnMessage(name string, cost time.Duration) looper.Fault {
 
 // OnAsync implements app.AsyncFaultInjector.
 func (p *Plan) OnAsync(name string) app.AsyncFault {
+	if d := p.consultScript(PointAsync, name); d != nil {
+		return p.scriptAsync(d, name)
+	}
 	var f app.AsyncFault
 	if p.roll(PointAsync, p.opts.AsyncDrop) {
 		f.DropResult = true
@@ -389,6 +399,9 @@ func (p *Plan) OnAsync(name string) app.AsyncFault {
 // whether a pushed configuration is echoed a second time mid-transition,
 // and how soon.
 func (p *Plan) OnConfigChange(cfg config.Configuration) (bool, time.Duration) {
+	if d := p.consultScript(PointConfig, "configChange"); d != nil {
+		return p.scriptConfig(d, cfg)
+	}
 	if !p.roll(PointConfig, p.opts.ConfigEcho) {
 		return false, 0
 	}
@@ -400,6 +413,10 @@ func (p *Plan) OnConfigChange(cfg config.Configuration) (bool, time.Duration) {
 // OnCorePhase matches core's SetPhaseStall hook: extra occupancy for a
 // named handling phase.
 func (p *Plan) OnCorePhase(phase string) time.Duration {
+	if d := p.consultScript(PointLifecycle, phase); d != nil {
+		p.record(PointLifecycle, phase, fmt.Sprintf("stall %v (scripted)", d.Delay))
+		return d.Delay
+	}
 	if !p.roll(PointLifecycle, p.opts.CoreStall) {
 		return 0
 	}
@@ -411,6 +428,10 @@ func (p *Plan) OnCorePhase(phase string) time.Duration {
 // OnMigrationFlush matches core's SetFlushFault hook: a non-zero return
 // defers the flush by that long.
 func (p *Plan) OnMigrationFlush(pending int) time.Duration {
+	if d := p.consultScript(PointMigration, "flush"); d != nil {
+		p.record(PointMigration, fmt.Sprintf("flush(%d views)", pending), fmt.Sprintf("defer %v (scripted)", d.Delay))
+		return d.Delay
+	}
 	if !p.roll(PointMigration, p.opts.FlushStall) {
 		return 0
 	}
@@ -450,6 +471,9 @@ func (f TransferFault) Apply(b *bundle.Bundle) *bundle.Bundle {
 // The attempt index is only documentation — retries consume fresh rolls
 // from the same stream, so a retried transfer may succeed.
 func (p *Plan) OnStateTransfer(attempt int) TransferFault {
+	if d := p.consultScript(PointXfer, "transfer"); d != nil {
+		return p.scriptTransfer(d, attempt)
+	}
 	var f TransferFault
 	if p.roll(PointXfer, p.opts.XferDrop) {
 		f.Drop = true

@@ -37,6 +37,25 @@ func (p *CoinFlipPolicy) HandleSunnyStart(a *atms.ATMS, task *atms.TaskRecord, f
 	shadowRec := task.FindShadow()
 	model := a.Model()
 
+	if top := topNonShadowOf(task); top != nil && top != from {
+		// The requester was covered by another activity start while its
+		// sunny request was in flight. Granting it would push the
+		// replacement over the activity the user just navigated to and
+		// invert the back stack (back would then finish the wrong
+		// activity), so the start is cancelled; the app side demotes the
+		// waiting shadow back to a stopped live instance.
+		a.Tracer().Instant(a.Track(), "coinFlip", "rch",
+			trace.Arg{Key: "decision", Val: "cancel"},
+			trace.Arg{Key: "reason", Val: "covered"})
+		a.ChargeServer(model.ATMSStackSearch)
+		a.RunOnServer("sunnyCancelReply", 0, func() {
+			a.Bus().Transact(from.Proc.Endpoint(), "cancelSunny", 64, 0, func() {
+				from.Proc.Thread().ScheduleSunnyCancel(from.Token)
+			})
+		})
+		return
+	}
+
 	if shadowRec != nil && shadowRec.Config.Equal(newCfg) {
 		// Coin flip: reorder the shadow record to the top, clear its
 		// shadow state, and push the requester into the shadow state.
@@ -81,6 +100,18 @@ func (p *CoinFlipPolicy) HandleSunnyStart(a *atms.ATMS, task *atms.TaskRecord, f
 			from.Proc.Thread().ScheduleSunnyLaunch(rec.Class, rec.Token, newCfg)
 		})
 	})
+}
+
+// topNonShadowOf returns the topmost record that is not shadow-flagged —
+// the activity the user actually sees.
+func topNonShadowOf(task *atms.TaskRecord) *atms.ActivityRecord {
+	rs := task.Records()
+	for i := len(rs) - 1; i >= 0; i-- {
+		if !rs[i].Shadow() {
+			return rs[i]
+		}
+	}
+	return nil
 }
 
 // alwaysCreatePolicy is the coin-flip ablation: every sunny start creates

@@ -55,6 +55,10 @@ type ShadowHandler struct {
 	// old token as a second visible activity.
 	handlingGen int
 
+	// disableSupersession turns the generation guard off (ablation; see
+	// core.Options.DisableSupersession).
+	disableSupersession bool
+
 	// zombies are former shadow activities kept alive only because they
 	// still have asynchronous tasks in flight; they are destroyed as soon
 	// as those tasks drain.
@@ -74,10 +78,11 @@ type ShadowHandler struct {
 	xfer func(attempt int) chaos.TransferFault
 
 	// Counters for reports.
-	initLaunches  int
-	flips         int
-	zombiesReaped int
-	stockRouted   int
+	initLaunches     int
+	flips            int
+	zombiesReaped    int
+	stockRouted      int
+	supersededRoutes int
 }
 
 // NewShadowHandler returns a handler using the given migrator and GC.
@@ -101,6 +106,12 @@ func (h *ShadowHandler) ZombiesReaped() int { return h.zombiesReaped }
 // StockRouted returns how many runtime changes the guard routed through
 // the stock restart path.
 func (h *ShadowHandler) StockRouted() int { return h.stockRouted }
+
+// SupersededStockRoutes returns how many queued stock-routed relaunches
+// fizzled because a newer handling was scheduled before their phases ran
+// — each one is an averted instance of the guarded-seed-613 stale-relaunch
+// race.
+func (h *ShadowHandler) SupersededStockRoutes() int { return h.supersededRoutes }
 
 // Guard returns the supervising guard, or nil.
 func (h *ShadowHandler) Guard() *guard.Guard { return h.guard }
@@ -257,7 +268,17 @@ func (h *ShadowHandler) handleStockRouted(t *app.ActivityThread, a *app.Activity
 	class, token := a.Class(), a.Token()
 	var saved *bundle.Bundle
 	aborted := false
-	superseded := func() bool { return h.handlingGen != gen }
+	counted := false
+	superseded := func() bool {
+		if h.disableSupersession || h.handlingGen == gen {
+			return false
+		}
+		if !counted {
+			counted = true
+			h.supersededRoutes++
+		}
+		return true
+	}
 	t.RunCharged("stock:save", func() time.Duration {
 		if superseded() || !a.State().Visible() {
 			aborted = true
@@ -514,7 +535,40 @@ func (h *ShadowHandler) AfterUICallback(t *app.ActivityThread, a *app.Activity) 
 // released immediately (§3.5) — shadow instances only ever back the
 // activity the user is looking at.
 func (h *ShadowHandler) HandleForegroundSwitch(t *app.ActivityThread) {
+	if sh := t.CurrentShadow(); sh != nil && sh == h.pendingShadow {
+		// The shadow is the data source of a sunny request still in
+		// flight to the server. Releasing it here would strand the
+		// requester with no instance at all; the server resolves the
+		// race instead — it either grants the launch (which consumes the
+		// shadow normally) or cancels it (HandleSunnyCancel demotes the
+		// shadow back to a stopped live instance).
+		return
+	}
 	h.releaseShadow(t, t.CurrentShadow())
+}
+
+// HandleSunnyCancel unwinds an enter-shadow whose sunny start the server
+// cancelled: another activity covered the requester while its request
+// was in flight, so a replacement launch would steal the foreground and
+// invert the back stack. The shadow demotes back to a plain stopped
+// instance — the user's live state survives intact, better than a
+// snapshot round-trip — and the activity re-handles its stale
+// configuration whenever the next change reaches it in the foreground.
+func (h *ShadowHandler) HandleSunnyCancel(t *app.ActivityThread, token int) {
+	a := t.Activity(token)
+	if a == nil || a.State() != app.StateShadow {
+		return
+	}
+	if h.pendingShadow == a {
+		h.pendingShadow = nil
+	}
+	a.DemoteShadowToStopped()
+	if t.CurrentShadow() == a {
+		t.SetCurrentShadow(nil)
+	}
+	h.settleChange()
+	h.guard.DisarmPhase(a.Class().Name, "runtimeChange")
+	t.Process().UpdateMemory()
 }
 
 // HandleTrimMemory implements app.ChangeHandler: under memory pressure

@@ -31,6 +31,14 @@ type Options struct {
 	// asynchronous callback instead of only the dirtied views (ablation
 	// for the §3.3 lazy scheme).
 	EagerMigration bool
+	// DisableSupersession lets a queued stock-routed relaunch run even
+	// after a newer handling was scheduled (ablation for the
+	// handling-generation guard). It re-creates the quarantine-recovery
+	// race guarded seed 613 first exposed — a stale stock relaunch
+	// resurrecting its token as a second visible activity — so the
+	// schedule-space explorer can prove it rediscovers the bug without
+	// RNG.
+	DisableSupersession bool
 	// Chaos, if non-nil, arms the core-side fault hooks from the plan:
 	// phase stalls on the shadow handler, flush deferral on the migrator
 	// and corruption/drop on the snapshot transfer. The app/system-side
@@ -77,6 +85,7 @@ func Install(sys *atms.ATMS, proc *app.Process, opts Options) *RCHDroid {
 	}
 	handler := NewShadowHandler(migrator, gc)
 	handler.quadraticMapping = opts.QuadraticMapping
+	handler.disableSupersession = opts.DisableSupersession
 	var g *guard.Guard
 	if opts.Guard != nil {
 		g = guard.New(*opts.Guard, proc.Scheduler(), proc, sys)

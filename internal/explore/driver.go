@@ -1,0 +1,414 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/atms"
+	"rchdroid/internal/bundle"
+	"rchdroid/internal/chaos"
+	"rchdroid/internal/config"
+	"rchdroid/internal/costmodel"
+	"rchdroid/internal/oracle"
+	"rchdroid/internal/oracle/corpus"
+	"rchdroid/internal/sim"
+	"rchdroid/internal/view"
+)
+
+// RunResult is one scenario run under one handler and one schedule.
+type RunResult struct {
+	Name       string
+	Crashed    bool
+	CrashCause string
+	// Invariant holds the first lifecycle-invariant violation with its
+	// step context ("" when clean).
+	Invariant string
+	// FinalMissing is set when the run ended with no foreground activity
+	// despite not having crashed.
+	FinalMissing bool
+	// Essence is the final foreground instance's stock-persistence
+	// fingerprint plus its applied configuration, for cross-handler
+	// equality.
+	Essence string
+	// Expected is the accumulated ground truth (probe fields recorded at
+	// application time); Actual is the final foreground probe. Both are
+	// sorted by field name.
+	Expected, Actual []oracle.Field
+	// Losses classifies every expected-vs-actual divergence at the end of
+	// the run into the DLD taxonomy.
+	Losses []oracle.Loss
+	// KillLosses are saved-bucket fields a captured system bundle failed
+	// to carry across a kill — the save/restore contract itself broke.
+	KillLosses []oracle.Loss
+	// KillStates are the rendered bundles captured at each kill, in
+	// order; runs whose kills captured different state are not
+	// essence-comparable.
+	KillStates []string
+	// Applied counts script steps that found a foreground target.
+	Applied           int
+	Kills             int
+	Handlings         int
+	HandlingViolation string
+	Injections        int
+	FirstInjectionAt  sim.Time
+	Guard             oracle.GuardSummary
+}
+
+// invariantsFor builds the sampling config from the scenario's declared
+// instance bound.
+func invariantsFor(sc *corpus.Scenario) oracle.InvariantConfig {
+	max := sc.MaxInstances
+	if max <= 0 {
+		max = 3
+	}
+	return oracle.InvariantConfig{
+		MaxInstancesPerProcess: max,
+		CheckMemoryFloor:       true,
+		MaxVisible:             sc.MaxVisible,
+	}
+}
+
+// fieldPrefix maps an activity class name to its probe-field prefix
+// ("ComposeActivity" probes as "Compose.*").
+func fieldPrefix(className string) string {
+	return strings.TrimSuffix(className, "Activity") + "."
+}
+
+// runScenario executes one scenario under inst with the schedule's
+// fault actions injected at their edges. Everything is scripted — the
+// chaos plan starts with zero rates, so the run is a pure function of
+// (scenario, schedule, installer).
+func runScenario(sc *corpus.Scenario, sched Schedule, inst oracle.Installer) RunResult {
+	res := RunResult{Name: inst.Name}
+	clock := sim.NewScheduler()
+	model := costmodel.Default()
+	sys := atms.New(clock, model)
+	theApp := sc.App()
+	proc := app.NewProcess(clock, model, theApp)
+	plan := chaos.NewScripted()
+	plan.BindClock(clock)
+	install := func(p *app.Process) {
+		if inst.Install != nil {
+			inst.Install(sys, p, plan)
+		}
+		plan.Install(sys, p)
+	}
+	install(proc)
+	sys.LaunchApp(proc)
+	clock.Advance(2 * time.Second)
+
+	invCfg := invariantsFor(sc)
+	expected := map[string]oracle.Field{}
+	mergeProbe := func(fg *app.Activity) {
+		for _, f := range sc.Probe(fg) {
+			expected[f.Name] = f
+		}
+	}
+	if fg := proc.Thread().ForegroundActivity(); fg != nil {
+		mergeProbe(fg)
+	}
+
+	// ui posts a step onto the app's UI looper; it runs at a quiescent
+	// point, applies the interaction to the live foreground instance and
+	// re-probes it, so expectations always reflect state the app really
+	// reached. The step's Expect overrides merge inside the same closure,
+	// after the probe: a looper stalled by an injected fault can run the
+	// step arbitrarily late, and the override must still win over the
+	// probe it corrects.
+	ui := func(kind string, expect []oracle.Field, fn func(fg *app.Activity)) {
+		proc.PostApp("corpus:"+kind, time.Millisecond, func() {
+			fg := proc.Thread().ForegroundActivity()
+			if fg == nil {
+				return
+			}
+			res.Applied++
+			fn(fg)
+			mergeProbe(fg)
+			for _, f := range expect {
+				expected[f.Name] = f
+			}
+		})
+	}
+
+	asyncDrain := sc.AsyncDrain
+	if asyncDrain <= 0 {
+		asyncDrain = time.Second
+	}
+
+	// kill crashes the process, relaunches it with the system-held stock
+	// bundle and rebases the expected state on what actually survived.
+	// Saved-bucket fields the bundle failed to carry are recorded as
+	// KillLosses before the rebase.
+	kill := func() {
+		var saved *bundle.Bundle
+		if fg := proc.Thread().ForegroundActivity(); fg != nil {
+			saved = fg.SaveInstanceStateStock()
+		}
+		killState := "<none>"
+		if saved != nil {
+			killState = saved.String()
+		}
+		res.KillStates = append(res.KillStates, killState)
+		plan.Note(chaos.PointProcess, "kill", "kill process (scripted)")
+		proc.Crash(chaos.ErrKilled)
+		res.Kills++
+		proc = app.NewProcess(clock, model, theApp)
+		install(proc)
+		sys.LaunchAppWithState(proc, saved)
+		clock.Advance(2 * time.Second)
+		fg := proc.Thread().ForegroundActivity()
+		if fg == nil {
+			return
+		}
+		relaunched := sc.Probe(fg)
+		if saved != nil {
+			got := map[string]oracle.Field{}
+			for _, f := range relaunched {
+				got[f.Name] = f
+			}
+			for _, want := range expected {
+				if !want.Saved {
+					continue
+				}
+				if have, ok := got[want.Name]; ok && have.Value != want.Value {
+					res.KillLosses = append(res.KillLosses, oracle.Loss{
+						Field: want.Name, Bucket: want.Bucket(),
+						Expected: want.Value, Actual: have.Value,
+					})
+				}
+			}
+			sort.Slice(res.KillLosses, func(i, j int) bool {
+				return res.KillLosses[i].Field < res.KillLosses[j].Field
+			})
+		}
+		// Unsaved state died with the process on both handlers; the rest
+		// of the run expects what the relaunch restored.
+		expected = map[string]oracle.Field{}
+		for _, f := range relaunched {
+			expected[f.Name] = f
+		}
+	}
+
+	crashed := func() bool {
+		if proc.Crashed() && !res.Crashed {
+			res.Crashed = true
+			res.CrashCause = fmt.Sprint(proc.CrashCause())
+		}
+		return res.Crashed
+	}
+
+steps:
+	for i, st := range sc.Steps {
+		switch st.Kind {
+		case corpus.StepType:
+			text, id := st.Text, st.ID
+			ui("type", st.Expect, func(fg *app.Activity) {
+				if et, ok := fg.FindViewByID(id).(*view.EditText); ok {
+					et.Type(text)
+				}
+			})
+		case corpus.StepSetText:
+			text, id := st.Text, st.ID
+			ui("setText", st.Expect, func(fg *app.Activity) {
+				type textSetter interface{ SetText(string) }
+				if tv, ok := fg.FindViewByID(id).(textSetter); ok {
+					tv.SetText(text)
+				}
+			})
+		case corpus.StepCheck:
+			id := st.ID
+			ui("check", st.Expect, func(fg *app.Activity) {
+				if cb, ok := fg.FindViewByID(id).(*view.CheckBox); ok {
+					cb.SetChecked(!cb.Checked())
+				}
+			})
+		case corpus.StepSeek:
+			id, n := st.ID, st.N
+			ui("seek", st.Expect, func(fg *app.Activity) {
+				if sb, ok := fg.FindViewByID(id).(*view.SeekBar); ok {
+					sb.SetProgress(n)
+				}
+			})
+		case corpus.StepSelect:
+			id, n := st.ID, st.N
+			ui("select", st.Expect, func(fg *app.Activity) {
+				if lv, ok := fg.FindViewByID(id).(*view.ListView); ok {
+					lv.PositionSelector(n)
+				}
+			})
+		case corpus.StepBumpSaved:
+			ui("bumpSaved", st.Expect, func(fg *app.Activity) {
+				c, _ := fg.Extra(corpus.SavedKey).(int64)
+				fg.PutExtra(corpus.SavedKey, c+1)
+			})
+		case corpus.StepBumpUnsaved:
+			ui("bumpUnsaved", st.Expect, func(fg *app.Activity) {
+				c, _ := fg.Extra(corpus.DraftKey).(int64)
+				fg.PutExtra(corpus.DraftKey, c+1)
+			})
+		case corpus.StepRotate:
+			sys.PushConfiguration(sys.GlobalConfig().Rotated())
+		case corpus.StepNight:
+			cfg := sys.GlobalConfig()
+			if cfg.UIMode == config.UIModeNight {
+				cfg = cfg.WithUIMode(config.UIModeDay)
+			} else {
+				cfg = cfg.WithUIMode(config.UIModeNight)
+			}
+			sys.PushConfiguration(cfg)
+		case corpus.StepBack:
+			if fg := proc.Thread().ForegroundActivity(); fg != nil {
+				prefix := fieldPrefix(fg.Class().Name)
+				for name := range expected {
+					if strings.HasPrefix(name, prefix) {
+						delete(expected, name)
+					}
+				}
+			}
+			sys.FinishTopActivity()
+		case corpus.StepStart:
+			class := st.Class
+			ui("start", st.Expect, func(fg *app.Activity) { fg.StartActivity(class) })
+		case corpus.StepFragment:
+			class, tag, id := st.Class, st.Text, st.ID
+			ui("fragment", st.Expect, func(fg *app.Activity) {
+				if fc := fg.Class().FragmentClasses[class]; fc != nil {
+					fg.Fragments().Add(fc, tag, id)
+				}
+			})
+		case corpus.StepDialog:
+			title := st.Text
+			ui("dialog", st.Expect, func(fg *app.Activity) { fg.ShowDialog(title, nil) })
+		case corpus.StepAsync:
+			work := st.Work
+			ui("async", st.Expect, func(fg *app.Activity) {
+				// The completion dismisses whatever dialogs are showing when
+				// it fires — the deferred-dismiss pattern that leaks the
+				// window when a stock restart destroyed the owner first. An
+				// injected change can move the dialog to a different instance
+				// between start and completion (RCHDroid's flip re-shows it
+				// on the preserved twin), so the completion scans every live
+				// instance rather than the starting foreground's list.
+				fg.StartAsyncTask(fmt.Sprintf("task%d", i), work, func() {
+					acts := proc.Thread().Activities()
+					tokens := make([]int, 0, len(acts))
+					for tok := range acts {
+						tokens = append(tokens, tok)
+					}
+					sort.Ints(tokens)
+					for _, tok := range tokens {
+						for _, d := range acts[tok].Dialogs() {
+							if d.Showing() {
+								d.Dismiss()
+							}
+						}
+					}
+				})
+			})
+		case corpus.StepKill:
+			kill()
+		case corpus.StepQuarantine:
+			if inst.Guard != nil {
+				if g := inst.Guard(); g.Enabled() {
+					plan.Note(chaos.PointLifecycle, "quarantine", "forced quarantine (scripted)")
+					g.Quarantine(st.Class, "scripted: forced by corpus scenario")
+				}
+			}
+		case corpus.StepIdle:
+			// the settle below is the step
+		}
+		clock.Advance(st.Settle)
+		for _, f := range st.Expect {
+			expected[f.Name] = f
+		}
+		if crashed() {
+			break steps
+		}
+		if res.Invariant == "" {
+			if errs := oracle.CheckInvariants([]*app.Process{proc}, invCfg); len(errs) > 0 {
+				res.Invariant = fmt.Sprintf("step %d (%s): %v", i, st.Kind, errs[0])
+			}
+		}
+		// Scheduled fault actions at edge i, in canonical action order.
+		for _, slot := range sched {
+			if slot.Edge != i {
+				continue
+			}
+			switch slot.Action {
+			case ActConfig:
+				plan.Note(chaos.PointConfig, "configChange", "extra change (scripted)")
+				sys.PushConfiguration(sys.GlobalConfig().Rotated())
+			case ActAsync:
+				plan.Note(chaos.PointAsync, "drain", fmt.Sprintf("forced drain %v (scripted)", asyncDrain))
+				clock.Advance(asyncDrain)
+			case ActKill:
+				kill()
+			case ActFlush:
+				plan.AddDirective(chaos.Directive{
+					Point: chaos.PointMigration, Label: "flush", Delay: 300 * time.Millisecond,
+				})
+			}
+			if crashed() {
+				break steps
+			}
+		}
+	}
+
+	clock.Advance(4 * time.Second)
+	crashed()
+	if !res.Crashed {
+		if res.Invariant == "" {
+			if errs := oracle.CheckInvariants([]*app.Process{proc}, invCfg); len(errs) > 0 {
+				res.Invariant = fmt.Sprintf("final: %v", errs[0])
+			}
+		}
+		if fg := proc.Thread().ForegroundActivity(); fg != nil {
+			res.Essence = oracle.Essence(fg) + " cfg:" + fg.Config().String()
+			res.Actual = sc.Probe(fg)
+			sort.Slice(res.Actual, func(i, j int) bool { return res.Actual[i].Name < res.Actual[j].Name })
+		} else {
+			res.FinalMissing = true
+		}
+	}
+	for _, f := range expected {
+		res.Expected = append(res.Expected, f)
+	}
+	sort.Slice(res.Expected, func(i, j int) bool { return res.Expected[i].Name < res.Expected[j].Name })
+	if !res.Crashed && !res.FinalMissing {
+		res.Losses = oracle.ClassifyLoss(res.Expected, res.Actual)
+	}
+
+	hs := sys.HandlingTimes()
+	res.Handlings = len(hs)
+	for i, d := range hs {
+		if d <= 0 || d > time.Second {
+			res.HandlingViolation = fmt.Sprintf("handling %d took %v, want (0, 1s]", i, d)
+			break
+		}
+	}
+	inj := plan.Injections()
+	res.Injections = len(inj)
+	if len(inj) > 0 {
+		res.FirstInjectionAt = inj[0].At
+	}
+	if inst.Guard != nil {
+		if g := inst.Guard(); g.Enabled() {
+			res.Guard = oracle.GuardSummary{
+				Enabled:           true,
+				ANRs:              g.ANRs(),
+				Retries:           g.Retries(),
+				TransferFailures:  g.TransferFailures(),
+				Quarantines:       g.Quarantines(),
+				Recoveries:        g.Recoveries(),
+				BreakerOpens:      g.BreakerOpens(),
+				SelfCheckFailures: g.SelfCheckFailures(),
+				FirstQuarantineAt: g.FirstQuarantineAt(),
+				Modes:             g.Modes(),
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,311 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"rchdroid/internal/oracle"
+	"rchdroid/internal/oracle/corpus"
+	"rchdroid/internal/sweep"
+)
+
+// Verdict is the differential comparison for one schedule index.
+type Verdict struct {
+	Scenario string
+	Index    uint64
+	Schedule Schedule
+	Stock    RunResult
+	RCH      RunResult
+	Failures []string
+}
+
+// OK reports whether the schedule's divergences all classified cleanly.
+func (v *Verdict) OK() bool { return len(v.Failures) == 0 }
+
+// Summary renders the deterministic one-line verdict the sweep engine
+// merges: index first (the replay key), then the schedule and both
+// runs' observables. No wall times, no worker identity.
+func (v *Verdict) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "idx=%d sched=%s stock[crashed=%v loss=%d] rch[crashed=%v applied=%d handlings=%d inj=%d]",
+		v.Index, v.Schedule, v.Stock.Crashed, len(v.Stock.Losses),
+		v.RCH.Crashed, v.RCH.Applied, v.RCH.Handlings, v.RCH.Injections)
+	if len(v.Stock.Losses) > 0 {
+		fmt.Fprintf(&sb, " stockLoss{%s}", oracle.FormatTally(oracle.TallyLosses(v.Stock.Losses)))
+	}
+	if g := v.RCH.Guard; g.Enabled {
+		fmt.Fprintf(&sb, " guard[quarantines=%d recoveries=%d]", g.Quarantines, g.Recoveries)
+	}
+	return sb.String()
+}
+
+// String renders the verdict with its failure lines.
+func (v *Verdict) String() string {
+	var sb strings.Builder
+	sb.WriteString(v.Summary())
+	for _, f := range v.Failures {
+		fmt.Fprintf(&sb, "\n  FAIL: %s", f)
+	}
+	return sb.String()
+}
+
+// judge asserts the explorer's transparency-and-classification contract:
+//
+//	RCHDroid absolutes — crash-free, invariant-clean, no state loss in
+//	any bucket (including the buckets stock legitimately loses), kills
+//	never drop saved-bucket state, handling times in bounds. A
+//	quarantined run degrades to stock semantics, so its losses are
+//	judged against the scenario's declared stock buckets instead.
+//
+//	Stock classification — a crash must be declared (StockMayCrash) and
+//	every loss must land in a declared bucket; anything else is an
+//	unclassified divergence, which is exactly what the corpus gate
+//	exists to catch.
+//
+//	Differential — when both runs survive and captured identical kill
+//	bundles, the stock-persisted essence must be identical.
+func (v *Verdict) judge(sc *corpus.Scenario) {
+	fail := func(format string, args ...any) {
+		v.Failures = append(v.Failures, fmt.Sprintf(format, args...))
+	}
+
+	r := &v.RCH
+	quarantined := r.Guard.Enabled && r.Guard.Quarantines > 0
+	if r.Crashed {
+		fail("%s crashed: %s", r.Name, r.CrashCause)
+	}
+	if r.Invariant != "" {
+		fail("%s invariant: %s", r.Name, r.Invariant)
+	}
+	if r.FinalMissing {
+		fail("%s: no foreground activity at end of scenario", r.Name)
+	}
+	for _, l := range r.KillLosses {
+		fail("%s: kill dropped saved state: %s", r.Name, l)
+	}
+	for _, l := range r.Losses {
+		switch {
+		case quarantined && sc.MayLose(l.Bucket):
+			// Stock-routed changes lose exactly what stock loses.
+		case quarantined:
+			fail("%s: quarantined loss outside declared buckets: %s", r.Name, l)
+		case sc.MayLoseRCH(l.Bucket):
+			// Declared best-effort bucket (unserialized instance fields).
+		default:
+			fail("%s lost user state: %s", r.Name, l)
+		}
+	}
+	if r.HandlingViolation != "" && !(r.Guard.Enabled && r.Guard.ANRs > 0) {
+		fail("%s: %s", r.Name, r.HandlingViolation)
+	}
+	if r.Guard.Enabled {
+		if quarantined {
+			if r.Injections == 0 {
+				fail("%s: quarantined with no injected fault", r.Name)
+			} else if r.Guard.FirstQuarantineAt < r.FirstInjectionAt {
+				fail("%s: first quarantine at %v precedes first injection at %v",
+					r.Name, r.Guard.FirstQuarantineAt, r.FirstInjectionAt)
+			}
+		}
+		if r.Guard.BreakerOpens > 0 && r.Injections == 0 {
+			fail("%s: breaker opened with no injected fault", r.Name)
+		}
+		if r.Guard.SelfCheckFailures > 0 && r.Injections == 0 {
+			fail("%s: self-check failed with no injected fault", r.Name)
+		}
+	}
+
+	s := &v.Stock
+	if s.Crashed && !sc.StockMayCrash {
+		fail("%s: undeclared crash: %s", s.Name, s.CrashCause)
+	}
+	for _, l := range s.KillLosses {
+		fail("%s: kill dropped saved state: %s", s.Name, l)
+	}
+	if !s.Crashed {
+		if s.Invariant != "" {
+			fail("%s invariant: %s", s.Name, s.Invariant)
+		}
+		if s.HandlingViolation != "" {
+			fail("%s: %s", s.Name, s.HandlingViolation)
+		}
+		if s.FinalMissing {
+			fail("%s: no foreground activity at end of scenario", s.Name)
+		}
+		for _, l := range s.Losses {
+			if !sc.MayLose(l.Bucket) {
+				fail("%s: unclassified loss: %s", s.Name, l)
+			}
+		}
+		sameKills := len(s.KillStates) == len(r.KillStates)
+		for i := 0; sameKills && i < len(s.KillStates); i++ {
+			sameKills = s.KillStates[i] == r.KillStates[i]
+		}
+		if !s.FinalMissing && !r.Crashed && !r.FinalMissing && sameKills && s.Essence != r.Essence {
+			fail("essence diverged:\n    %s: %s\n    %s: %s", s.Name, s.Essence, r.Name, r.Essence)
+		}
+	}
+}
+
+// InstallerFor builds a fresh default installer for the scenario:
+// supervised RCHDroid for guarded scenarios, plain RCHDroid otherwise.
+// Installers are stateful (the guard getter), so every run needs its
+// own — never share one across workers.
+func InstallerFor(sc *corpus.Scenario) oracle.Installer {
+	if sc.Guarded {
+		return sweep.GuardedInstaller()
+	}
+	return sweep.RCHInstaller()
+}
+
+// RunIndexWith runs schedule idx of the space under stock and under the
+// given RCHDroid installer, and judges the pair.
+func RunIndexWith(sc *corpus.Scenario, sp Space, idx uint64, rch oracle.Installer) Verdict {
+	sched := sp.At(idx)
+	v := Verdict{Scenario: sc.Name, Index: idx, Schedule: sched}
+	v.Stock = runScenario(sc, sched, oracle.Installer{Name: "Android-10"})
+	v.RCH = runScenario(sc, sched, rch)
+	v.judge(sc)
+	return v
+}
+
+// RunIndex is RunIndexWith under the scenario's default installer.
+func RunIndex(sc *corpus.Scenario, sp Space, idx uint64) Verdict {
+	return RunIndexWith(sc, sp, idx, InstallerFor(sc))
+}
+
+// ReplayFor is the printf format (one %d verb: the schedule index) that
+// reproduces one schedule of a scenario.
+func ReplayFor(sc *corpus.Scenario, depth int) string {
+	return fmt.Sprintf("go run ./cmd/rchexplore -scenario=%s -depth=%d -schedule=", sc.Name, depth) + "%d"
+}
+
+// Options configures an exploration.
+type Options struct {
+	// Depth bounds the schedule size (number of injected faults per run).
+	Depth int
+	// Workers sizes the sweep pool; ≤ 0 means GOMAXPROCS.
+	Workers int
+	// Start is the first schedule index (inclusive); Count bounds how
+	// many to run (≤ 0 means through the end of the space). Together they
+	// chunk a large space across invocations, with Frontier carrying the
+	// resume point.
+	Start uint64
+	Count int
+	// Installer overrides the per-run RCHDroid installer factory (ablation
+	// studies run deliberately broken builds through the same oracle).
+	Installer func() oracle.Installer
+}
+
+// Result is one explored chunk of a scenario's schedule space.
+type Result struct {
+	Scenario string
+	Space    Space
+	Report   *sweep.Report
+	// StockCrashes counts schedules whose stock run died (declared or
+	// not); StockLossTally buckets every stock loss across the chunk.
+	StockCrashes   int
+	StockLossTally [oracle.NumLossBuckets]int
+}
+
+// OK reports whether every schedule in the chunk passed.
+func (r *Result) OK() bool { return r.Report.OK() }
+
+// Next returns the first index after the chunk (== Space.Size() when
+// the scenario is fully explored).
+func (r *Result) Next() uint64 { return r.Report.Start + uint64(r.Report.Count) }
+
+// String renders the canonical chunk report: header, failing schedules
+// with replay lines, and the classification tallies. Byte-identical at
+// any worker count.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "explore scenario=%s depth=%d slots=%d space=%d ran=%d..%d\n",
+		r.Scenario, r.Space.Depth, r.Space.Slots(), r.Space.Size(),
+		r.Report.Start, r.Next()-1)
+	if out := r.Report.FailureOutput(); out != "" {
+		sb.WriteString(out)
+	} else {
+		sb.WriteString(r.Report.Tally())
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "stock crashes: %d\n", r.StockCrashes)
+	fmt.Fprintf(&sb, "stock-loss tally: %s\n", oracle.FormatTally(r.StockLossTally))
+	return sb.String()
+}
+
+// Explore fans one chunk of the scenario's schedule space across the
+// sweep pool. Results merge under the sweep engine's byte-identical
+// contract: per-index side observations are written to index-owned
+// slots, so the tallies are the same at any worker count.
+func Explore(sc *corpus.Scenario, opts Options) *Result {
+	sp := SpaceFor(sc, opts.Depth)
+	size := sp.Size()
+	start := opts.Start
+	if start > size {
+		start = size
+	}
+	count := uint64(opts.Count)
+	if opts.Count <= 0 || count > size-start {
+		count = size - start
+	}
+	factory := opts.Installer
+	if factory == nil {
+		factory = func() oracle.Installer { return InstallerFor(sc) }
+	}
+	crashes := make([]bool, count)
+	tallies := make([][oracle.NumLossBuckets]int, count)
+	rep := sweep.Run(sweep.Config{
+		Mode:      "explore:" + sc.Name,
+		Start:     start,
+		ZeroBased: true,
+		Count:     int(count),
+		Workers:   opts.Workers,
+		Replay:    ReplayFor(sc, opts.Depth),
+	}, func(idx uint64) sweep.Outcome {
+		v := RunIndexWith(sc, sp, idx, factory())
+		i := idx - start
+		crashes[i] = v.Stock.Crashed
+		tallies[i] = oracle.TallyLosses(v.Stock.Losses)
+		return sweep.Outcome{OK: v.OK(), Detail: v.Summary(), Failures: v.Failures}
+	})
+	res := &Result{Scenario: sc.Name, Space: sp, Report: rep}
+	for i := range crashes {
+		if crashes[i] {
+			res.StockCrashes++
+		}
+		for b, n := range tallies[i] {
+			res.StockLossTally[b] += n
+		}
+	}
+	return res
+}
+
+// Frontier is the resumable exploration checkpoint: how far into the
+// space a scenario has been enumerated. Chunked invocations write it
+// after each chunk and resume from Next.
+type Frontier struct {
+	Scenario string `json:"scenario"`
+	Depth    int    `json:"depth"`
+	Total    uint64 `json:"total"`
+	Next     uint64 `json:"next"`
+}
+
+// Done reports whether the space is fully enumerated.
+func (f *Frontier) Done() bool { return f.Next >= f.Total }
+
+// EncodeFrontier renders the checkpoint as JSON.
+func EncodeFrontier(f Frontier) []byte {
+	b, _ := json.MarshalIndent(f, "", "  ")
+	return append(b, '\n')
+}
+
+// DecodeFrontier parses a checkpoint.
+func DecodeFrontier(b []byte) (Frontier, error) {
+	var f Frontier
+	if err := json.Unmarshal(b, &f); err != nil {
+		return Frontier{}, fmt.Errorf("explore: bad frontier: %v", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,66 @@
+package explore
+
+import (
+	"testing"
+)
+
+// FuzzScheduleEnumerate drives the combinadic enumeration with arbitrary
+// space shapes and indices: every decoded schedule must be duplicate-free,
+// within the depth bound, inside the slot grid, and must rank back to the
+// index it was decoded from — and decoding must be a pure function of
+// (space, index), byte-identical across calls.
+func FuzzScheduleEnumerate(f *testing.F) {
+	f.Add(uint8(10), uint8(2), uint64(0), true)
+	f.Add(uint8(9), uint8(1), uint64(16), false)
+	f.Add(uint8(1), uint8(0), uint64(0), true)
+	f.Add(uint8(12), uint8(3), uint64(987654), true)
+	f.Fuzz(func(t *testing.T, edges, depth uint8, idx uint64, withKill bool) {
+		e := int(edges%12) + 1
+		d := int(depth % 4)
+		actions := []Action{ActConfig, ActAsync, ActFlush}
+		if withKill {
+			actions = append(actions, ActKill)
+		}
+		sp := Space{Edges: e, Actions: actions, Depth: d}
+		size := sp.Size()
+		idx %= size
+
+		sched := sp.At(idx)
+		if len(sched) > d {
+			t.Fatalf("At(%d) = %s: %d slots exceeds depth %d", idx, sched, len(sched), d)
+		}
+		seen := make(map[Slot]bool, len(sched))
+		for i, sl := range sched {
+			if sl.Edge < 0 || sl.Edge >= e {
+				t.Fatalf("At(%d) slot %s: edge outside grid of %d", idx, sl, e)
+			}
+			if sp.slotRank(sl) < 0 {
+				t.Fatalf("At(%d) slot %s: action outside grid", idx, sl)
+			}
+			if seen[sl] {
+				t.Fatalf("At(%d) = %s: duplicate slot %s", idx, sched, sl)
+			}
+			seen[sl] = true
+			if i > 0 {
+				prev, cur := sp.slotRank(sched[i-1]), sp.slotRank(sl)
+				if prev >= cur {
+					t.Fatalf("At(%d) = %s: slots out of canonical order", idx, sched)
+				}
+			}
+		}
+		back, ok := sp.IndexOf(sched)
+		if !ok || back != idx {
+			t.Fatalf("IndexOf(At(%d)) = (%d, %v), want round trip", idx, back, ok)
+		}
+		if again := sp.At(idx); again.String() != sched.String() {
+			t.Fatalf("At(%d) unstable: %s then %s", idx, sched, again)
+		}
+		parsed, err := sp.ParseSchedule(sched.String())
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", sched.String(), err)
+		}
+		if pb, ok := sp.IndexOf(parsed); !ok || pb != idx {
+			t.Fatalf("parse round trip of At(%d) ranked to (%d, %v)", idx, pb, ok)
+		}
+	})
+}

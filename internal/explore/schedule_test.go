@@ -1,0 +1,155 @@
+package explore
+
+import (
+	"sort"
+	"testing"
+
+	"rchdroid/internal/oracle/corpus"
+)
+
+// spaces under test: vary grid shape and depth, including a NoKill
+// action set and a depth larger than the grid.
+func testSpaces() []Space {
+	return []Space{
+		{Edges: 3, Actions: []Action{ActConfig, ActAsync, ActKill, ActFlush}, Depth: 0},
+		{Edges: 4, Actions: []Action{ActConfig, ActAsync, ActKill, ActFlush}, Depth: 1},
+		{Edges: 5, Actions: []Action{ActConfig, ActAsync, ActFlush}, Depth: 2},
+		{Edges: 3, Actions: []Action{ActConfig, ActKill}, Depth: 3},
+		{Edges: 2, Actions: []Action{ActConfig}, Depth: 5}, // depth > slots
+	}
+}
+
+// refCount enumerates the space by brute force — every subset of the
+// slot grid up to Depth, generated bit-mask style — as an independent
+// check on Size and the combinadic walk.
+func refCount(sp Space) uint64 {
+	n := sp.Slots()
+	var count uint64
+	for mask := 0; mask < 1<<n; mask++ {
+		bits := 0
+		for m := mask; m != 0; m >>= 1 {
+			bits += m & 1
+		}
+		if bits <= sp.Depth {
+			count++
+		}
+	}
+	return count
+}
+
+func TestSpaceCompleteAgainstReferenceCounter(t *testing.T) {
+	for _, sp := range testSpaces() {
+		if got, want := sp.Size(), refCount(sp); got != want {
+			t.Errorf("space %+v: Size = %d, brute-force count = %d", sp, got, want)
+		}
+	}
+}
+
+func TestEnumerationDuplicateFreeAndCanonical(t *testing.T) {
+	for _, sp := range testSpaces() {
+		seen := make(map[string]uint64)
+		prevSize := -1
+		for idx := uint64(0); idx < sp.Size(); idx++ {
+			sched := sp.At(idx)
+			if len(sched) > sp.Depth {
+				t.Fatalf("space %+v idx %d: %d slots exceeds depth %d", sp, idx, len(sched), sp.Depth)
+			}
+			if !sort.SliceIsSorted(sched, func(i, j int) bool {
+				if sched[i].Edge != sched[j].Edge {
+					return sched[i].Edge < sched[j].Edge
+				}
+				return sched[i].Action < sched[j].Action
+			}) {
+				t.Fatalf("space %+v idx %d: schedule %s not in slot order", sp, idx, sched)
+			}
+			if len(sched) < prevSize {
+				t.Fatalf("space %+v idx %d: size %d after size %d — canonical order is by subset size",
+					sp, idx, len(sched), prevSize)
+			}
+			prevSize = len(sched)
+			key := sched.String()
+			if dup, ok := seen[key]; ok {
+				t.Fatalf("space %+v: indices %d and %d both map to %s", sp, dup, idx, key)
+			}
+			seen[key] = idx
+			back, ok := sp.IndexOf(sched)
+			if !ok || back != idx {
+				t.Fatalf("space %+v: IndexOf(At(%d)) = (%d, %v)", sp, idx, back, ok)
+			}
+		}
+		if uint64(len(seen)) != sp.Size() {
+			t.Errorf("space %+v: enumerated %d distinct schedules, Size says %d", sp, len(seen), sp.Size())
+		}
+		if sp.At(0).String() != "[]" {
+			t.Errorf("space %+v: index 0 = %s, want the empty schedule", sp, sp.At(0))
+		}
+	}
+}
+
+func TestEnumerationByteIdenticalAcrossRuns(t *testing.T) {
+	sc, _ := corpus.ByName("kill-resume")
+	sp := SpaceFor(&sc, 2)
+	render := func() string {
+		out := ""
+		for idx := uint64(0); idx < sp.Size(); idx++ {
+			out += sp.At(idx).String() + "\n"
+		}
+		return out
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatal("two enumerations of the same space rendered different bytes")
+	}
+}
+
+func TestIndexOfRejectsMalformedSchedules(t *testing.T) {
+	sp := Space{Edges: 3, Actions: []Action{ActConfig, ActAsync}, Depth: 2}
+	cases := []struct {
+		name  string
+		sched Schedule
+	}{
+		{"duplicate slot", Schedule{{0, ActConfig}, {0, ActConfig}}},
+		{"edge out of range", Schedule{{3, ActConfig}}},
+		{"negative edge", Schedule{{-1, ActConfig}}},
+		{"action not in grid", Schedule{{0, ActKill}}},
+		{"over depth", Schedule{{0, ActConfig}, {1, ActConfig}, {2, ActConfig}}},
+	}
+	for _, tc := range cases {
+		if idx, ok := sp.IndexOf(tc.sched); ok {
+			t.Errorf("%s: IndexOf(%s) accepted as %d", tc.name, tc.sched, idx)
+		}
+	}
+}
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	sc, _ := corpus.ByName("double-rotation")
+	sp := SpaceFor(&sc, 2)
+	for _, idx := range []uint64{0, 1, sp.Size() / 2, sp.Size() - 1} {
+		sched := sp.At(idx)
+		parsed, err := sp.ParseSchedule(sched.String())
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", sched.String(), err)
+		}
+		back, ok := sp.IndexOf(parsed)
+		if !ok || back != idx {
+			t.Fatalf("parse round trip of %s: IndexOf = (%d, %v), want %d", sched, back, ok, idx)
+		}
+	}
+	if _, err := sp.ParseSchedule("[e0:explode]"); err == nil {
+		t.Error("ParseSchedule accepted an unknown action")
+	}
+}
+
+func TestSpaceForHonorsNoKill(t *testing.T) {
+	for _, sc := range corpus.All() {
+		sp := SpaceFor(&sc, 1)
+		hasKill := false
+		for _, a := range sp.Actions {
+			if a == ActKill {
+				hasKill = true
+			}
+		}
+		if hasKill == sc.NoKill {
+			t.Errorf("%s: NoKill=%v but kill-in-grid=%v", sc.Name, sc.NoKill, hasKill)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"rchdroid/internal/app"
+)
+
+// LossBucket locates where a lost piece of user state lived, following
+// the Data Loss Detector taxonomy: view-held vs non-view state, crossed
+// with whether the stock saved-instance-state contract covers it. The
+// bucket is what turns "the runs diverged" into "the handler dropped
+// non-view state the app never saved" — the report a data-loss study
+// needs.
+type LossBucket int
+
+const (
+	// LossViewSaved — widget state the stock contract persists (EditText
+	// text and cursor, CheckBox checked). Losing it means the
+	// save/restore path itself broke.
+	LossViewSaved LossBucket = iota
+	// LossViewUnsaved — widget state stock Android drops on restart
+	// (SeekBar progress, list selection, programmatic TextView text).
+	LossViewUnsaved
+	// LossNonViewSaved — activity-private state the app persists through
+	// onSaveInstanceState.
+	LossNonViewSaved
+	// LossNonViewUnsaved — in-memory activity state (extras, fields)
+	// never written to any bundle.
+	LossNonViewUnsaved
+
+	NumLossBuckets
+)
+
+// String names the bucket for reports.
+func (b LossBucket) String() string {
+	switch b {
+	case LossViewSaved:
+		return "view/saved"
+	case LossViewUnsaved:
+		return "view/unsaved"
+	case LossNonViewSaved:
+		return "nonview/saved"
+	case LossNonViewUnsaved:
+		return "nonview/unsaved"
+	}
+	return fmt.Sprintf("bucket(%d)", int(b))
+}
+
+// Field is one probed piece of user state with its taxonomy coordinates.
+// Scenario probes (internal/oracle/corpus) return the foreground
+// instance's state as a field list; the classifier diffs two lists.
+type Field struct {
+	// Name identifies the field; multi-activity scenarios prefix it with
+	// the owning class ("Compose.text") so expectations stay per-class.
+	Name string
+	// Value is the field's rendered value (comparison is string equality).
+	Value string
+	// View marks state held by a widget rather than the activity.
+	View bool
+	// Saved marks state the stock saved-instance-state path carries.
+	Saved bool
+}
+
+// Bucket returns the taxonomy bucket the field's loss would land in.
+func (f Field) Bucket() LossBucket {
+	switch {
+	case f.View && f.Saved:
+		return LossViewSaved
+	case f.View:
+		return LossViewUnsaved
+	case f.Saved:
+		return LossNonViewSaved
+	}
+	return LossNonViewUnsaved
+}
+
+// Loss is one classified divergence between expected and actual state.
+type Loss struct {
+	Field    string
+	Bucket   LossBucket
+	Expected string
+	Actual   string
+}
+
+// String renders the loss for failure output and replay logs.
+func (l Loss) String() string {
+	return fmt.Sprintf("%s [%s]: want %q, got %q", l.Field, l.Bucket, l.Expected, l.Actual)
+}
+
+// ClassifyLoss diffs two probes field by field. Fields are matched by
+// name, order-independently; a field present in expected but absent from
+// actual is a loss with Actual "<absent>". Fields only present in actual
+// are ignored — state that appeared is not state that was lost. Losses
+// come back sorted by field name, so reports are deterministic.
+func ClassifyLoss(expected, actual []Field) []Loss {
+	got := make(map[string]Field, len(actual))
+	for _, f := range actual {
+		got[f.Name] = f
+	}
+	var losses []Loss
+	for _, want := range expected {
+		have, ok := got[want.Name]
+		switch {
+		case !ok:
+			losses = append(losses, Loss{Field: want.Name, Bucket: want.Bucket(),
+				Expected: want.Value, Actual: "<absent>"})
+		case have.Value != want.Value:
+			losses = append(losses, Loss{Field: want.Name, Bucket: want.Bucket(),
+				Expected: want.Value, Actual: have.Value})
+		}
+	}
+	sort.Slice(losses, func(i, j int) bool { return losses[i].Field < losses[j].Field })
+	return losses
+}
+
+// TallyLosses counts losses per bucket.
+func TallyLosses(losses []Loss) [NumLossBuckets]int {
+	var t [NumLossBuckets]int
+	for _, l := range losses {
+		if l.Bucket >= 0 && l.Bucket < NumLossBuckets {
+			t[l.Bucket]++
+		}
+	}
+	return t
+}
+
+// FormatTally renders a bucket tally in canonical bucket order.
+func FormatTally(t [NumLossBuckets]int) string {
+	s := ""
+	for b := LossBucket(0); b < NumLossBuckets; b++ {
+		if b > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", b, t[b])
+	}
+	return s
+}
+
+// Essence exposes the oracle's stock-persistence fingerprint (the
+// onSaveInstanceState bundle plus the view-tree shape) so the
+// schedule-space explorer can reuse the exact same cross-handler
+// equality the seeded oracle judges with.
+func Essence(a *app.Activity) string { return essenceOf(a) }

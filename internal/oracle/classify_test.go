@@ -1,0 +1,130 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFieldBucket(t *testing.T) {
+	cases := []struct {
+		view, saved bool
+		want        LossBucket
+	}{
+		{true, true, LossViewSaved},
+		{true, false, LossViewUnsaved},
+		{false, true, LossNonViewSaved},
+		{false, false, LossNonViewUnsaved},
+	}
+	for _, c := range cases {
+		f := Field{Name: "x", View: c.view, Saved: c.saved}
+		if got := f.Bucket(); got != c.want {
+			t.Errorf("Field{View:%v Saved:%v}.Bucket() = %s, want %s", c.view, c.saved, got, c.want)
+		}
+	}
+}
+
+func TestLossBucketString(t *testing.T) {
+	for b := LossBucket(0); b < NumLossBuckets; b++ {
+		if s := b.String(); strings.HasPrefix(s, "bucket(") {
+			t.Errorf("bucket %d has no name", int(b))
+		}
+	}
+	if s := LossBucket(99).String(); s != "bucket(99)" {
+		t.Errorf("out-of-range bucket renders %q", s)
+	}
+}
+
+func TestClassifyLoss(t *testing.T) {
+	expected := []Field{
+		{Name: "Editor.text", Value: "draft", View: true, Saved: true},
+		{Name: "Editor.seek", Value: "42", View: true},
+		{Name: "Editor.extra", Value: "7"},
+	}
+
+	t.Run("identical probes lose nothing", func(t *testing.T) {
+		if losses := ClassifyLoss(expected, expected); len(losses) != 0 {
+			t.Fatalf("identical probes classified %d losses: %v", len(losses), losses)
+		}
+	})
+
+	t.Run("order independent", func(t *testing.T) {
+		reordered := []Field{expected[2], expected[0], expected[1]}
+		if losses := ClassifyLoss(expected, reordered); len(losses) != 0 {
+			t.Fatalf("reordered actual classified %d losses: %v", len(losses), losses)
+		}
+	})
+
+	t.Run("missing field is an <absent> loss in its bucket", func(t *testing.T) {
+		actual := []Field{expected[0], expected[2]} // seek dropped
+		losses := ClassifyLoss(expected, actual)
+		if len(losses) != 1 {
+			t.Fatalf("got %d losses, want 1: %v", len(losses), losses)
+		}
+		l := losses[0]
+		if l.Field != "Editor.seek" || l.Bucket != LossViewUnsaved || l.Actual != "<absent>" || l.Expected != "42" {
+			t.Errorf("absent field misclassified: %+v", l)
+		}
+	})
+
+	t.Run("changed value is a loss with both values", func(t *testing.T) {
+		actual := []Field{
+			{Name: "Editor.text", Value: "", View: true, Saved: true},
+			expected[1], expected[2],
+		}
+		losses := ClassifyLoss(expected, actual)
+		if len(losses) != 1 {
+			t.Fatalf("got %d losses, want 1: %v", len(losses), losses)
+		}
+		l := losses[0]
+		if l.Bucket != LossViewSaved || l.Expected != "draft" || l.Actual != "" {
+			t.Errorf("changed field misclassified: %+v", l)
+		}
+		if s := l.String(); !strings.Contains(s, "view/saved") || !strings.Contains(s, `"draft"`) {
+			t.Errorf("Loss.String() missing bucket or value: %q", s)
+		}
+	})
+
+	t.Run("extra actual fields are not losses", func(t *testing.T) {
+		actual := append([]Field{{Name: "Editor.new", Value: "x"}}, expected...)
+		if losses := ClassifyLoss(expected, actual); len(losses) != 0 {
+			t.Fatalf("appeared state classified as loss: %v", losses)
+		}
+	})
+
+	t.Run("losses come back sorted by field name", func(t *testing.T) {
+		losses := ClassifyLoss(expected, nil) // everything absent
+		if len(losses) != len(expected) {
+			t.Fatalf("got %d losses, want %d", len(losses), len(expected))
+		}
+		for i := 1; i < len(losses); i++ {
+			if losses[i-1].Field > losses[i].Field {
+				t.Fatalf("losses unsorted: %v", losses)
+			}
+		}
+	})
+
+	t.Run("empty expected never loses", func(t *testing.T) {
+		if losses := ClassifyLoss(nil, expected); len(losses) != 0 {
+			t.Fatalf("empty expectation classified losses: %v", losses)
+		}
+	})
+}
+
+func TestTallyAndFormat(t *testing.T) {
+	losses := []Loss{
+		{Field: "a", Bucket: LossViewSaved},
+		{Field: "b", Bucket: LossNonViewUnsaved},
+		{Field: "c", Bucket: LossNonViewUnsaved},
+		{Field: "d", Bucket: LossBucket(99)}, // out of range: dropped, not a panic
+	}
+	tally := TallyLosses(losses)
+	want := [NumLossBuckets]int{}
+	want[LossViewSaved] = 1
+	want[LossNonViewUnsaved] = 2
+	if tally != want {
+		t.Fatalf("TallyLosses = %v, want %v", tally, want)
+	}
+	if s := FormatTally(tally); s != "view/saved=1 view/unsaved=0 nonview/saved=0 nonview/unsaved=2" {
+		t.Errorf("FormatTally = %q", s)
+	}
+}

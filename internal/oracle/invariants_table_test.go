@@ -1,0 +1,218 @@
+package oracle_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"rchdroid/internal/app"
+	"rchdroid/internal/atms"
+	"rchdroid/internal/bundle"
+	"rchdroid/internal/core"
+	"rchdroid/internal/costmodel"
+	"rchdroid/internal/oracle"
+	"rchdroid/internal/resources"
+	"rchdroid/internal/sim"
+	"rchdroid/internal/view"
+)
+
+// invWorld is one booted mini-system the invariant table cases mutate.
+type invWorld struct {
+	sched *sim.Scheduler
+	sys   *atms.ATMS
+	proc  *app.Process
+	token int
+}
+
+func invApp() *app.App {
+	res := resources.NewTable()
+	res.PutDefault("layout/main", view.Linear(1, view.Text(2, "x")))
+	cls := &app.ActivityClass{Name: "Main"}
+	cls.Callbacks.OnCreate = func(a *app.Activity, saved *bundle.Bundle) {
+		a.SetContentView("layout/main")
+	}
+	return &app.App{Name: "invariants", Resources: res, Main: cls}
+}
+
+// bootInvWorld boots a system and, unless bare, launches the app's main
+// activity and settles it into the resumed state.
+func bootInvWorld(t *testing.T, bare bool) *invWorld {
+	t.Helper()
+	sched := sim.NewScheduler()
+	model := costmodel.Default()
+	sys := atms.New(sched, model)
+	proc := app.NewProcess(sched, model, invApp())
+	w := &invWorld{sched: sched, sys: sys, proc: proc}
+	if !bare {
+		w.token = sys.LaunchApp(proc)
+		sched.Advance(time.Second)
+	}
+	return w
+}
+
+// TestCheckInvariantsTable drives CheckInvariants through the edge
+// cases the seeded sweeps rarely sample: processes with no activities,
+// the empty back stack mid-flip (shadow present, nothing visible),
+// crashed processes, and deliberately violated bounds.
+func TestCheckInvariantsTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   oracle.InvariantConfig
+		build func(t *testing.T) *invWorld
+		// want are substrings that must each match exactly one error;
+		// empty means the world must check clean.
+		want []string
+	}{
+		{
+			name:  "zero-activity process is clean",
+			cfg:   oracle.InvariantConfig{CheckMemoryFloor: true},
+			build: func(t *testing.T) *invWorld { return bootInvWorld(t, true) },
+		},
+		{
+			name: "resumed single activity is clean",
+			cfg:  oracle.InvariantConfig{MaxInstancesPerProcess: 2, CheckMemoryFloor: true},
+			build: func(t *testing.T) *invWorld {
+				return bootInvWorld(t, false)
+			},
+		},
+		{
+			name: "empty back stack at flip is legal",
+			cfg:  oracle.InvariantConfig{MaxInstancesPerProcess: 2},
+			build: func(t *testing.T) *invWorld {
+				// Mid-flip instant: the outgoing instance has entered the
+				// shadow state and the incoming sunny instance does not
+				// exist yet — nothing is visible, and that is not a
+				// violation (the screen is mid-transition, not stuck).
+				w := bootInvWorld(t, false)
+				w.proc.Thread().Activity(w.token).EnterShadow(w.sched.Now())
+				return w
+			},
+		},
+		{
+			name: "crashed process reports the crash and skips instance checks",
+			cfg:  oracle.InvariantConfig{MaxInstancesPerProcess: 1},
+			build: func(t *testing.T) *invWorld {
+				// The tracked-but-now-meaningless instance table must not
+				// produce secondary errors once the process is dead.
+				w := bootInvWorld(t, false)
+				w.proc.Thread().PerformLaunch(w.proc.App().Main, w.token+1,
+					w.sys.GlobalConfig(), app.LaunchOptions{})
+				w.sched.Advance(time.Second)
+				w.proc.Crash(errors.New("boom"))
+				return w
+			},
+			want: []string{"crashed"},
+		},
+		{
+			name: "two shadow instances violate the single-shadow rule",
+			cfg:  oracle.InvariantConfig{},
+			build: func(t *testing.T) *invWorld {
+				w := bootInvWorld(t, false)
+				th := w.proc.Thread()
+				th.PerformLaunch(w.proc.App().Main, w.token+1, w.sys.GlobalConfig(), app.LaunchOptions{})
+				w.sched.Advance(time.Second)
+				th.Activity(w.token).EnterShadow(w.sched.Now())
+				th.Activity(w.token + 1).EnterShadow(w.sched.Now())
+				return w
+			},
+			want: []string{"shadow instances"},
+		},
+		{
+			name: "two visible activities violate the default bound",
+			cfg:  oracle.InvariantConfig{},
+			build: func(t *testing.T) *invWorld {
+				w := bootInvWorld(t, false)
+				w.proc.Thread().PerformLaunch(w.proc.App().Main, w.token+1,
+					w.sys.GlobalConfig(), app.LaunchOptions{})
+				w.sched.Advance(time.Second)
+				return w
+			},
+			want: []string{"visible activities system-wide"},
+		},
+		{
+			name: "MaxVisible relaxes the bound for stretched transitions",
+			cfg:  oracle.InvariantConfig{MaxVisible: 2},
+			build: func(t *testing.T) *invWorld {
+				w := bootInvWorld(t, false)
+				w.proc.Thread().PerformLaunch(w.proc.App().Main, w.token+1,
+					w.sys.GlobalConfig(), app.LaunchOptions{})
+				w.sched.Advance(time.Second)
+				return w
+			},
+		},
+		{
+			name: "instance-count bound",
+			cfg:  oracle.InvariantConfig{MaxInstancesPerProcess: 2, MaxVisible: 3},
+			build: func(t *testing.T) *invWorld {
+				w := bootInvWorld(t, false)
+				th := w.proc.Thread()
+				th.PerformLaunch(w.proc.App().Main, w.token+1, w.sys.GlobalConfig(), app.LaunchOptions{})
+				th.PerformLaunch(w.proc.App().Main, w.token+2, w.sys.GlobalConfig(), app.LaunchOptions{})
+				w.sched.Advance(time.Second)
+				return w
+			},
+			want: []string{"tracks 3 instances"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := tc.build(t)
+			errs := oracle.CheckInvariants([]*app.Process{w.proc}, tc.cfg)
+			if len(errs) != len(tc.want) {
+				t.Fatalf("got %d errors %v, want %d", len(errs), errs, len(tc.want))
+			}
+			for i, sub := range tc.want {
+				if !strings.Contains(errs[i].Error(), sub) {
+					t.Errorf("error %d = %q, want substring %q", i, errs[i], sub)
+				}
+			}
+		})
+	}
+}
+
+// TestInvariantsHoldAtEveryInstant steps the virtual clock in 1ms
+// increments across back-to-back handlings and checks the invariants at
+// every instant. Stock must be clean at every sample — this pins the
+// mid-relaunch window that used to expose a destroyed instance in the
+// thread table between the teardown and the replacement's create. The
+// RCHDroid coin flip has one declared transient (the requester enters
+// the shadow state before the old shadow flips back, so two shadows
+// briefly coexist); any other violation is fatal, and the transient
+// must have resolved by the time the handling settles.
+func TestInvariantsHoldAtEveryInstant(t *testing.T) {
+	for _, mode := range []string{"stock", "rchdroid"} {
+		t.Run(mode, func(t *testing.T) {
+			sched := sim.NewScheduler()
+			model := costmodel.Default()
+			sys := atms.New(sched, model)
+			proc := app.NewProcess(sched, model, invApp())
+			if mode == "rchdroid" {
+				core.Install(sys, proc, core.Options{})
+			}
+			sys.LaunchApp(proc)
+			sched.Advance(time.Second)
+
+			cfg := oracle.InvariantConfig{MaxInstancesPerProcess: 2, CheckMemoryFloor: true}
+			check := func(when string, allowFlipTransient bool) {
+				t.Helper()
+				for _, err := range oracle.CheckInvariants([]*app.Process{proc}, cfg) {
+					if allowFlipTransient && strings.Contains(err.Error(), "shadow instances") {
+						continue
+					}
+					t.Fatalf("%s at %v: %v", when, sched.Now(), err)
+				}
+			}
+			check("before change", false)
+			for round := 0; round < 2; round++ {
+				sys.PushConfiguration(sys.GlobalConfig().Rotated())
+				for i := 0; i < 3000; i++ {
+					sched.Advance(time.Millisecond)
+					check("mid-handling", mode == "rchdroid")
+				}
+				check("settled", false)
+			}
+		})
+	}
+}

@@ -41,8 +41,12 @@ type Config struct {
 	// Mode labels the sweep in reports ("oracle", "guard", "monkey", …).
 	Mode string
 	// Start is the first seed, inclusive (0 means 1 — seed 0 is the
-	// chaos layer's "off" value).
+	// chaos layer's "off" value — unless ZeroBased is set).
 	Start uint64
+	// ZeroBased keeps Start == 0 as a real first index instead of
+	// coercing it to 1. Schedule-space exploration uses it: index 0 is
+	// the empty (fault-free) schedule, not an "off" sentinel.
+	ZeroBased bool
 	// Count is how many consecutive seeds to run.
 	Count int
 	// Workers sizes the pool; ≤ 0 means GOMAXPROCS. The pool is capped
@@ -82,7 +86,7 @@ type Report struct {
 // the merge is free and the output order is the seed order by
 // construction.
 func Run(cfg Config, fn Runner) *Report {
-	if cfg.Start == 0 {
+	if cfg.Start == 0 && !cfg.ZeroBased {
 		cfg.Start = 1
 	}
 	if cfg.Count < 0 {

@@ -72,6 +72,9 @@ go run ./cmd/rchsweep -mode=oracle -seeds=64 -crosscheck
 echo "==> guarded chaos sweep (1024 seeds, parallel engine)"
 go run ./cmd/rchsweep -mode=guard -seeds=1024 -trace-on-fail
 
+echo "==> schedule-space exploration gate (corpus, depth 2, exhaustive)"
+go run ./cmd/rchexplore -depth=2
+
 echo "==> guard counterfactual + replay determinism"
 go test ./internal/oracle -run 'TestGuardSavesRawFailures|TestGuardDeterministic' -count=1
 
