@@ -16,6 +16,8 @@
 //	rchexplore -scenario=backstack -depth=1 -schedule=16  # replay one index
 //	rchexplore -scenario=kill-resume -depth=2 -chunk=500 -checkpoint=f.json
 //	                                                    # resumable chunked walk
+//	rchexplore -depth=2 -progress=1s -metrics-out=artifacts/metrics.explore.json
+//	rchexplore -depth=2 -profile-cpu=artifacts/explore.cpu.pprof
 package main
 
 import (
@@ -23,10 +25,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"rchdroid/internal/explore"
+	"rchdroid/internal/obs"
 	"rchdroid/internal/oracle/corpus"
 )
 
@@ -45,6 +49,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checkpoint := fs.String("checkpoint", "", "frontier file for resumable chunked exploration (single -scenario)")
 	chunk := fs.Int("chunk", 0, "schedules per invocation when checkpointing (0 = the whole space)")
 	verbose := fs.Bool("v", false, "print every schedule's verdict, not just failures")
+	progress := fs.Duration("progress", 0, "print a live progress line to stderr at this interval (0 = off)")
+	metricsOut := fs.String("metrics-out", "", "write the canonical (sim-domain) metrics dump as JSON to this file")
+	metricsProm := fs.String("metrics-prom", "", "write the full metrics dump (sim + wall) in Prometheus text format to this file")
+	profileCPU := fs.String("profile-cpu", "", "write a CPU profile of the exploration to this file")
+	profileHeap := fs.String("profile-heap", "", "write a heap profile after the exploration to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -81,13 +90,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *profileCPU != "" {
+		stop, err := obs.StartCPUProfile(*profileCPU)
+		if err != nil {
+			fmt.Fprintf(stderr, "rchexplore: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(stderr, "rchexplore: cpu profile: %v\n", err)
+			}
+		}()
+	}
+
+	// One registry across the scenario loop: counters accumulate, so the
+	// dump covers the whole invocation and the progress line tracks total
+	// schedules across scenarios.
+	reg := obs.NewRegistry()
+	total := 0
+	for i := range scenarios {
+		sp := explore.SpaceFor(&scenarios[i], *depth)
+		n := sp.Size()
+		if *chunk > 0 && uint64(*chunk) < n {
+			n = uint64(*chunk)
+		}
+		total += int(n)
+	}
+	prog := obs.StartProgress(stderr, "schedules", total, *progress, func() (int64, int64) {
+		done := reg.CounterValue("sweep_seeds_total")
+		failed := reg.CounterValue("sweep_seed_failures_total") + reg.CounterValue("sweep_seed_panics_total")
+		return done, failed
+	})
+
 	code := 0
 	for i := range scenarios {
 		sc := &scenarios[i]
-		opts := explore.Options{Depth: *depth, Workers: *workers, Count: *chunk}
+		opts := explore.Options{Depth: *depth, Workers: *workers, Count: *chunk, Obs: reg}
 		if *checkpoint != "" {
 			start, err := resumeFrom(*checkpoint, sc, *depth)
 			if err != nil {
+				prog.Stop()
 				fmt.Fprintf(stderr, "rchexplore: %v\n", err)
 				return 2
 			}
@@ -106,6 +148,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *checkpoint != "" {
 			f := explore.Frontier{Scenario: sc.Name, Depth: *depth, Total: res.Space.Size(), Next: res.Next()}
 			if err := os.WriteFile(*checkpoint, explore.EncodeFrontier(f), 0o644); err != nil {
+				prog.Stop()
 				fmt.Fprintf(stderr, "rchexplore: write checkpoint: %v\n", err)
 				return 2
 			}
@@ -119,7 +162,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 			code = 1
 		}
 	}
+	prog.Stop()
+
+	snap := reg.Snapshot()
+	if *metricsOut != "" {
+		if err := writeFileMaybeMkdir(*metricsOut, snap.MarshalCanonical()); err != nil {
+			fmt.Fprintf(stderr, "rchexplore: metrics-out: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "rchexplore: canonical metrics written to %s\n", *metricsOut)
+	}
+	if *metricsProm != "" {
+		if err := writeFileMaybeMkdir(*metricsProm, []byte(snap.PromText())); err != nil {
+			fmt.Fprintf(stderr, "rchexplore: metrics-prom: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "rchexplore: prometheus metrics written to %s\n", *metricsProm)
+	}
+	if *profileHeap != "" {
+		if err := obs.WriteHeapProfile(*profileHeap); err != nil {
+			fmt.Fprintf(stderr, "rchexplore: heap profile: %v\n", err)
+			return 1
+		}
+	}
 	return code
+}
+
+func writeFileMaybeMkdir(path string, data []byte) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // selectScenarios resolves the -scenario flag against the corpus.

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"rchdroid/internal/explore"
+	"rchdroid/internal/obs"
 	"rchdroid/internal/oracle/corpus"
 )
 
@@ -125,5 +126,44 @@ func TestCheckpointResume(t *testing.T) {
 	// reused.
 	if code, _, stderr := runCLI("-scenario=kill-resume", "-depth=1", "-chunk=3", "-checkpoint="+ckpt); code != 2 {
 		t.Errorf("mismatched checkpoint accepted (exit %d, stderr %q)", code, stderr)
+	}
+}
+
+// TestExploreMetricsOut runs a small walk with the observability flags:
+// the canonical dump must decode, carry the explorer's counters and
+// frontier gauge, and exclude every wall-domain metric.
+func TestExploreMetricsOut(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	code, _, stderr := runCLI("-scenario=backstack", "-depth=1", "-progress=10ms", "-metrics-out="+metrics)
+	if code != 0 {
+		t.Fatalf("explore exited %d\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "progress: ") {
+		t.Fatalf("no progress line on stderr:\n%s", stderr)
+	}
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatalf("metrics dump does not decode: %v", err)
+	}
+	byName := map[string]int64{}
+	for _, m := range snap.Metrics {
+		if m.Domain == obs.Wall.String() {
+			t.Fatalf("wall-domain metric %s leaked into the canonical dump", m.Name)
+		}
+		byName[m.Name] = m.Value
+	}
+	if byName["explore_schedules_total"] == 0 {
+		t.Fatalf("explore_schedules_total missing or zero: %v", byName)
+	}
+	if _, ok := byName["explore_schedule_failures_total"]; !ok {
+		t.Fatalf("explore_schedule_failures_total not defined: %v", byName)
+	}
+	if next, ok := byName["explore_frontier_next"]; !ok || next == 0 {
+		t.Fatalf("explore_frontier_next missing or zero: %v", byName)
 	}
 }

@@ -1,11 +1,14 @@
 // Command rchreport regenerates the entire evaluation and writes it as a
 // single markdown document — the machine-produced companion to
-// EXPERIMENTS.md.
+// EXPERIMENTS.md. With -metrics it instead renders a metrics dump
+// (written by rchsweep/rchexplore -metrics-out) as a human-readable
+// summary table.
 //
 // Usage:
 //
-//	rchreport                 # write to stdout
-//	rchreport -o report.md    # write to a file
+//	rchreport                                # write the evaluation to stdout
+//	rchreport -o report.md                   # write the evaluation to a file
+//	rchreport -metrics artifacts/metrics.oracle.json   # render a metrics dump
 package main
 
 import (
@@ -14,10 +17,12 @@ import (
 	"os"
 
 	"rchdroid/internal/experiments"
+	"rchdroid/internal/obs"
 )
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	metrics := flag.String("metrics", "", "render this metrics JSON dump as a summary table instead of regenerating the evaluation")
 	flag.Parse()
 
 	w := os.Stdout
@@ -30,7 +35,19 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := experiments.WriteMarkdownReport(w, experiments.AllResults()); err != nil {
+	if *metrics != "" {
+		raw, err := os.ReadFile(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rchreport: %v\n", err)
+			os.Exit(1)
+		}
+		snap, err := obs.DecodeSnapshot(raw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rchreport: %s: %v\n", *metrics, err)
+			os.Exit(1)
+		}
+		fmt.Fprint(w, snap.Table())
+	} else if err := experiments.WriteMarkdownReport(w, experiments.AllResults()); err != nil {
 		fmt.Fprintf(os.Stderr, "rchreport: %v\n", err)
 		os.Exit(1)
 	}

@@ -11,7 +11,9 @@
 //	rchsweep -mode=guard -seeds=1024            # guarded-chaos sweep
 //	rchsweep -mode=monkey -seeds=54             # monkey×chaos TP-27 stress
 //	rchsweep -mode=oracle -seeds=64 -crosscheck # byte-compare workers=1 vs workers=N
-//	rchsweep -bench -mode=oracle,guard -seeds=256 -bench-out BENCH_sweep.json
+//	rchsweep -mode=oracle -seeds=512 -progress=1s -metrics-out=artifacts/metrics.json
+//	rchsweep -mode=oracle -seeds=512 -min-seeds-per-sec=250 -profile-cpu=artifacts/cpu.pprof
+//	rchsweep -bench -mode=oracle,guard -seeds=256 -bench-workers=1,2,4,8,0 -bench-out BENCH_sweep.json
 package main
 
 import (
@@ -21,11 +23,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"rchdroid/internal/chaos"
+	"rchdroid/internal/obs"
 	"rchdroid/internal/oracle"
 	"rchdroid/internal/sweep"
 )
@@ -62,9 +65,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	verbose := fs.Bool("v", false, "print the full merged report, not just failures")
 	asJSON := fs.Bool("json", false, "emit the merged report as JSON")
-	crosscheck := fs.Bool("crosscheck", false, "run the range at -workers=1 and -workers=N and require byte-identical reports")
+	crosscheck := fs.Bool("crosscheck", false, "run the range at -workers=1 and -workers=N and require byte-identical reports and canonical metric dumps")
 	traceOnFail := fs.Bool("trace-on-fail", false, "write each failing seed's RCHDroid-side trace to ./artifacts/ (oracle and guard modes)")
-	bench := fs.Bool("bench", false, "measure sequential vs parallel throughput instead of sweeping")
+	progress := fs.Duration("progress", 0, "print a live progress line to stderr at this interval (0 = off)")
+	metricsOut := fs.String("metrics-out", "", "write the canonical (sim-domain) metrics dump as JSON to this file")
+	metricsProm := fs.String("metrics-prom", "", "write the full metrics dump (sim + wall) in Prometheus text format to this file")
+	profileCPU := fs.String("profile-cpu", "", "write a CPU profile of the sweep to this file")
+	profileHeap := fs.String("profile-heap", "", "write a heap profile after the sweep to this file")
+	minRate := fs.Float64("min-seeds-per-sec", 0, "fail (exit 1) if sweep throughput drops below this floor (0 = no floor)")
+	bench := fs.Bool("bench", false, "measure the worker scaling curve instead of sweeping")
+	benchWorkers := fs.String("bench-workers", "1,0", "with -bench: comma list of worker counts to measure (0 = GOMAXPROCS)")
 	benchOut := fs.String("bench-out", "", "with -bench: write the JSON artifact here instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -75,7 +85,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *bench {
-		return runBench(*mode, *seeds, *workers, *benchOut, stdout, stderr)
+		counts, err := parseWorkerList(*benchWorkers)
+		if err != nil {
+			fmt.Fprintf(stderr, "rchsweep: -bench-workers: %v\n", err)
+			return 2
+		}
+		return runBench(*mode, *seeds, counts, *benchOut, stdout, stderr)
 	}
 
 	fn, replay, err := sweep.ForMode(*mode)
@@ -83,21 +98,74 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rchsweep: %v\n", err)
 		return 2
 	}
-	cfg := sweep.Config{Mode: *mode, Start: *start, Count: *seeds, Workers: *workers, Replay: replay}
-	rep := sweep.Run(cfg, fn)
+
+	if *profileCPU != "" {
+		stop, err := obs.StartCPUProfile(*profileCPU)
+		if err != nil {
+			fmt.Fprintf(stderr, "rchsweep: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(stderr, "rchsweep: cpu profile: %v\n", err)
+			}
+		}()
+	}
+
+	reg := obs.NewRegistry()
+	cfg := sweep.Config{Mode: *mode, Start: *start, Count: *seeds, Workers: *workers, Replay: replay, Obs: reg}
+	prog := obs.StartProgress(stderr, "seeds", *seeds, *progress, func() (int64, int64) {
+		done := reg.CounterValue("sweep_seeds_total")
+		failed := reg.CounterValue("sweep_seed_failures_total") + reg.CounterValue("sweep_seed_panics_total")
+		return done, failed
+	})
+	rep := sweep.RunObs(cfg, fn)
+	prog.Stop()
+	rate := seedsPerSec(rep)
 	fmt.Fprintf(stderr, "rchsweep: mode=%s seeds=%d workers=%d elapsed=%v (%.0f seeds/sec)\n",
-		rep.Mode, rep.Count, rep.Workers, rep.Elapsed.Round(time.Millisecond), seedsPerSec(rep))
+		rep.Mode, rep.Count, rep.Workers, rep.Elapsed.Round(time.Millisecond), rate)
+
+	snap := reg.Snapshot()
+	if *metricsOut != "" {
+		if err := writeFileMaybeMkdir(*metricsOut, snap.MarshalCanonical()); err != nil {
+			fmt.Fprintf(stderr, "rchsweep: metrics-out: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "rchsweep: canonical metrics written to %s\n", *metricsOut)
+	}
+	if *metricsProm != "" {
+		if err := writeFileMaybeMkdir(*metricsProm, []byte(snap.PromText())); err != nil {
+			fmt.Fprintf(stderr, "rchsweep: metrics-prom: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "rchsweep: prometheus metrics written to %s\n", *metricsProm)
+	}
+	if *profileHeap != "" {
+		if err := obs.WriteHeapProfile(*profileHeap); err != nil {
+			fmt.Fprintf(stderr, "rchsweep: heap profile: %v\n", err)
+			return 1
+		}
+	}
 
 	if *crosscheck {
-		cfg.Workers = 1
-		seq := sweep.Run(cfg, fn)
+		reg1 := obs.NewRegistry()
+		cfg1 := cfg
+		cfg1.Workers = 1
+		cfg1.Obs = reg1
+		seq := sweep.RunObs(cfg1, fn)
 		fmt.Fprintf(stderr, "rchsweep: crosscheck sequential elapsed=%v\n", seq.Elapsed.Round(time.Millisecond))
 		if seq.String() != rep.String() || seq.FailureOutput() != rep.FailureOutput() {
 			fmt.Fprintf(stderr, "rchsweep: DETERMINISM VIOLATION: workers=1 and workers=%d reports differ\n--- sequential\n%s--- parallel\n%s",
 				rep.Workers, seq.String(), rep.String())
 			return 1
 		}
-		fmt.Fprintf(stderr, "rchsweep: crosscheck ok: workers=1 and workers=%d reports byte-identical\n", rep.Workers)
+		seqCanon, parCanon := reg1.Snapshot().MarshalCanonical(), snap.MarshalCanonical()
+		if string(seqCanon) != string(parCanon) {
+			fmt.Fprintf(stderr, "rchsweep: DETERMINISM VIOLATION: workers=1 and workers=%d canonical metric dumps differ\n--- sequential\n%s\n--- parallel\n%s\n",
+				rep.Workers, seqCanon, parCanon)
+			return 1
+		}
+		fmt.Fprintf(stderr, "rchsweep: crosscheck ok: workers=1 and workers=%d reports and canonical metrics byte-identical\n", rep.Workers)
 	}
 
 	switch {
@@ -127,6 +195,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 1
 	}
+	if *minRate > 0 && rate < *minRate {
+		fmt.Fprintf(stderr, "rchsweep: THROUGHPUT FLOOR VIOLATION: %.0f seeds/sec < floor %.0f\n", rate, *minRate)
+		return 1
+	}
 	return 0
 }
 
@@ -135,6 +207,36 @@ func seedsPerSec(rep *sweep.Report) float64 {
 		return 0
 	}
 	return float64(rep.Count) / rep.Elapsed.Seconds()
+}
+
+// parseWorkerList parses "1,2,4,0" into worker counts (0 = GOMAXPROCS,
+// resolved downstream by the bench).
+func parseWorkerList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty worker list")
+	}
+	return out, nil
+}
+
+func writeFileMaybeMkdir(path string, data []byte) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func writeJSON(w io.Writer, rep *sweep.Report) error {
@@ -183,34 +285,36 @@ func writeFailureTrace(stderr io.Writer, mode string, seed uint64) {
 	fmt.Fprintf(stderr, "rchsweep: trace-on-fail seed %d: %v\n", seed, err)
 }
 
-// runBench measures the listed modes and writes the BENCH_sweep.json
-// artifact: seeds/sec sequential vs parallel, speedup, and per-seed
-// p50/p95 wall time.
-func runBench(modes string, seeds, workers int, outPath string, stdout, stderr io.Writer) int {
+// runBench measures the listed modes across the worker-count curve and
+// writes the BENCH_sweep.json artifact: seeds/sec and per-seed p50/p95
+// wall time per point, with GOMAXPROCS recorded on every measurement.
+func runBench(modes string, seeds int, workerCounts []int, outPath string, stdout, stderr io.Writer) int {
 	file := sweep.BenchFile{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Generated: time.Now().UTC().Format(time.RFC3339),
 	}
 	for _, mode := range strings.Split(modes, ",") {
 		mode = strings.TrimSpace(mode)
 		if mode == "" {
 			continue
 		}
-		b, err := sweep.RunBench(mode, seeds, workers)
+		b, err := sweep.RunBench(mode, seeds, workerCounts)
 		if err != nil {
 			fmt.Fprintf(stderr, "rchsweep: bench %s: %v\n", mode, err)
 			return 2
 		}
-		fmt.Fprintf(stderr, "rchsweep: bench %s: %.0f seeds/sec sequential, %.0f parallel (×%.2f, %d workers), identical=%v\n",
-			mode, b.SeqSeedsPerSec, b.ParSeedsPerSec, b.Speedup, b.WorkersParallel, b.ReportsIdentical)
-		if !b.ReportsIdentical {
-			fmt.Fprintf(stderr, "rchsweep: bench %s: DETERMINISM VIOLATION: sequential and parallel reports differ\n", mode)
-			return 1
-		}
-		if b.Failures > 0 {
-			fmt.Fprintf(stderr, "rchsweep: bench %s: sweep failed %d seeds; run `rchsweep -mode=%s -seeds=%d` for the replay lines\n",
-				mode, b.Failures, mode, seeds)
-			return 1
+		for _, m := range b.Curve {
+			fmt.Fprintf(stderr, "rchsweep: bench %s: workers=%d gomaxprocs=%d %.0f seeds/sec (×%.2f) report_identical=%v metrics_identical=%v\n",
+				mode, m.Workers, m.GOMAXPROCS, m.SeedsPerSec, m.Speedup, m.ReportIdentical, m.MetricsIdentical)
+			if !m.ReportIdentical || !m.MetricsIdentical {
+				fmt.Fprintf(stderr, "rchsweep: bench %s: DETERMINISM VIOLATION at workers=%d (report_identical=%v metrics_identical=%v)\n",
+					mode, m.Workers, m.ReportIdentical, m.MetricsIdentical)
+				return 1
+			}
+			if m.Failures > 0 {
+				fmt.Fprintf(stderr, "rchsweep: bench %s: sweep failed %d seeds; run `rchsweep -mode=%s -seeds=%d` for the replay lines\n",
+					mode, m.Failures, mode, seeds)
+				return 1
+			}
 		}
 		file.Benches = append(file.Benches, b)
 	}

@@ -2,8 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"rchdroid/internal/obs"
+	"rchdroid/internal/sweep"
 )
 
 // TestExitCodes pins the ci.sh contract: clean sweeps exit 0, usage
@@ -53,5 +59,121 @@ func TestJSONOutput(t *testing.T) {
 	}
 	if strings.Contains(s, "elapsed") || strings.Contains(s, "workers") {
 		t.Fatalf("json report leaks timing/pool fields:\n%s", s)
+	}
+}
+
+// TestMetricsOutAndProfiles runs a sweep with the observability flags
+// armed: the canonical metrics dump must decode and carry the engine
+// counters, the progress line must print, and both pprof artifacts must
+// be non-empty.
+func TestMetricsOutAndProfiles(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	prom := filepath.Join(dir, "m.prom")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	heap := filepath.Join(dir, "heap.pprof")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-mode=oracle", "-seeds=8", "-progress=10ms",
+		"-metrics-out=" + metrics, "-metrics-prom=" + prom,
+		"-profile-cpu=" + cpu, "-profile-heap=" + heap}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("sweep exited %d\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "progress: ") {
+		t.Fatalf("no progress line on stderr:\n%s", errOut.String())
+	}
+
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatalf("metrics dump does not decode: %v", err)
+	}
+	want := map[string]int64{"sweep_seeds_total": 8, "oracle_runs_total": 8, "sweep_seed_failures_total": 0}
+	for _, m := range snap.Metrics {
+		if m.Domain == obs.Wall.String() {
+			t.Fatalf("wall-domain metric %s leaked into the canonical dump", m.Name)
+		}
+		if v, ok := want[m.Name]; ok {
+			if m.Value != v {
+				t.Fatalf("%s = %d, want %d", m.Name, m.Value, v)
+			}
+			delete(want, m.Name)
+		}
+	}
+	if len(want) > 0 {
+		t.Fatalf("canonical dump missing %v", want)
+	}
+
+	promRaw, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(promRaw), `sweep_seed_wall_ns_count{domain="wall"}`) {
+		t.Fatalf("prom text missing wall-domain histogram:\n%s", promRaw)
+	}
+	for _, p := range []string{cpu, heap} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+// TestThroughputFloor pins the -min-seeds-per-sec gate: an absurdly
+// high floor fails the run, a trivial floor passes it.
+func TestThroughputFloor(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-mode=oracle", "-seeds=8", "-min-seeds-per-sec=1e12"}, &out, &errOut); code != 1 {
+		t.Fatalf("unreachable floor exited %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "THROUGHPUT FLOOR VIOLATION") {
+		t.Fatalf("floor violation not reported:\n%s", errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-mode=oracle", "-seeds=8", "-min-seeds-per-sec=0.001"}, &out, &errOut); code != 0 {
+		t.Fatalf("trivial floor exited %d\nstderr:\n%s", code, errOut.String())
+	}
+}
+
+// TestBenchWorkerCurve runs the bench path with an explicit worker
+// list and checks the artifact records the curve with per-measurement
+// GOMAXPROCS.
+func TestBenchWorkerCurve(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "bench.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-bench", "-mode=oracle", "-seeds=8", "-bench-workers=1,2", "-bench-out=" + outPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("bench exited %d\nstderr:\n%s", code, errOut.String())
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file sweep.BenchFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Benches) != 1 || len(file.Benches[0].Curve) != 2 {
+		t.Fatalf("bench artifact shape wrong: %+v", file)
+	}
+	for _, m := range file.Benches[0].Curve {
+		if m.GOMAXPROCS <= 0 {
+			t.Fatalf("measurement missing gomaxprocs: %+v", m)
+		}
+		if !m.ReportIdentical || !m.MetricsIdentical {
+			t.Fatalf("determinism flags not set: %+v", m)
+		}
+	}
+
+	if code := run([]string{"-bench", "-mode=oracle", "-seeds=4", "-bench-workers=nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad -bench-workers exited %d, want 2", code)
 	}
 }

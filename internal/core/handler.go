@@ -83,6 +83,10 @@ type ShadowHandler struct {
 	zombiesReaped    int
 	stockRouted      int
 	supersededRoutes int
+
+	// obs mirrors the counters (plus per-phase sim-duration histograms)
+	// into the aggregate metrics shard; nil handles no-op.
+	obs handlerObs
 }
 
 // NewShadowHandler returns a handler using the given migrator and GC.
@@ -142,6 +146,7 @@ func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activi
 	class := a.Class().Name
 	h.handlingGen++
 	gen := h.handlingGen
+	h.obs.handlings.Inc()
 	if !h.guard.Allow(class) {
 		// Degraded: the guard quarantined this class (or opened the
 		// process breaker), so the change takes the stock restart path.
@@ -194,7 +199,9 @@ func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activi
 			h.migrator.InstallHook(a)
 			h.pendingShadow = a
 			h.changesInFlight++
-			return m.ShadowFlipTransition + extra + h.stallFor("enterShadow(flip)")
+			cost := m.ShadowFlipTransition + extra + h.stallFor("enterShadow(flip)")
+			observePhase(h.obs.phaseEnterShadow, cost)
+			return cost
 		})
 	} else {
 		// A stale shadow instance (configuration mismatch or post-GC
@@ -221,7 +228,9 @@ func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activi
 			h.migrator.InstallHook(a)
 			h.pendingShadow = a
 			h.changesInFlight++
-			return m.ShadowTransition + m.SaveState(n) + extra + h.stallFor("enterShadow")
+			cost := m.ShadowTransition + m.SaveState(n) + extra + h.stallFor("enterShadow")
+			observePhase(h.obs.phaseEnterShadow, cost)
+			return cost
 		})
 	}
 
@@ -264,6 +273,7 @@ func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activi
 // activity next to the one the newer handling produces.
 func (h *ShadowHandler) handleStockRouted(t *app.ActivityThread, a *app.Activity, newCfg config.Configuration, gen int) {
 	h.stockRouted++
+	h.obs.stockRouted.Inc()
 	m := t.Process().Model()
 	class, token := a.Class(), a.Token()
 	var saved *bundle.Bundle
@@ -276,6 +286,7 @@ func (h *ShadowHandler) handleStockRouted(t *app.ActivityThread, a *app.Activity
 		if !counted {
 			counted = true
 			h.supersededRoutes++
+			h.obs.superseded.Inc()
 		}
 		return true
 	}
@@ -359,6 +370,7 @@ func (h *ShadowHandler) reapZombies(t *app.ActivityThread) {
 		if z.AsyncInFlight() == 0 {
 			t.PerformDestroy(z)
 			h.zombiesReaped++
+			h.obs.zombieReaps.Inc()
 			continue
 		}
 		remaining = append(remaining, z)
@@ -375,6 +387,7 @@ func (h *ShadowHandler) Zombies() int { return len(h.zombies) }
 // resume (the handleResumeActivity modification).
 func (h *ShadowHandler) HandleSunnyLaunch(t *app.ActivityThread, class *app.ActivityClass, token int, newCfg config.Configuration) {
 	h.initLaunches++
+	h.obs.initLaunches.Inc()
 	h.guard.ArmPhase(class.Name, "sunnyLaunch")
 	m := t.Process().Model()
 	// Reconcile a mispredicted flip: the thread expected the server to
@@ -411,6 +424,7 @@ func (h *ShadowHandler) HandleSunnyLaunch(t *app.ActivityThread, class *app.Acti
 				cost = m.SunnySetup + m.BuildMappingQuadratic(n)
 			}
 			cost += h.stallFor("buildMapping")
+			observePhase(h.obs.phaseBuildMap, cost)
 			return "rch:buildMapping", cost, func() {
 				if shadow == nil {
 					return
@@ -447,6 +461,7 @@ func (h *ShadowHandler) HandleSunnyLaunch(t *app.ActivityThread, class *app.Acti
 // configuration; no inflation, no restore, no mapping build (§3.4).
 func (h *ShadowHandler) HandleFlip(t *app.ActivityThread, shadowToken int, newCfg config.Configuration) {
 	h.flips++
+	h.obs.flips.Inc()
 	m := t.Process().Model()
 	incoming := t.Activity(shadowToken)
 	if incoming != nil {
@@ -490,14 +505,18 @@ func (h *ShadowHandler) HandleFlip(t *app.ActivityThread, shadowToken int, newCf
 		clearDirtyTree(incoming.Decor())
 		t.SetCurrentShadow(outgoing)
 		t.SetCurrentSunny(incoming)
-		return m.ConfigApply + m.SunnySetup + restoreCost + h.stallFor("flip")
+		cost := m.ConfigApply + m.SunnySetup + restoreCost + h.stallFor("flip")
+		observePhase(h.obs.phaseFlip, cost)
+		return cost
 	})
 	t.RunCharged("rch:flipResume", func() time.Duration {
 		extra := time.Duration(0)
 		if incoming != nil {
 			extra = incoming.Class().ExtraResumeCost
 		}
-		return m.ResumeBase + extra + m.WindowRelayout
+		cost := m.ResumeBase + extra + m.WindowRelayout
+		observePhase(h.obs.phaseFlipResume, cost)
+		return cost
 	})
 	t.RunCharged("rch:flipDone", func() time.Duration {
 		h.settleChange()

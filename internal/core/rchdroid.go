@@ -8,6 +8,7 @@ import (
 	"rchdroid/internal/atms"
 	"rchdroid/internal/chaos"
 	"rchdroid/internal/guard"
+	"rchdroid/internal/obs"
 	"rchdroid/internal/trace"
 	"rchdroid/internal/view"
 )
@@ -50,6 +51,11 @@ type Options struct {
 	// retry, post-flip self-checks, and the per-activity degradation
 	// ladder that falls back to the stock restart path.
 	Guard *guard.Config
+	// Obs, if non-nil, records hot-path metrics (handling counters,
+	// per-phase sim-clock duration histograms, guard decision rates)
+	// into the shard. Observations never advance the sim clock, so an
+	// instrumented run stays tick-identical to an unobserved one.
+	Obs *obs.Shard
 }
 
 // DefaultOptions returns the configuration the paper evaluates.
@@ -86,9 +92,11 @@ func Install(sys *atms.ATMS, proc *app.Process, opts Options) *RCHDroid {
 	handler := NewShadowHandler(migrator, gc)
 	handler.quadraticMapping = opts.QuadraticMapping
 	handler.disableSupersession = opts.DisableSupersession
+	handler.obs = newHandlerObs(opts.Obs)
 	var g *guard.Guard
 	if opts.Guard != nil {
 		g = guard.New(*opts.Guard, proc.Scheduler(), proc, sys)
+		g.SetObs(opts.Obs)
 		handler.guard = g
 	}
 	// policyMismatch is filled by the starter-policy wiring below; the

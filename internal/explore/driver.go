@@ -48,9 +48,12 @@ type RunResult struct {
 	// essence-comparable.
 	KillStates []string
 	// Applied counts script steps that found a foreground target.
-	Applied           int
-	Kills             int
-	Handlings         int
+	Applied   int
+	Kills     int
+	Handlings int
+	// HandlingTimes are the per-handling end-to-end sim-clock durations,
+	// seed... schedule-deterministic, for canonical metric histograms.
+	HandlingTimes     []time.Duration
 	HandlingViolation string
 	Injections        int
 	FirstInjectionAt  sim.Time
@@ -383,6 +386,7 @@ steps:
 
 	hs := sys.HandlingTimes()
 	res.Handlings = len(hs)
+	res.HandlingTimes = append([]time.Duration(nil), hs...)
 	for i, d := range hs {
 		if d <= 0 || d > time.Second {
 			res.HandlingViolation = fmt.Sprintf("handling %d took %v, want (0, 1s]", i, d)

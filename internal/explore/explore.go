@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"rchdroid/internal/obs"
 	"rchdroid/internal/oracle"
 	"rchdroid/internal/oracle/corpus"
 	"rchdroid/internal/sweep"
@@ -153,10 +154,17 @@ func (v *Verdict) judge(sc *corpus.Scenario) {
 // Installers are stateful (the guard getter), so every run needs its
 // own — never share one across workers.
 func InstallerFor(sc *corpus.Scenario) oracle.Installer {
+	return InstallerForObs(sc, nil)
+}
+
+// InstallerForObs is InstallerFor with the worker's metric shard routed
+// into core (and the guard, for guarded scenarios). A nil shard
+// disables observation.
+func InstallerForObs(sc *corpus.Scenario, sh *obs.Shard) oracle.Installer {
 	if sc.Guarded {
-		return sweep.GuardedInstaller()
+		return sweep.GuardedInstallerObs(sh)
 	}
-	return sweep.RCHInstaller()
+	return sweep.RCHInstallerObs(sh)
 }
 
 // RunIndexWith runs schedule idx of the space under stock and under the
@@ -195,7 +203,14 @@ type Options struct {
 	Count int
 	// Installer overrides the per-run RCHDroid installer factory (ablation
 	// studies run deliberately broken builds through the same oracle).
+	// Overridden installers bypass the core-side metric shard wiring.
 	Installer func() oracle.Installer
+	// Obs, when set, collects the exploration's metrics: schedule and
+	// failure counts, stock crash/loss classification tallies, handling
+	// latency histograms, and the frontier gauge. Sim-domain values are
+	// schedule-derived, so the canonical dump is byte-identical at any
+	// worker count.
+	Obs *obs.Registry
 }
 
 // Result is one explored chunk of a scenario's schedule space.
@@ -250,24 +265,26 @@ func Explore(sc *corpus.Scenario, opts Options) *Result {
 	if opts.Count <= 0 || count > size-start {
 		count = size - start
 	}
-	factory := opts.Installer
-	if factory == nil {
-		factory = func() oracle.Installer { return InstallerFor(sc) }
+	factory := func(sh *obs.Shard) oracle.Installer { return InstallerForObs(sc, sh) }
+	if opts.Installer != nil {
+		factory = func(*obs.Shard) oracle.Installer { return opts.Installer() }
 	}
 	crashes := make([]bool, count)
 	tallies := make([][oracle.NumLossBuckets]int, count)
-	rep := sweep.Run(sweep.Config{
+	rep := sweep.RunObs(sweep.Config{
 		Mode:      "explore:" + sc.Name,
 		Start:     start,
 		ZeroBased: true,
 		Count:     int(count),
 		Workers:   opts.Workers,
 		Replay:    ReplayFor(sc, opts.Depth),
-	}, func(idx uint64) sweep.Outcome {
-		v := RunIndexWith(sc, sp, idx, factory())
+		Obs:       opts.Obs,
+	}, func(idx uint64, sh *obs.Shard) sweep.Outcome {
+		v := RunIndexWith(sc, sp, idx, factory(sh))
 		i := idx - start
 		crashes[i] = v.Stock.Crashed
 		tallies[i] = oracle.TallyLosses(v.Stock.Losses)
+		foldVerdict(sh, &v)
 		return sweep.Outcome{OK: v.OK(), Detail: v.Summary(), Failures: v.Failures}
 	})
 	res := &Result{Scenario: sc.Name, Space: sp, Report: rep}
@@ -279,7 +296,51 @@ func Explore(sc *corpus.Scenario, opts Options) *Result {
 			res.StockLossTally[b] += n
 		}
 	}
+	if opts.Obs != nil {
+		sh := opts.Obs.Shard()
+		sh.Gauge("explore_frontier_next", "high-water schedule-space frontier (first unexplored index)", obs.Sim).Set(int64(res.Next()))
+		sh.Gauge("explore_space_size", "total schedule-space size at this depth", obs.Sim).Set(int64(sp.Size()))
+	}
 	return res
+}
+
+// lossMetricNames maps each loss bucket to its counter name once —
+// bucket String() values carry a "/" that metric names must not.
+var lossMetricNames = [oracle.NumLossBuckets]string{}
+
+func init() {
+	for b := oracle.LossBucket(0); b < oracle.NumLossBuckets; b++ {
+		name := strings.NewReplacer("/", "_", "-", "_").Replace(b.String())
+		lossMetricNames[b] = "explore_stock_loss_" + name + "_total"
+	}
+}
+
+// foldVerdict tallies one schedule's verdict into the worker's shard.
+// Every input is schedule-derived (crash flags, loss classifications,
+// sim-clock handling times), so these merge identically at any worker
+// count.
+func foldVerdict(sh *obs.Shard, v *Verdict) {
+	// Failure-class counters are defined unconditionally so a clean walk
+	// still dumps them at zero.
+	sh.Counter("explore_schedules_total", "schedules judged by the explorer", obs.Sim).Inc()
+	failures := sh.Counter("explore_schedule_failures_total", "schedules with at least one contract failure", obs.Sim)
+	stockCrashes := sh.Counter("explore_stock_crashes_total", "schedules whose stock run crashed", obs.Sim)
+	if !v.OK() {
+		failures.Inc()
+	}
+	if v.Stock.Crashed {
+		stockCrashes.Inc()
+	}
+	tally := oracle.TallyLosses(v.Stock.Losses)
+	for b, n := range tally {
+		if n > 0 {
+			sh.Counter(lossMetricNames[b], "stock losses classified into the "+oracle.LossBucket(b).String()+" bucket", obs.Sim).Add(int64(n))
+		}
+	}
+	h := sh.Histogram("core_handling_sim_ns", "end-to-end change-handling sim-clock latency (change at ATMS to resume)", obs.Sim, obs.SimDurationBounds)
+	for _, d := range v.RCH.HandlingTimes {
+		h.ObserveDuration(d)
+	}
 }
 
 // Frontier is the resumable exploration checkpoint: how far into the

@@ -38,6 +38,7 @@ import (
 	"rchdroid/internal/atms"
 	"rchdroid/internal/bundle"
 	"rchdroid/internal/chaos"
+	"rchdroid/internal/obs"
 	"rchdroid/internal/sim"
 	"rchdroid/internal/trace"
 )
@@ -181,6 +182,12 @@ type Guard struct {
 
 	decisions []Decision
 	truncated int
+
+	// obsShard, when set, mirrors every decision kind into an aggregate
+	// metrics counter (guard_<kind>_total). Decisions derive from the
+	// seed alone, so the counters live in the canonical sim domain.
+	obsShard *obs.Shard
+	obsKinds map[string]*obs.Counter
 }
 
 // New returns a guard supervising proc against sys. Either tracer may
@@ -213,9 +220,53 @@ func (g *Guard) entry(class string) *ladder {
 	return l
 }
 
+// SetObs mirrors every future decision into the shard's counters. A
+// nil shard leaves observation off; call before the run starts so the
+// counter set cannot depend on when observation was enabled.
+func (g *Guard) SetObs(sh *obs.Shard) {
+	if g == nil || sh == nil {
+		return
+	}
+	g.obsShard = sh
+	g.obsKinds = make(map[string]*obs.Counter)
+}
+
+// kindMetricName turns a camelCase decision kind into its counter name
+// ("transferFail" → "guard_transfer_fail_total").
+func kindMetricName(kind string) string {
+	var sb strings.Builder
+	sb.WriteString("guard_")
+	for _, r := range kind {
+		if r >= 'A' && r <= 'Z' {
+			sb.WriteByte('_')
+			sb.WriteByte(byte(r - 'A' + 'a'))
+			continue
+		}
+		sb.WriteRune(r)
+	}
+	sb.WriteString("_total")
+	return sb.String()
+}
+
+// observeKind bumps the decision kind's counter; past the decision-log
+// cap the counters keep advancing, like the int counters do.
+func (g *Guard) observeKind(kind string) {
+	if g.obsShard == nil {
+		return
+	}
+	c := g.obsKinds[kind]
+	if c == nil {
+		c = g.obsShard.Counter(kindMetricName(kind), "guard decisions of kind "+kind, obs.Sim)
+		g.obsKinds[kind] = c
+	}
+	c.Inc()
+}
+
 // emit mirrors a decision onto the trace timeline (as a guard-category
-// instant on the app's UI track) and into the bounded decision log.
+// instant on the app's UI track), into the aggregate metrics shard and
+// into the bounded decision log.
 func (g *Guard) emit(kind, class, detail string, args ...trace.Arg) {
+	g.observeKind(kind)
 	if tr, track := g.proc.Thread().Trace(); tr.Enabled() {
 		args = append(args, trace.Arg{Key: "class", Val: class})
 		tr.Instant(track, "guard:"+kind, "guard", args...)

@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	reg := NewRegistry()
+	sh := reg.Shard()
+
+	c := sh.Counter("runs_total", "runs", Sim)
+	c.Inc()
+	c.Add(4)
+	g := sh.Gauge("depth", "max depth", Sim)
+	g.Set(3)
+	g.Set(1) // high-water: must not lower the mark
+	h := sh.Histogram("lat_ns", "latency", Sim, []int64{10, 100})
+	for _, v := range []int64{5, 10, 11, 100, 101, 1000} {
+		h.Observe(v)
+	}
+
+	snap := reg.Snapshot()
+	byName := map[string]Metric{}
+	for _, m := range snap.Metrics {
+		byName[m.Name] = m
+	}
+	if got := byName["runs_total"].Value; got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if got := byName["depth"].Value; got != 3 {
+		t.Errorf("gauge = %d, want 3 (high-water)", got)
+	}
+	hist := byName["lat_ns"].Hist
+	if hist == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	// ≤10 → bucket 0, ≤100 → bucket 1, rest overflow.
+	want := []int64{2, 2, 2}
+	for i, n := range want {
+		if hist.Counts[i] != n {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, hist.Counts[i], n, hist.Counts)
+		}
+	}
+	if hist.Count != 6 || hist.Sum != 5+10+11+100+101+1000 {
+		t.Errorf("count=%d sum=%d, want 6 / 1227", hist.Count, hist.Sum)
+	}
+	if hist.Min != 5 || hist.Max != 1000 {
+		t.Errorf("min=%d max=%d, want 5 / 1000", hist.Min, hist.Max)
+	}
+}
+
+func TestGaugeNegativeValues(t *testing.T) {
+	reg := NewRegistry()
+	sh := reg.Shard()
+	sh.Gauge("below_zero", "", Sim).Set(-7)
+	snap := reg.Snapshot()
+	if got := snap.Metrics[0].Value; got != -7 {
+		t.Errorf("negative-only gauge = %d, want -7", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Hist{
+		Bounds: []int64{10, 20, 30},
+		Counts: []int64{50, 40, 9, 1},
+		Count:  100,
+		Min:    1,
+		Max:    99,
+	}
+	if q := h.Quantile(0.50); q != 10 {
+		t.Errorf("p50 = %d, want 10", q)
+	}
+	if q := h.Quantile(0.90); q != 20 {
+		t.Errorf("p90 = %d, want 20", q)
+	}
+	if q := h.Quantile(0.99); q != 30 {
+		t.Errorf("p99 = %d, want 30", q)
+	}
+	if q := h.Quantile(1.0); q != 99 {
+		t.Errorf("p100 = %d, want Max=99 (overflow bucket)", q)
+	}
+	empty := &Hist{}
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty p50 = %d, want 0", q)
+	}
+}
+
+// TestMergeCommutative is the shard/merge contract: the same
+// observations partitioned across any number of shards, in any
+// interleaving, must merge to byte-identical canonical dumps.
+func TestMergeCommutative(t *testing.T) {
+	type op struct {
+		kind string
+		name string
+		v    int64
+	}
+	rng := rand.New(rand.NewSource(613))
+	var ops []op
+	for i := 0; i < 2000; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			ops = append(ops, op{"c", "events_total", 1 + rng.Int63n(5)})
+		case 1:
+			ops = append(ops, op{"g", "frontier", rng.Int63n(1000)})
+		default:
+			ops = append(ops, op{"h", "lat_ns", rng.Int63n(int64(2 * time.Second))})
+		}
+	}
+	apply := func(sh *Shard, o op) {
+		switch o.kind {
+		case "c":
+			sh.Counter(o.name, "", Sim).Add(o.v)
+		case "g":
+			sh.Gauge(o.name, "", Sim).Set(o.v)
+		case "h":
+			sh.Histogram(o.name, "", Sim, SimDurationBounds).Observe(o.v)
+		}
+	}
+
+	// Reference: everything through one shard, in order.
+	ref := NewRegistry()
+	one := ref.Shard()
+	for _, o := range ops {
+		apply(one, o)
+	}
+	want := ref.Snapshot().MarshalCanonical()
+
+	for _, workers := range []int{2, 3, 8} {
+		reg := NewRegistry()
+		shards := make([]*Shard, workers)
+		for i := range shards {
+			shards[i] = reg.Shard()
+		}
+		// Random partition, concurrent application.
+		var wg sync.WaitGroup
+		perShard := make([][]op, workers)
+		for _, o := range ops {
+			w := rng.Intn(workers)
+			perShard[w] = append(perShard[w], o)
+		}
+		for i := range shards {
+			wg.Add(1)
+			go func(sh *Shard, list []op) {
+				defer wg.Done()
+				for _, o := range list {
+					apply(sh, o)
+				}
+			}(shards[i], perShard[i])
+		}
+		wg.Wait()
+		got := reg.Snapshot().MarshalCanonical()
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: canonical dump differs from single-shard reference\n--- want\n%s--- got\n%s",
+				workers, want, got)
+		}
+	}
+}
+
+func TestWallDomainQuarantine(t *testing.T) {
+	reg := NewRegistry()
+	sh := reg.Shard()
+	sh.Counter("seeds_total", "seeds", Sim).Add(4)
+	sh.Gauge("pool_workers", "workers", Wall).Set(8)
+	sh.Histogram("seed_wall_ns", "wall latency", Wall, WallDurationBounds).Observe(12345)
+
+	snap := reg.Snapshot()
+	canon := string(snap.MarshalCanonical())
+	if strings.Contains(canon, "pool_workers") || strings.Contains(canon, "seed_wall_ns") {
+		t.Errorf("wall-domain metric leaked into canonical dump:\n%s", canon)
+	}
+	if !strings.Contains(canon, "seeds_total") {
+		t.Errorf("sim-domain metric missing from canonical dump:\n%s", canon)
+	}
+	all := string(snap.MarshalAll())
+	prom := snap.PromText()
+	for _, name := range []string{"pool_workers", "seed_wall_ns", "seeds_total"} {
+		if !strings.Contains(all, name) {
+			t.Errorf("full dump missing %s", name)
+		}
+		if !strings.Contains(prom, name) {
+			t.Errorf("prom exposition missing %s", name)
+		}
+	}
+}
+
+func TestPromTextFormat(t *testing.T) {
+	reg := NewRegistry()
+	sh := reg.Shard()
+	sh.Counter("flips_total", "coin flips", Sim).Add(2)
+	sh.Histogram("h_ns", "", Sim, []int64{10}).Observe(7)
+	sh.Histogram("h_ns", "", Sim, []int64{10}).Observe(99)
+
+	prom := reg.Snapshot().PromText()
+	for _, want := range []string{
+		"# HELP flips_total coin flips",
+		"# TYPE flips_total counter",
+		`flips_total{domain="sim"} 2`,
+		"# TYPE h_ns histogram",
+		`h_ns_bucket{domain="sim",le="10"} 1`,
+		`h_ns_bucket{domain="sim",le="+Inf"} 2`,
+		`h_ns_sum{domain="sim"} 106`,
+		`h_ns_count{domain="sim"} 2`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prom exposition missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+func TestSnapshotRoundTripAndTable(t *testing.T) {
+	reg := NewRegistry()
+	sh := reg.Shard()
+	sh.Counter("runs_total", "runs", Sim).Add(3)
+	sh.Histogram("handling_sim_ns", "handling", Sim, SimDurationBounds).
+		ObserveDuration(90 * time.Millisecond)
+	sh.Gauge("workers", "", Wall).Set(4)
+
+	raw := reg.Snapshot().MarshalAll()
+	snap, err := DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if len(snap.Metrics) != 3 {
+		t.Fatalf("round-trip kept %d metrics, want 3", len(snap.Metrics))
+	}
+	table := snap.Table()
+	for _, want := range []string{"runs_total", "handling_sim_ns", "p95=", "wall domain"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	if _, err := DecodeSnapshot([]byte("{")); err == nil {
+		t.Error("DecodeSnapshot accepted truncated input")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	sh := reg.Shard()
+	if sh != nil {
+		t.Fatal("nil registry returned a live shard")
+	}
+	// All of these must no-op, not panic.
+	sh.Counter("x", "", Sim).Inc()
+	sh.Gauge("x", "", Sim).Set(1)
+	sh.Histogram("x", "", Sim, nil).Observe(1)
+	if v := reg.CounterValue("x"); v != 0 {
+		t.Errorf("nil registry CounterValue = %d", v)
+	}
+	if got := reg.Snapshot(); len(got.Metrics) != 0 {
+		t.Errorf("nil registry snapshot has %d metrics", len(got.Metrics))
+	}
+	var p *Progress
+	p.Stop() // no-op
+}
+
+func TestConflictingRedefinitionPanics(t *testing.T) {
+	reg := NewRegistry()
+	sh := reg.Shard()
+	sh.Counter("m", "", Sim)
+	defer func() {
+		if recover() == nil {
+			t.Error("redefining a counter as a gauge did not panic")
+		}
+	}()
+	sh.Gauge("m", "", Sim)
+}
+
+func TestLiveCounterValue(t *testing.T) {
+	reg := NewRegistry()
+	a, b := reg.Shard(), reg.Shard()
+	a.Counter("done", "", Sim).Add(3)
+	b.Counter("done", "", Sim).Add(4)
+	if v := reg.CounterValue("done"); v != 7 {
+		t.Errorf("CounterValue = %d, want 7", v)
+	}
+	if v := reg.CounterValue("absent"); v != 0 {
+		t.Errorf("CounterValue(absent) = %d, want 0", v)
+	}
+}
+
+func TestProgressLines(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	var done atomic.Int64
+	p := StartProgress(w, "seeds", 10, time.Millisecond, func() (int64, int64) {
+		return done.Load(), 1
+	})
+	done.Store(5)
+	time.Sleep(20 * time.Millisecond)
+	done.Store(10)
+	p.Stop()
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "/10 seeds") || !strings.Contains(out, "failures 1") {
+		t.Errorf("progress output missing fields:\n%s", out)
+	}
+	if !strings.Contains(out, "10/10 seeds (100.0%)") {
+		t.Errorf("final progress line missing terminal state:\n%s", out)
+	}
+	if StartProgress(nil, "x", 1, time.Second, nil) != nil {
+		t.Error("StartProgress with nil writer/fn should return nil")
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins a CPU profile into path, creating parent
+// directories as needed, and returns the stop function that finishes
+// the profile and closes the file. The profiling hooks exist so the
+// allocation-reduction work on the per-seed hot path has targets —
+// capture a sweep with -profile-cpu, feed the file to `go tool pprof`.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := createProfileFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: start cpu profile: %v", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile garbage-collects (so the profile reflects live
+// objects, not collectable garbage) and writes the heap profile to
+// path.
+func WriteHeapProfile(path string) error {
+	f, err := createProfileFile(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: write heap profile: %v", err)
+	}
+	return nil
+}
+
+func createProfileFile(path string) (*os.File, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("obs: profile dir: %v", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: profile file: %v", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCPUProfileWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested", "cpu.pprof")
+	stop, err := StartCPUProfile(path)
+	if err != nil {
+		t.Fatalf("StartCPUProfile: %v", err)
+	}
+	// Burn a little CPU so the profile has something to hold.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Error("cpu profile is empty")
+	}
+}
+
+func TestHeapProfileWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.pprof")
+	if err := WriteHeapProfile(path); err != nil {
+		t.Fatalf("WriteHeapProfile: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Error("heap profile is empty")
+	}
+}

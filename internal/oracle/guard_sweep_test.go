@@ -71,7 +71,7 @@ func TestGuardedChaosSweep(t *testing.T) {
 	if testing.Short() && seeds > 64 {
 		seeds = 64
 	}
-	rep := sweep.Run(sweep.Config{
+	rep := sweep.RunObs(sweep.Config{
 		Mode:   "guard",
 		Start:  1,
 		Count:  seeds,

@@ -88,7 +88,12 @@ type RunResult struct {
 	// HandlingViolation is the first out-of-bounds change-handling time.
 	HandlingViolation string
 	Handlings         int
-	Injections        int
+	// HandlingTimes are the per-handling end-to-end sim-clock durations
+	// (config change at the ATMS → resume), in handling order. Sim-clock
+	// values are seed-deterministic, so aggregate consumers may fold
+	// them into canonical metric histograms.
+	HandlingTimes []time.Duration
+	Injections    int
 	// FirstInjectionAt is the virtual time of the first landed fault
 	// (zero when no fault landed).
 	FirstInjectionAt sim.Time
@@ -361,6 +366,7 @@ func runOnce(inst Installer, sc Scenario, opts chaos.Options, tracer *trace.Trac
 	}
 	hs := sys.HandlingTimes()
 	res.Handlings = len(hs)
+	res.HandlingTimes = append([]time.Duration(nil), hs...)
 	for i, d := range hs {
 		if d <= 0 || d > time.Second {
 			res.HandlingViolation = fmt.Sprintf("handling %d took %v, want (0, 1s]", i, d)

@@ -79,7 +79,7 @@ func TestTransparencyOracleSweep(t *testing.T) {
 	if testing.Short() && seeds > 128 {
 		seeds = 128
 	}
-	rep := sweep.Run(sweep.Config{
+	rep := sweep.RunObs(sweep.Config{
 		Mode:   "oracle",
 		Start:  1,
 		Count:  seeds,

@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rchdroid/internal/obs"
 )
 
 // Outcome is what a Runner reports for one seed. Detail and Failures
@@ -35,6 +37,14 @@ type Outcome struct {
 // Runner executes one seeded scenario. It must not share mutable
 // simulation state across calls: each invocation boots its own world.
 type Runner func(seed uint64) Outcome
+
+// ObsRunner is a Runner with a metrics shard: the engine hands each
+// worker its own lock-free shard, and every per-seed observation the
+// runner records must derive from the seed alone — then any
+// seed→worker partition merges to the same canonical aggregate. The
+// shard is nil when the sweep runs without a registry; obs handles
+// no-op on nil.
+type ObsRunner func(seed uint64, sh *obs.Shard) Outcome
 
 // Config describes one sweep.
 type Config struct {
@@ -55,6 +65,13 @@ type Config struct {
 	// Replay is a printf format with one %d verb producing the exact
 	// command that reproduces a failing seed.
 	Replay string
+	// Obs, if non-nil, collects aggregate metrics: the engine gives each
+	// worker a private shard, records per-seed engine metrics itself
+	// (seeds done, failures, panics in the sim domain; per-seed wall
+	// latency quarantined in the wall domain) and passes the shard to
+	// ObsRunner instrumentation. Progress readers may snapshot the
+	// registry live while the sweep runs.
+	Obs *obs.Registry
 }
 
 // SeedResult is the merged record for one seed. Wall and PanicStack are
@@ -86,6 +103,50 @@ type Report struct {
 // the merge is free and the output order is the seed order by
 // construction.
 func Run(cfg Config, fn Runner) *Report {
+	return RunObs(cfg, func(seed uint64, _ *obs.Shard) Outcome { return fn(seed) })
+}
+
+// workerObs is a worker's cached engine-metric handles.
+type workerObs struct {
+	sh       *obs.Shard
+	seeds    *obs.Counter
+	failures *obs.Counter
+	panics   *obs.Counter
+	wall     *obs.Histogram
+}
+
+// newWorkerObs builds one worker's shard and engine handles. Nil-safe:
+// a nil registry yields nil handles that no-op.
+func newWorkerObs(reg *obs.Registry) workerObs {
+	sh := reg.Shard()
+	return workerObs{
+		sh:       sh,
+		seeds:    sh.Counter("sweep_seeds_total", "seeds (or schedule indices) completed", obs.Sim),
+		failures: sh.Counter("sweep_seed_failures_total", "seeds that failed the contract", obs.Sim),
+		panics:   sh.Counter("sweep_seed_panics_total", "recovered worker panics, seed-attributed", obs.Sim),
+		wall:     sh.Histogram("sweep_seed_wall_ns", "per-seed wall latency", obs.Wall, obs.WallDurationBounds),
+	}
+}
+
+// record folds one finished seed into the worker's shard.
+func (w *workerObs) record(res *SeedResult) {
+	if w.sh == nil {
+		return
+	}
+	w.seeds.Inc()
+	if !res.OK {
+		w.failures.Inc()
+	}
+	if res.Panicked {
+		w.panics.Inc()
+	}
+	w.wall.ObserveDuration(res.Wall)
+}
+
+// RunObs is Run with per-worker metrics shards. The merged report AND
+// the canonical metrics snapshot are byte-identical at any worker
+// count: seed results merge by slot, metric shards merge commutatively.
+func RunObs(cfg Config, fn ObsRunner) *Report {
 	if cfg.Start == 0 && !cfg.ZeroBased {
 		cfg.Start = 1
 	}
@@ -117,24 +178,35 @@ func Run(cfg Config, fn Runner) *Report {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wo := newWorkerObs(cfg.Obs)
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(cfg.Count) {
 					return
 				}
-				rep.Results[i] = runSeed(fn, cfg.Start+uint64(i))
+				res := runSeed(fn, cfg.Start+uint64(i), wo.sh)
+				wo.record(&res)
+				rep.Results[i] = res
 			}
 		}()
 	}
 	wg.Wait()
 	rep.Elapsed = time.Since(t0)
+	if cfg.Obs != nil {
+		// Environment bookkeeping lives in the wall domain, quarantined
+		// from the canonical dump the same way the report excludes it.
+		sh := cfg.Obs.Shard()
+		sh.Gauge("sweep_pool_workers", "worker-pool size", obs.Wall).Set(int64(workers))
+		sh.Gauge("sweep_gomaxprocs", "GOMAXPROCS at run time", obs.Wall).Set(int64(runtime.GOMAXPROCS(0)))
+		sh.Gauge("sweep_elapsed_wall_ns", "sweep wall time", obs.Wall).Set(int64(rep.Elapsed))
+	}
 	return rep
 }
 
 // runSeed runs one seed with panic isolation: a panicking runner is
 // recovered, attributed to this seed, and recorded as a failure instead
 // of taking the pool (and the other seeds' results) down with it.
-func runSeed(fn Runner, seed uint64) (res SeedResult) {
+func runSeed(fn ObsRunner, seed uint64, sh *obs.Shard) (res SeedResult) {
 	res.Seed = seed
 	t0 := time.Now()
 	defer func() {
@@ -150,7 +222,7 @@ func runSeed(fn Runner, seed uint64) (res SeedResult) {
 			}
 		}
 	}()
-	res.Outcome = fn(seed)
+	res.Outcome = fn(seed, sh)
 	return
 }
 

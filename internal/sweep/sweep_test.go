@@ -4,13 +4,17 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"rchdroid/internal/obs"
 )
 
 // TestParallelSweepByteIdentical is the engine's core contract: a
 // -workers=8 sweep and a -workers=1 sweep over the same seed range must
-// merge to byte-identical reports, verdict sets, and failure output.
-// It runs in the short suite, so ci.sh's `go test -race -short` is also
-// the tier-1 race-detector pass over a parallel sweep.
+// merge to byte-identical reports, verdict sets, failure output, AND
+// canonical (sim-domain) metric dumps — the registry's shard merge must
+// be invisible at any partition. It runs in the short suite, so ci.sh's
+// `go test -race -short` is also the tier-1 race-detector pass over a
+// parallel sweep with live metric shards.
 func TestParallelSweepByteIdentical(t *testing.T) {
 	for _, mode := range []string{"oracle", "guard"} {
 		t.Run(mode, func(t *testing.T) {
@@ -20,9 +24,13 @@ func TestParallelSweepByteIdentical(t *testing.T) {
 			}
 			cfg := Config{Mode: mode, Start: 1, Count: 24, Replay: replay}
 			cfg.Workers = 1
-			seq := Run(cfg, fn)
+			seqReg := obs.NewRegistry()
+			cfg.Obs = seqReg
+			seq := RunObs(cfg, fn)
 			cfg.Workers = 8
-			par := Run(cfg, fn)
+			parReg := obs.NewRegistry()
+			cfg.Obs = parReg
+			par := RunObs(cfg, fn)
 			if par.Workers != 8 {
 				t.Fatalf("parallel run used %d workers, want 8", par.Workers)
 			}
@@ -37,13 +45,25 @@ func TestParallelSweepByteIdentical(t *testing.T) {
 			if !par.OK() {
 				t.Fatalf("sweep failed:\n%s", par.FailureOutput())
 			}
+			seqCanon := string(seqReg.Snapshot().MarshalCanonical())
+			parCanon := string(parReg.Snapshot().MarshalCanonical())
+			if seqCanon != parCanon {
+				t.Fatalf("canonical metric dumps differ between -workers=1 and -workers=8:\n--- sequential\n%s\n--- parallel\n%s",
+					seqCanon, parCanon)
+			}
+			if seqReg.CounterValue("sweep_seeds_total") != 24 {
+				t.Fatalf("sweep_seeds_total = %d, want 24", seqReg.CounterValue("sweep_seeds_total"))
+			}
+			if seqReg.CounterValue("oracle_runs_total") != 24 {
+				t.Fatalf("oracle_runs_total = %d, want 24", seqReg.CounterValue("oracle_runs_total"))
+			}
 		})
 	}
 }
 
 // TestMonkeyModeParallel smoke-tests the third mode: a parallel
 // monkey×chaos sweep over a few TP-27 models comes back clean and
-// byte-identical to its sequential twin.
+// byte-identical to its sequential twin, canonical metrics included.
 func TestMonkeyModeParallel(t *testing.T) {
 	fn, replay, err := ForMode("monkey")
 	if err != nil {
@@ -51,14 +71,24 @@ func TestMonkeyModeParallel(t *testing.T) {
 	}
 	cfg := Config{Mode: "monkey", Start: 1, Count: 6, Replay: replay}
 	cfg.Workers = 1
-	seq := Run(cfg, fn)
+	seqReg := obs.NewRegistry()
+	cfg.Obs = seqReg
+	seq := RunObs(cfg, fn)
 	cfg.Workers = 6
-	par := Run(cfg, fn)
+	parReg := obs.NewRegistry()
+	cfg.Obs = parReg
+	par := RunObs(cfg, fn)
 	if seq.String() != par.String() {
 		t.Fatalf("monkey reports differ:\n--- sequential\n%s--- parallel\n%s", seq.String(), par.String())
 	}
 	if !par.OK() {
 		t.Fatalf("monkey sweep failed:\n%s", par.FailureOutput())
+	}
+	if s, p := string(seqReg.Snapshot().MarshalCanonical()), string(parReg.Snapshot().MarshalCanonical()); s != p {
+		t.Fatalf("monkey canonical metric dumps differ:\n--- sequential\n%s\n--- parallel\n%s", s, p)
+	}
+	if n := seqReg.CounterValue("monkey_runs_total"); n != 6 {
+		t.Fatalf("monkey_runs_total = %d, want 6", n)
 	}
 }
 
@@ -141,29 +171,45 @@ func TestSeedIndexedMerge(t *testing.T) {
 }
 
 // TestRunBenchSmoke exercises the bench path end to end on a small
-// range: throughputs populated, per-seed stats sane, determinism
-// cross-check green.
+// range: the curve has a workers=1 baseline plus the requested points,
+// every point records its own GOMAXPROCS, throughputs are populated,
+// and the report/metrics determinism cross-checks are green.
 func TestRunBenchSmoke(t *testing.T) {
-	b, err := RunBench("oracle", 16, 4)
+	b, err := RunBench("oracle", 16, []int{4, 2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !b.ReportsIdentical {
-		t.Fatal("bench found non-identical sequential/parallel reports")
+	workers := make([]int, 0, len(b.Curve))
+	for _, m := range b.Curve {
+		workers = append(workers, m.Workers)
 	}
-	if b.Failures != 0 {
-		t.Fatalf("bench sweep failed %d seeds", b.Failures)
+	if len(b.Curve) != 3 || workers[0] != 1 || workers[1] != 2 || workers[2] != 4 {
+		t.Fatalf("curve workers = %v, want [1 2 4] (baseline forced, dedup, sorted)", workers)
 	}
-	if b.SeqSeedsPerSec <= 0 || b.ParSeedsPerSec <= 0 || b.Speedup <= 0 {
-		t.Fatalf("throughput not measured: %+v", b)
+	for _, m := range b.Curve {
+		if !m.ReportIdentical || !m.MetricsIdentical {
+			t.Fatalf("workers=%d not identical to baseline: %+v", m.Workers, m)
+		}
+		if m.Failures != 0 {
+			t.Fatalf("workers=%d failed %d seeds", m.Workers, m.Failures)
+		}
+		if m.SeedsPerSec <= 0 || m.Speedup <= 0 {
+			t.Fatalf("workers=%d throughput not measured: %+v", m.Workers, m)
+		}
+		if m.GOMAXPROCS <= 0 {
+			t.Fatalf("workers=%d did not record GOMAXPROCS: %+v", m.Workers, m)
+		}
+		if m.PerSeed.N != 16 {
+			t.Fatalf("workers=%d per-seed stats incomplete: %+v", m.Workers, m.PerSeed)
+		}
+		if m.PerSeed.P95MS < m.PerSeed.P50MS {
+			t.Fatalf("workers=%d p95 below p50: %+v", m.Workers, m.PerSeed)
+		}
 	}
-	if b.SeqPerSeed.N != 16 || b.ParPerSeed.N != 16 {
-		t.Fatalf("per-seed stats incomplete: %+v / %+v", b.SeqPerSeed, b.ParPerSeed)
+	if b.BestWorkers == 0 || b.BestSpeedup <= 0 {
+		t.Fatalf("best point not tracked: %+v", b)
 	}
-	if b.SeqPerSeed.P95MS < b.SeqPerSeed.P50MS {
-		t.Fatalf("p95 below p50: %+v", b.SeqPerSeed)
-	}
-	if _, err := RunBench("no-such-mode", 4, 1); err == nil {
+	if _, err := RunBench("no-such-mode", 4, []int{1}); err == nil {
 		t.Fatal("bench accepted an unknown mode")
 	}
 }

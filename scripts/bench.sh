@@ -1,21 +1,26 @@
 #!/bin/sh
-# scripts/bench.sh [-quick] [-out FILE] [-seeds N] [-workers N]
+# scripts/bench.sh [-quick] [-out FILE] [-seeds N] [-workers LIST]
 #
-# Measures the sweep engine's sequential-vs-parallel throughput and
-# writes the bench artifact (default BENCH_sweep.json at the repo
-# root): seeds/sec at -workers=1 and -workers=GOMAXPROCS, the speedup,
-# and per-seed p50/p95 wall times for the oracle and guarded-chaos
-# sweeps. Every measurement doubles as a determinism check — the two
-# merged reports are byte-compared and the bench fails on any drift.
+# Measures the sweep engine's worker scaling curve and writes the bench
+# artifact (default BENCH_sweep.json at the repo root): seeds/sec at
+# each worker count in the curve (default 1,2,4,8 plus GOMAXPROCS, with
+# a forced workers=1 baseline and duplicates collapsed), the speedup
+# against the baseline, and per-seed p50/p95 wall times for the oracle
+# and guarded-chaos sweeps. GOMAXPROCS is recorded on every measurement,
+# so points collected on differently-provisioned machines stay honest.
+# Every point doubles as a determinism check — the merged report AND
+# the canonical metrics dump are byte-compared against the workers=1
+# baseline, and the bench fails on any drift.
 #
 #   scripts/bench.sh            # full measurement (512 seeds per mode)
 #   scripts/bench.sh -quick     # CI-sized (128 seeds per mode)
+#   scripts/bench.sh -workers 1,4,16
 set -eu
 cd "$(dirname "$0")/.."
 
 seeds=512
 out=BENCH_sweep.json
-workers=0
+workers=1,2,4,8,0
 while [ $# -gt 0 ]; do
     case "$1" in
         -quick) seeds=128 ;;
@@ -28,4 +33,4 @@ while [ $# -gt 0 ]; do
 done
 
 go run ./cmd/rchsweep -bench -mode=oracle,guard \
-    -seeds="$seeds" -workers="$workers" -bench-out "$out"
+    -seeds="$seeds" -bench-workers="$workers" -bench-out "$out"

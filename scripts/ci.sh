@@ -17,8 +17,13 @@
 #                      idle: the watchdog must be tick-for-tick free
 #   7. oracle sweep  — 512-seed differential RCHDroid-vs-stock run on
 #                      the parallel sweep engine (GOMAXPROCS workers)
+#                      with the metrics registry armed: the canonical
+#                      dump lands in ./artifacts/ and the run enforces
+#                      the seeds/sec floor (RCH_SEEDS_FLOOR, default
+#                      250 — ~10× headroom under the measured ~2–3k)
 #   8. determinism   — 64-seed sequential cross-check: -workers=1 and
-#                      -workers=N merged reports must be byte-identical
+#                      -workers=N merged reports AND canonical metric
+#                      dumps must be byte-identical
 #   9. guarded sweep — 1024-seed guarded-chaos run on the engine: zero
 #                      invariant violations, no quarantine/breaker
 #                      decision without a preceding injected fault, and
@@ -27,11 +32,12 @@
 #  10. counterfactual — guard-off runs must reproduce the raw failures
 #                      the guard recovers, and guarded verdicts replay
 #                      bit-identically
-#  11. bench         — scripts/bench.sh -quick (CI-sized measurement + determinism
-#                      byte-compare; written to ./artifacts/ so the committed
-#                      512-seed BENCH_sweep.json stays stable)
-#                      (seeds/sec sequential vs parallel, speedup,
-#                      per-seed p50/p95)
+#  11. profile smoke — a 32-seed sweep under -profile-cpu/-profile-heap
+#                      must produce non-empty pprof artifacts
+#  12. bench         — scripts/bench.sh -quick (CI-sized scaling curve +
+#                      determinism byte-compare of reports and metrics;
+#                      written to ./artifacts/ so the committed 512-seed
+#                      BENCH_sweep.json stays stable)
 #
 # The sweeps run on cmd/rchsweep: any failing seed (including a
 # recovered worker panic, attributed to its seed) exits non-zero and
@@ -63,20 +69,29 @@ go test ./internal/experiments -run TestTraceOverheadGuard -count=1
 echo "==> guard idle anchor"
 go test ./internal/experiments -run TestGuardIdleAnchor -count=1
 
-echo "==> oracle sweep (512 seeds, parallel engine)"
-go run ./cmd/rchsweep -mode=oracle -seeds=512 -trace-on-fail
+echo "==> oracle sweep (512 seeds, parallel engine, metrics + seeds/sec floor)"
+go run ./cmd/rchsweep -mode=oracle -seeds=512 -trace-on-fail \
+    -metrics-out artifacts/metrics.oracle.json \
+    -min-seeds-per-sec "${RCH_SEEDS_FLOOR:-250}"
 
-echo "==> sequential determinism cross-check (64 seeds)"
+echo "==> sequential determinism cross-check (64 seeds, reports + canonical metrics)"
 go run ./cmd/rchsweep -mode=oracle -seeds=64 -crosscheck
 
 echo "==> guarded chaos sweep (1024 seeds, parallel engine)"
-go run ./cmd/rchsweep -mode=guard -seeds=1024 -trace-on-fail
+go run ./cmd/rchsweep -mode=guard -seeds=1024 -trace-on-fail \
+    -metrics-out artifacts/metrics.guard.json
 
-echo "==> schedule-space exploration gate (corpus, depth 2, exhaustive)"
-go run ./cmd/rchexplore -depth=2
+echo "==> schedule-space exploration gate (corpus, depth 2, exhaustive, metrics)"
+go run ./cmd/rchexplore -depth=2 -metrics-out artifacts/metrics.explore.json
 
 echo "==> guard counterfactual + replay determinism"
 go test ./internal/oracle -run 'TestGuardSavesRawFailures|TestGuardDeterministic' -count=1
+
+echo "==> profile smoke (32 seeds, cpu + heap pprof non-empty)"
+go run ./cmd/rchsweep -mode=oracle -seeds=32 \
+    -profile-cpu artifacts/ci.cpu.pprof -profile-heap artifacts/ci.heap.pprof >/dev/null
+test -s artifacts/ci.cpu.pprof || { echo "ci: empty cpu profile" >&2; exit 1; }
+test -s artifacts/ci.heap.pprof || { echo "ci: empty heap profile" >&2; exit 1; }
 
 echo "==> sweep bench (quick)"
 scripts/bench.sh -quick -out artifacts/BENCH_sweep.quick.json
