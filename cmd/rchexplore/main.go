@@ -25,10 +25,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"strings"
 	"time"
 
+	"rchdroid/internal/cliflags"
 	"rchdroid/internal/explore"
 	"rchdroid/internal/obs"
 	"rchdroid/internal/oracle/corpus"
@@ -49,11 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checkpoint := fs.String("checkpoint", "", "frontier file for resumable chunked exploration (single -scenario)")
 	chunk := fs.Int("chunk", 0, "schedules per invocation when checkpointing (0 = the whole space)")
 	verbose := fs.Bool("v", false, "print every schedule's verdict, not just failures")
-	progress := fs.Duration("progress", 0, "print a live progress line to stderr at this interval (0 = off)")
-	metricsOut := fs.String("metrics-out", "", "write the canonical (sim-domain) metrics dump as JSON to this file")
-	metricsProm := fs.String("metrics-prom", "", "write the full metrics dump (sim + wall) in Prometheus text format to this file")
-	profileCPU := fs.String("profile-cpu", "", "write a CPU profile of the exploration to this file")
-	profileHeap := fs.String("profile-heap", "", "write a heap profile after the exploration to this file")
+	shared := cliflags.Register(fs, "rchexplore")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -90,18 +86,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if *profileCPU != "" {
-		stop, err := obs.StartCPUProfile(*profileCPU)
-		if err != nil {
-			fmt.Fprintf(stderr, "rchexplore: %v\n", err)
-			return 1
-		}
-		defer func() {
-			if err := stop(); err != nil {
-				fmt.Fprintf(stderr, "rchexplore: cpu profile: %v\n", err)
-			}
-		}()
+	stopCPU, ok := shared.StartCPUProfile(stderr)
+	if !ok {
+		return 1
 	}
+	defer stopCPU()
 
 	// One registry across the scenario loop: counters accumulate, so the
 	// dump covers the whole invocation and the progress line tracks total
@@ -116,7 +105,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		total += int(n)
 	}
-	prog := obs.StartProgress(stderr, "schedules", total, *progress, func() (int64, int64) {
+	prog := obs.StartProgress(stderr, "schedules", total, shared.Progress, func() (int64, int64) {
 		done := reg.CounterValue("sweep_seeds_total")
 		failed := reg.CounterValue("sweep_seed_failures_total") + reg.CounterValue("sweep_seed_panics_total")
 		return done, failed
@@ -125,7 +114,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	code := 0
 	for i := range scenarios {
 		sc := &scenarios[i]
-		opts := explore.Options{Depth: *depth, Workers: *workers, Count: *chunk, Obs: reg}
+		opts := explore.Options{Depth: *depth, Workers: *workers, Count: *chunk, Obs: reg, Fork: shared.Fork}
 		if *checkpoint != "" {
 			start, err := resumeFrom(*checkpoint, sc, *depth)
 			if err != nil {
@@ -164,37 +153,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	prog.Stop()
 
-	snap := reg.Snapshot()
-	if *metricsOut != "" {
-		if err := writeFileMaybeMkdir(*metricsOut, snap.MarshalCanonical()); err != nil {
-			fmt.Fprintf(stderr, "rchexplore: metrics-out: %v\n", err)
-			return 1
-		}
-		fmt.Fprintf(stderr, "rchexplore: canonical metrics written to %s\n", *metricsOut)
-	}
-	if *metricsProm != "" {
-		if err := writeFileMaybeMkdir(*metricsProm, []byte(snap.PromText())); err != nil {
-			fmt.Fprintf(stderr, "rchexplore: metrics-prom: %v\n", err)
-			return 1
-		}
-		fmt.Fprintf(stderr, "rchexplore: prometheus metrics written to %s\n", *metricsProm)
-	}
-	if *profileHeap != "" {
-		if err := obs.WriteHeapProfile(*profileHeap); err != nil {
-			fmt.Fprintf(stderr, "rchexplore: heap profile: %v\n", err)
-			return 1
-		}
+	if !shared.WriteMetrics(reg.Snapshot(), stderr) || !shared.WriteHeapProfile(stderr) {
+		return 1
 	}
 	return code
-}
-
-func writeFileMaybeMkdir(path string, data []byte) error {
-	if dir := filepath.Dir(path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	return os.WriteFile(path, data, 0o644)
 }
 
 // selectScenarios resolves the -scenario flag against the corpus.

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"rchdroid/internal/explore"
@@ -12,9 +13,30 @@ import (
 	"rchdroid/internal/oracle/corpus"
 )
 
+// syncBuffer is a bytes.Buffer safe for concurrent writes: the progress
+// ticker goroutine writes to stderr concurrently with the main loop,
+// which os.Stderr tolerates and a bare bytes.Buffer does not.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
 // runCLI invokes run() with captured streams.
 func runCLI(args ...string) (code int, stdout, stderr string) {
-	var out, errBuf bytes.Buffer
+	var out bytes.Buffer
+	var errBuf syncBuffer
 	code = run(args, &out, &errBuf)
 	return code, out.String(), errBuf.String()
 }

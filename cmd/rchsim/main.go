@@ -12,6 +12,7 @@
 //	rchsim -touch=false              # no async task
 //	rchsim -trace run.json           # write a Chrome/Perfetto trace
 //	rchsim -script demo.rch          # drive the device from a script file
+//	rchsim -profile-cpu=run.cpu.pprof -profile-heap=run.heap.pprof
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"rchdroid/internal/atms"
 	"rchdroid/internal/benchapp"
 	"rchdroid/internal/chaos"
+	"rchdroid/internal/cliflags"
 	"rchdroid/internal/core"
 	"rchdroid/internal/costmodel"
 	"rchdroid/internal/guard"
@@ -54,7 +56,13 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 0, "arm the fault-injection layer with this seed (0 = off)")
 	chaosProfile := flag.String("chaos", "light", "chaos preset when -chaos-seed is set: light | heavy | guarded")
 	guarded := flag.Bool("guard", false, "arm the supervision layer: ANR watchdogs, checksummed state transfer with retry, per-activity stock fallback")
+	shared := cliflags.RegisterProfiles(flag.CommandLine, "rchsim")
 	flag.Parse()
+
+	stopCPU, ok := shared.StartCPUProfile(os.Stderr)
+	if !ok {
+		os.Exit(1)
+	}
 
 	sched := sim.NewScheduler()
 	var tracer *trace.Tracer
@@ -175,6 +183,10 @@ func main() {
 			fmt.Println("\nlogcat:")
 			fmt.Print(indent(lc.Dump()))
 		}
+		stopCPU()
+		if !shared.WriteHeapProfile(os.Stderr) {
+			os.Exit(1)
+		}
 		exitCrashed(proc, *mode)
 		return
 	}
@@ -218,6 +230,10 @@ func main() {
 	if *showLog {
 		fmt.Println("\nlogcat:")
 		fmt.Print(indent(lc.Dump()))
+	}
+	stopCPU()
+	if !shared.WriteHeapProfile(os.Stderr) {
+		os.Exit(1)
 	}
 	exitCrashed(proc, *mode)
 }

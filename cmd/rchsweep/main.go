@@ -10,10 +10,20 @@
 //	rchsweep -mode=oracle -seeds=512            # differential sweep, GOMAXPROCS workers
 //	rchsweep -mode=guard -seeds=1024            # guarded-chaos sweep
 //	rchsweep -mode=monkey -seeds=54             # monkey×chaos TP-27 stress
+//	rchsweep -mode=boot -seeds=20000            # pure device spin-up (no chaos run)
+//	rchsweep -mode=oracle -seeds=512 -fork      # per-seed worlds forked from one template
 //	rchsweep -mode=oracle -seeds=64 -crosscheck # byte-compare workers=1 vs workers=N
 //	rchsweep -mode=oracle -seeds=512 -progress=1s -metrics-out=artifacts/metrics.json
 //	rchsweep -mode=oracle -seeds=512 -min-seeds-per-sec=250 -profile-cpu=artifacts/cpu.pprof
-//	rchsweep -bench -mode=oracle,guard -seeds=256 -bench-workers=1,2,4,8,0 -bench-out BENCH_sweep.json
+//	rchsweep -bench -mode=oracle,guard,boot:20000 -fork -seeds=256 -bench-workers=1,2,4,8,0 -bench-out BENCH_sweep.json
+//
+// -fork routes every per-seed world through device.Template.Fork — the
+// pre-chaos world is built, launched, and settled once, then stamped out
+// per seed — and the merged report plus canonical metrics dump stay
+// byte-identical to fresh builds (ci.sh gates on exactly that). With
+// -bench, each mode is measured fresh AND forked and the speedup is
+// logged; a "mode:seeds" entry overrides -seeds for that mode, which the
+// boot mode needs (each of its seeds is microseconds).
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 	"time"
 
 	"rchdroid/internal/chaos"
+	"rchdroid/internal/cliflags"
 	"rchdroid/internal/obs"
 	"rchdroid/internal/oracle"
 	"rchdroid/internal/sweep"
@@ -59,19 +70,14 @@ type jsonResult struct {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rchsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	mode := fs.String("mode", "oracle", "sweep mode: oracle | guard | monkey (-bench accepts a comma list)")
+	mode := fs.String("mode", "oracle", "sweep mode: oracle | guard | monkey | boot (-bench accepts a comma list; a mode:seeds entry overrides -seeds for that mode)")
 	seeds := fs.Int("seeds", 64, "number of consecutive seeds to run")
 	start := fs.Uint64("start", 1, "first seed (inclusive)")
 	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	verbose := fs.Bool("v", false, "print the full merged report, not just failures")
 	asJSON := fs.Bool("json", false, "emit the merged report as JSON")
 	crosscheck := fs.Bool("crosscheck", false, "run the range at -workers=1 and -workers=N and require byte-identical reports and canonical metric dumps")
-	traceOnFail := fs.Bool("trace-on-fail", false, "write each failing seed's RCHDroid-side trace to ./artifacts/ (oracle and guard modes)")
-	progress := fs.Duration("progress", 0, "print a live progress line to stderr at this interval (0 = off)")
-	metricsOut := fs.String("metrics-out", "", "write the canonical (sim-domain) metrics dump as JSON to this file")
-	metricsProm := fs.String("metrics-prom", "", "write the full metrics dump (sim + wall) in Prometheus text format to this file")
-	profileCPU := fs.String("profile-cpu", "", "write a CPU profile of the sweep to this file")
-	profileHeap := fs.String("profile-heap", "", "write a heap profile after the sweep to this file")
+	shared := cliflags.Register(fs, "rchsweep")
 	minRate := fs.Float64("min-seeds-per-sec", 0, "fail (exit 1) if sweep throughput drops below this floor (0 = no floor)")
 	bench := fs.Bool("bench", false, "measure the worker scaling curve instead of sweeping")
 	benchWorkers := fs.String("bench-workers", "1,0", "with -bench: comma list of worker counts to measure (0 = GOMAXPROCS)")
@@ -90,31 +96,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "rchsweep: -bench-workers: %v\n", err)
 			return 2
 		}
-		return runBench(*mode, *seeds, counts, *benchOut, stdout, stderr)
+		return runBench(*mode, *seeds, counts, shared.Fork, *benchOut, stdout, stderr)
 	}
 
-	fn, replay, err := sweep.ForMode(*mode)
+	fn, replay, err := sweep.ForModeForked(*mode, shared.Fork)
 	if err != nil {
 		fmt.Fprintf(stderr, "rchsweep: %v\n", err)
 		return 2
 	}
 
-	if *profileCPU != "" {
-		stop, err := obs.StartCPUProfile(*profileCPU)
-		if err != nil {
-			fmt.Fprintf(stderr, "rchsweep: %v\n", err)
-			return 1
-		}
-		defer func() {
-			if err := stop(); err != nil {
-				fmt.Fprintf(stderr, "rchsweep: cpu profile: %v\n", err)
-			}
-		}()
+	stopCPU, ok := shared.StartCPUProfile(stderr)
+	if !ok {
+		return 1
 	}
+	defer stopCPU()
 
 	reg := obs.NewRegistry()
 	cfg := sweep.Config{Mode: *mode, Start: *start, Count: *seeds, Workers: *workers, Replay: replay, Obs: reg}
-	prog := obs.StartProgress(stderr, "seeds", *seeds, *progress, func() (int64, int64) {
+	prog := obs.StartProgress(stderr, "seeds", *seeds, shared.Progress, func() (int64, int64) {
 		done := reg.CounterValue("sweep_seeds_total")
 		failed := reg.CounterValue("sweep_seed_failures_total") + reg.CounterValue("sweep_seed_panics_total")
 		return done, failed
@@ -126,25 +125,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep.Mode, rep.Count, rep.Workers, rep.Elapsed.Round(time.Millisecond), rate)
 
 	snap := reg.Snapshot()
-	if *metricsOut != "" {
-		if err := writeFileMaybeMkdir(*metricsOut, snap.MarshalCanonical()); err != nil {
-			fmt.Fprintf(stderr, "rchsweep: metrics-out: %v\n", err)
-			return 1
-		}
-		fmt.Fprintf(stderr, "rchsweep: canonical metrics written to %s\n", *metricsOut)
-	}
-	if *metricsProm != "" {
-		if err := writeFileMaybeMkdir(*metricsProm, []byte(snap.PromText())); err != nil {
-			fmt.Fprintf(stderr, "rchsweep: metrics-prom: %v\n", err)
-			return 1
-		}
-		fmt.Fprintf(stderr, "rchsweep: prometheus metrics written to %s\n", *metricsProm)
-	}
-	if *profileHeap != "" {
-		if err := obs.WriteHeapProfile(*profileHeap); err != nil {
-			fmt.Fprintf(stderr, "rchsweep: heap profile: %v\n", err)
-			return 1
-		}
+	if !shared.WriteMetrics(snap, stderr) || !shared.WriteHeapProfile(stderr) {
+		return 1
 	}
 
 	if *crosscheck {
@@ -188,7 +170,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, res := range rep.Panicked() {
 			fmt.Fprintf(stderr, "rchsweep: worker panic on seed %d: %s\n%s\n", res.Seed, res.PanicVal, res.PanicStack)
 		}
-		if *traceOnFail {
+		if shared.TraceOnFail {
 			for _, res := range rep.Failed() {
 				writeFailureTrace(stderr, *mode, res.Seed)
 			}
@@ -228,15 +210,6 @@ func parseWorkerList(s string) ([]int, error) {
 		return nil, fmt.Errorf("empty worker list")
 	}
 	return out, nil
-}
-
-func writeFileMaybeMkdir(path string, data []byte) error {
-	if dir := filepath.Dir(path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	return os.WriteFile(path, data, 0o644)
 }
 
 func writeJSON(w io.Writer, rep *sweep.Report) error {
@@ -288,7 +261,13 @@ func writeFailureTrace(stderr io.Writer, mode string, seed uint64) {
 // runBench measures the listed modes across the worker-count curve and
 // writes the BENCH_sweep.json artifact: seeds/sec and per-seed p50/p95
 // wall time per point, with GOMAXPROCS recorded on every measurement.
-func runBench(modes string, seeds int, workerCounts []int, outPath string, stdout, stderr io.Writer) int {
+// A mode entry may carry its own seed count as "mode:seeds" — the boot
+// mode needs far more seeds than a chaos sweep for a stable wall-clock
+// measurement, since each of its seeds is microseconds of work. With
+// -fork, every mode but monkey is measured twice — fresh builds and
+// template forks — so the artifact records the fork speedup alongside
+// the worker-scaling curve.
+func runBench(modes string, seeds int, workerCounts []int, fork bool, outPath string, stdout, stderr io.Writer) int {
 	file := sweep.BenchFile{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 	}
@@ -297,26 +276,54 @@ func runBench(modes string, seeds int, workerCounts []int, outPath string, stdou
 		if mode == "" {
 			continue
 		}
-		b, err := sweep.RunBench(mode, seeds, workerCounts)
-		if err != nil {
-			fmt.Fprintf(stderr, "rchsweep: bench %s: %v\n", mode, err)
-			return 2
-		}
-		for _, m := range b.Curve {
-			fmt.Fprintf(stderr, "rchsweep: bench %s: workers=%d gomaxprocs=%d %.0f seeds/sec (×%.2f) report_identical=%v metrics_identical=%v\n",
-				mode, m.Workers, m.GOMAXPROCS, m.SeedsPerSec, m.Speedup, m.ReportIdentical, m.MetricsIdentical)
-			if !m.ReportIdentical || !m.MetricsIdentical {
-				fmt.Fprintf(stderr, "rchsweep: bench %s: DETERMINISM VIOLATION at workers=%d (report_identical=%v metrics_identical=%v)\n",
-					mode, m.Workers, m.ReportIdentical, m.MetricsIdentical)
-				return 1
+		modeSeeds := seeds
+		if mode2, n, ok := strings.Cut(mode, ":"); ok {
+			v, err := strconv.Atoi(n)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(stderr, "rchsweep: bench: bad per-mode seed count %q\n", mode)
+				return 2
 			}
-			if m.Failures > 0 {
-				fmt.Fprintf(stderr, "rchsweep: bench %s: sweep failed %d seeds; run `rchsweep -mode=%s -seeds=%d` for the replay lines\n",
-					mode, m.Failures, mode, seeds)
-				return 1
-			}
+			mode, modeSeeds = mode2, v
 		}
-		file.Benches = append(file.Benches, b)
+		variants := []bool{false}
+		if fork && mode != "monkey" {
+			variants = append(variants, true)
+		}
+		var freshRate float64
+		for _, forked := range variants {
+			b, err := sweep.RunBenchForked(mode, modeSeeds, workerCounts, forked)
+			if err != nil {
+				fmt.Fprintf(stderr, "rchsweep: bench %s: %v\n", mode, err)
+				return 2
+			}
+			label := mode
+			if forked {
+				label += "+fork"
+			}
+			for _, m := range b.Curve {
+				fmt.Fprintf(stderr, "rchsweep: bench %s: workers=%d gomaxprocs=%d %.0f seeds/sec (×%.2f) report_identical=%v metrics_identical=%v\n",
+					label, m.Workers, m.GOMAXPROCS, m.SeedsPerSec, m.Speedup, m.ReportIdentical, m.MetricsIdentical)
+				if !m.ReportIdentical || !m.MetricsIdentical {
+					fmt.Fprintf(stderr, "rchsweep: bench %s: DETERMINISM VIOLATION at workers=%d (report_identical=%v metrics_identical=%v)\n",
+						label, m.Workers, m.ReportIdentical, m.MetricsIdentical)
+					return 1
+				}
+				if m.Failures > 0 {
+					fmt.Fprintf(stderr, "rchsweep: bench %s: sweep failed %d seeds; run `rchsweep -mode=%s -seeds=%d` for the replay lines\n",
+						label, m.Failures, mode, modeSeeds)
+					return 1
+				}
+			}
+			if len(b.Curve) > 0 {
+				if !forked {
+					freshRate = b.Curve[0].SeedsPerSec
+				} else if freshRate > 0 {
+					fmt.Fprintf(stderr, "rchsweep: bench %s: fork speedup ×%.2f at workers=1 (%.0f vs %.0f seeds/sec)\n",
+						mode, b.Curve[0].SeedsPerSec/freshRate, b.Curve[0].SeedsPerSec, freshRate)
+				}
+			}
+			file.Benches = append(file.Benches, b)
+		}
 	}
 	if len(file.Benches) == 0 {
 		fmt.Fprintln(stderr, "rchsweep: -bench got no modes")

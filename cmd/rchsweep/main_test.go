@@ -6,11 +6,32 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"rchdroid/internal/obs"
 	"rchdroid/internal/sweep"
 )
+
+// syncBuffer is a bytes.Buffer safe for concurrent writes: the progress
+// ticker goroutine writes to stderr concurrently with the main loop,
+// which os.Stderr tolerates and a bare bytes.Buffer does not.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
 
 // TestExitCodes pins the ci.sh contract: clean sweeps exit 0, usage
 // errors exit 2, and the output carries the tally.
@@ -72,7 +93,8 @@ func TestMetricsOutAndProfiles(t *testing.T) {
 	prom := filepath.Join(dir, "m.prom")
 	cpu := filepath.Join(dir, "cpu.pprof")
 	heap := filepath.Join(dir, "heap.pprof")
-	var out, errOut bytes.Buffer
+	var out bytes.Buffer
+	var errOut syncBuffer
 	code := run([]string{"-mode=oracle", "-seeds=8", "-progress=10ms",
 		"-metrics-out=" + metrics, "-metrics-prom=" + prom,
 		"-profile-cpu=" + cpu, "-profile-heap=" + heap}, &out, &errOut)

@@ -6,7 +6,6 @@ import (
 
 	"rchdroid/internal/benchapp"
 	"rchdroid/internal/core"
-	"rchdroid/internal/costmodel"
 )
 
 // AblationRow is one configuration's measurement.
@@ -39,9 +38,9 @@ func Ablations() *AblationResult {
 	res := &AblationResult{}
 
 	run := func(name string, opts core.Options, gcIdle time.Duration) {
-		rig := NewRigWithOptions(
-			benchapp.New(benchapp.Config{Images: images, TaskDelay: 300 * time.Millisecond}),
-			ModeRCHDroid, costmodel.Default(), opts)
+		rig := BootRig(RigSpec{
+			App:  benchapp.New(benchapp.Config{Images: images, TaskDelay: 300 * time.Millisecond}),
+			Mode: ModeRCHDroid, Core: &opts})
 		row := AblationRow{Config: name}
 		if d, err := rig.Rotate(); err == nil {
 			row.InitMS = ms(d)

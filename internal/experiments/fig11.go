@@ -6,7 +6,6 @@ import (
 
 	"rchdroid/internal/benchapp"
 	"rchdroid/internal/core"
-	"rchdroid/internal/costmodel"
 )
 
 // Fig11Row is one THRESH_T setting of the GC trade-off sweep.
@@ -51,8 +50,8 @@ func Fig11() *Fig11Result {
 	for _, tSec := range []int{10, 20, 30, 40, 50, 60, 70, 80} {
 		opts := core.DefaultOptions()
 		opts.GC.ThreshT = time.Duration(tSec) * time.Second
-		rig := NewRigWithOptions(benchapp.New(benchapp.Config{Images: images, TaskDelay: time.Hour}),
-			ModeRCHDroid, costmodel.Default(), opts)
+		rig := BootRig(RigSpec{App: benchapp.New(benchapp.Config{Images: images, TaskDelay: time.Hour}),
+			Mode: ModeRCHDroid, Core: &opts})
 
 		memSamples := runBurstMinutes(rig, minutes)
 

@@ -11,10 +11,10 @@ import (
 	"time"
 
 	"rchdroid/internal/app"
-	"rchdroid/internal/atms"
 	"rchdroid/internal/config"
 	"rchdroid/internal/core"
 	"rchdroid/internal/costmodel"
+	"rchdroid/internal/device"
 	"rchdroid/internal/sim"
 )
 
@@ -36,35 +36,53 @@ func (m Mode) String() string {
 	return "Android-10"
 }
 
-// Rig is one booted device: scheduler, system server, and a single
-// foreground app, optionally with RCHDroid installed.
-type Rig struct {
-	Sched *sim.Scheduler
+// RigSpec describes one booted experiment device. It folds what used to
+// be NewRigWithOptions's positional arguments (application, mode, cost
+// model, core options) into the device.Spec shape, so every experiment
+// builds its world the same way the oracle and sweeps do.
+type RigSpec struct {
+	// App is the application to install.
+	App *app.App
+	// Mode selects the change-handling scheme (ModeStock default).
+	Mode Mode
+	// Model is the cost model (nil uses costmodel.Default()).
 	Model *costmodel.Model
-	Sys   *atms.ATMS
-	Proc  *app.Process
-	RCH   *core.RCHDroid // nil in stock mode
-	Token int
+	// Core overrides RCHDroid's options (nil uses core.DefaultOptions());
+	// only consulted in ModeRCHDroid.
+	Core *core.Options
+}
+
+// Rig is one booted device: the world plus the RCHDroid handle when the
+// mode installed one.
+type Rig struct {
+	*device.World
+	RCH *core.RCHDroid // nil in stock mode
 }
 
 // NewRig boots a device running application under the given mode with
-// the default cost model.
+// the default cost model and options.
 func NewRig(application *app.App, mode Mode) *Rig {
-	return NewRigWithOptions(application, mode, costmodel.Default(), core.DefaultOptions())
+	return BootRig(RigSpec{App: application, Mode: mode})
 }
 
-// NewRigWithOptions boots a device with an explicit cost model and
-// RCHDroid options (for ablations and the GC sweep).
-func NewRigWithOptions(application *app.App, mode Mode, model *costmodel.Model, opts core.Options) *Rig {
-	sched := sim.NewScheduler()
-	sys := atms.New(sched, model)
-	proc := app.NewProcess(sched, model, application)
-	r := &Rig{Sched: sched, Model: model, Sys: sys, Proc: proc}
-	if mode == ModeRCHDroid {
-		r.RCH = core.Install(sys, proc, opts)
+// BootRig builds, launches and settles the spec's device through the
+// device builder, installing RCHDroid at the post-settle arming point in
+// ModeRCHDroid.
+func BootRig(s RigSpec) *Rig {
+	opts := core.DefaultOptions()
+	if s.Core != nil {
+		opts = *s.Core
 	}
-	r.Token = sys.LaunchApp(proc)
-	sched.Advance(3 * time.Second)
+	r := &Rig{}
+	r.World = device.New(device.Spec{
+		App:    func() *app.App { return s.App },
+		Model:  s.Model,
+		Settle: 3 * time.Second,
+	}, 0, func(w *device.World) {
+		if s.Mode == ModeRCHDroid {
+			r.RCH = core.Install(w.Sys, w.Proc, opts)
+		}
+	})
 	return r
 }
 

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"rchdroid/internal/benchapp"
-	"rchdroid/internal/core"
 	"rchdroid/internal/costmodel"
 )
 
@@ -36,13 +35,13 @@ func Sensitivity() *SensitivityResult {
 		mutate(model)
 		row := SensitivityRow{Param: param, Scale: scale}
 
-		stock := NewRigWithOptions(benchapp.New(benchapp.Config{Images: 4, TaskDelay: time.Hour}),
-			ModeStock, model, core.DefaultOptions())
+		stock := BootRig(RigSpec{App: benchapp.New(benchapp.Config{Images: 4, TaskDelay: time.Hour}),
+			Mode: ModeStock, Model: model})
 		if d, err := stock.Rotate(); err == nil {
 			row.StockMS = ms(d)
 		}
-		rch := NewRigWithOptions(benchapp.New(benchapp.Config{Images: 4, TaskDelay: time.Hour}),
-			ModeRCHDroid, model, core.DefaultOptions())
+		rch := BootRig(RigSpec{App: benchapp.New(benchapp.Config{Images: 4, TaskDelay: time.Hour}),
+			Mode: ModeRCHDroid, Model: model})
 		if d, err := rch.Rotate(); err == nil {
 			row.InitMS = ms(d)
 		}

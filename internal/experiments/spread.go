@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"rchdroid/internal/benchapp"
-	"rchdroid/internal/core"
 	"rchdroid/internal/costmodel"
 	"rchdroid/internal/metrics"
 )
@@ -37,14 +36,14 @@ func Spread(runs int) *SpreadResult {
 	for run := 0; run < runs; run++ {
 		model := costmodel.Default().Jittered(uint64(run)*1299709+17, 0.04)
 
-		s := NewRigWithOptions(benchapp.New(benchapp.Config{Images: 4, TaskDelay: 300 * time.Millisecond}),
-			ModeStock, model, core.DefaultOptions())
+		s := BootRig(RigSpec{App: benchapp.New(benchapp.Config{Images: 4, TaskDelay: 300 * time.Millisecond}),
+			Mode: ModeStock, Model: model})
 		if d, err := s.Rotate(); err == nil {
 			stock = append(stock, ms(d))
 		}
 
-		r := NewRigWithOptions(benchapp.New(benchapp.Config{Images: 4, TaskDelay: 300 * time.Millisecond}),
-			ModeRCHDroid, model, core.DefaultOptions())
+		r := BootRig(RigSpec{App: benchapp.New(benchapp.Config{Images: 4, TaskDelay: 300 * time.Millisecond}),
+			Mode: ModeRCHDroid, Model: model})
 		r.Rotate() // init
 		if d, err := r.Rotate(); err == nil {
 			flip = append(flip, ms(d))

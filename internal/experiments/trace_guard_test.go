@@ -6,7 +6,6 @@ import (
 
 	"rchdroid/internal/benchapp"
 	"rchdroid/internal/core"
-	"rchdroid/internal/costmodel"
 	"rchdroid/internal/guard"
 	"rchdroid/internal/trace"
 )
@@ -70,7 +69,7 @@ func TestGuardIdleAnchor(t *testing.T) {
 	cfg := guard.DefaultConfig()
 	opts := core.DefaultOptions()
 	opts.Guard = &cfg
-	r := NewRigWithOptions(benchapp.New(benchapp.Config{Images: 4}), ModeRCHDroid, costmodel.Default(), opts)
+	r := BootRig(RigSpec{App: benchapp.New(benchapp.Config{Images: 4}), Mode: ModeRCHDroid, Core: &opts})
 	if _, err := r.Rotate(); err != nil {
 		t.Fatalf("init rotation: %v", err)
 	}

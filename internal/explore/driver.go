@@ -7,11 +7,10 @@ import (
 	"time"
 
 	"rchdroid/internal/app"
-	"rchdroid/internal/atms"
 	"rchdroid/internal/bundle"
 	"rchdroid/internal/chaos"
 	"rchdroid/internal/config"
-	"rchdroid/internal/costmodel"
+	"rchdroid/internal/device"
 	"rchdroid/internal/oracle"
 	"rchdroid/internal/oracle/corpus"
 	"rchdroid/internal/sim"
@@ -83,25 +82,34 @@ func fieldPrefix(className string) string {
 // runScenario executes one scenario under inst with the schedule's
 // fault actions injected at their edges. Everything is scripted — the
 // chaos plan starts with zero rates, so the run is a pure function of
-// (scenario, schedule, installer).
-func runScenario(sc *corpus.Scenario, sched Schedule, inst oracle.Installer) RunResult {
+// (scenario, schedule, installer). The world is forked from forker's
+// per-scenario template when one is supplied (the scripted plan consumes
+// no randomness before the first step, so the fork's post-settle arming
+// point is behaviorally identical to a fresh build) and built fresh
+// otherwise.
+func runScenario(sc *corpus.Scenario, sched Schedule, inst oracle.Installer, forker *device.TemplateCache) RunResult {
 	res := RunResult{Name: inst.Name}
-	clock := sim.NewScheduler()
-	model := costmodel.Default()
-	sys := atms.New(clock, model)
-	theApp := sc.App()
-	proc := app.NewProcess(clock, model, theApp)
-	plan := chaos.NewScripted()
-	plan.BindClock(clock)
+	var plan *chaos.Plan
+	var w *device.World
 	install := func(p *app.Process) {
 		if inst.Install != nil {
-			inst.Install(sys, p, plan)
+			inst.Install(w.Sys, p, plan)
 		}
-		plan.Install(sys, p)
+		plan.Install(w.Sys, p)
 	}
-	install(proc)
-	sys.LaunchApp(proc)
-	clock.Advance(2 * time.Second)
+	arm := func(dw *device.World) {
+		w = dw
+		plan = chaos.NewScripted()
+		plan.BindClock(dw.Sched)
+		install(dw.Proc)
+	}
+	spec := device.Spec{App: sc.App}
+	if forker != nil {
+		forker.Fork("scenario:"+sc.Name, spec, 0, arm)
+	} else {
+		device.New(spec, 0, arm)
+	}
+	clock, sys, proc := w.Sched, w.Sys, w.Proc
 
 	invCfg := invariantsFor(sc)
 	expected := map[string]oracle.Field{}
@@ -158,9 +166,7 @@ func runScenario(sc *corpus.Scenario, sched Schedule, inst oracle.Installer) Run
 		plan.Note(chaos.PointProcess, "kill", "kill process (scripted)")
 		proc.Crash(chaos.ErrKilled)
 		res.Kills++
-		proc = app.NewProcess(clock, model, theApp)
-		install(proc)
-		sys.LaunchAppWithState(proc, saved)
+		proc = w.Relaunch(saved, install)
 		clock.Advance(2 * time.Second)
 		fg := proc.Thread().ForegroundActivity()
 		if fg == nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"rchdroid/internal/device"
 	"rchdroid/internal/obs"
 	"rchdroid/internal/oracle"
 	"rchdroid/internal/oracle/corpus"
@@ -170,10 +171,18 @@ func InstallerForObs(sc *corpus.Scenario, sh *obs.Shard) oracle.Installer {
 // RunIndexWith runs schedule idx of the space under stock and under the
 // given RCHDroid installer, and judges the pair.
 func RunIndexWith(sc *corpus.Scenario, sp Space, idx uint64, rch oracle.Installer) Verdict {
+	return RunIndexForked(sc, sp, idx, rch, nil)
+}
+
+// RunIndexForked is RunIndexWith with an optional fork cache: both the
+// stock and the RCHDroid world fork from the scenario's single pre-chaos
+// template (the arms differ only in what the post-settle arming point
+// installs), so the verdict is byte-identical to the fresh-build path.
+func RunIndexForked(sc *corpus.Scenario, sp Space, idx uint64, rch oracle.Installer, forker *device.TemplateCache) Verdict {
 	sched := sp.At(idx)
 	v := Verdict{Scenario: sc.Name, Index: idx, Schedule: sched}
-	v.Stock = runScenario(sc, sched, oracle.Installer{Name: "Android-10"})
-	v.RCH = runScenario(sc, sched, rch)
+	v.Stock = runScenario(sc, sched, oracle.Installer{Name: "Android-10"}, forker)
+	v.RCH = runScenario(sc, sched, rch, forker)
 	v.judge(sc)
 	return v
 }
@@ -211,6 +220,10 @@ type Options struct {
 	// schedule-derived, so the canonical dump is byte-identical at any
 	// worker count.
 	Obs *obs.Registry
+	// Fork builds the scenario's pre-chaos world once and forks it per
+	// schedule instead of rebuilding it. Reports and canonical metric
+	// dumps are byte-identical either way.
+	Fork bool
 }
 
 // Result is one explored chunk of a scenario's schedule space.
@@ -269,6 +282,10 @@ func Explore(sc *corpus.Scenario, opts Options) *Result {
 	if opts.Installer != nil {
 		factory = func(*obs.Shard) oracle.Installer { return opts.Installer() }
 	}
+	var forker *device.TemplateCache
+	if opts.Fork {
+		forker = device.NewTemplateCache()
+	}
 	crashes := make([]bool, count)
 	tallies := make([][oracle.NumLossBuckets]int, count)
 	rep := sweep.RunObs(sweep.Config{
@@ -280,7 +297,7 @@ func Explore(sc *corpus.Scenario, opts Options) *Result {
 		Replay:    ReplayFor(sc, opts.Depth),
 		Obs:       opts.Obs,
 	}, func(idx uint64, sh *obs.Shard) sweep.Outcome {
-		v := RunIndexWith(sc, sp, idx, factory(sh))
+		v := RunIndexForked(sc, sp, idx, factory(sh), forker)
 		i := idx - start
 		crashes[i] = v.Stock.Crashed
 		tallies[i] = oracle.TallyLosses(v.Stock.Losses)

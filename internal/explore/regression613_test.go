@@ -62,23 +62,32 @@ func supersessionAblatedInstaller() oracle.Installer {
 // handling-generation guard keeps the stale relaunch from running.
 const twinSchedule = "[e4:config]"
 
-// TestGuardedSeed613Regression pins the chaos reproduction of guarded
-// seed 613: the full guarded build survives it, and the
+// regressionSeed is the chaos reproduction of the stale-relaunch race
+// originally found at guarded seed 613. The device-builder migration
+// moved chaos arming to the post-settle point (launch messages are no
+// longer rolled), which re-indexed the fault streams; seed 889 is the
+// equivalent window under the new arming, re-found by scanning for a
+// seed the guarded build survives and the supersession-ablated build
+// fails with the second visible activity.
+const regressionSeed = 889
+
+// TestGuardedSeed613Regression pins the chaos reproduction of the
+// seed-613 race: the full guarded build survives it, and the
 // supersession-ablated build fails it with the stale stock relaunch
 // resurrecting a second visible activity. The seeded run is the
 // counterfactual that proves the race is harmful; the schedule-space twin
 // below proves the explorer reaches the same window without RNG.
 func TestGuardedSeed613Regression(t *testing.T) {
-	guarded := oracle.DifferentialOpts(613, sweep.GuardedInstaller(), chaos.Guarded())
+	guarded := oracle.DifferentialOpts(regressionSeed, sweep.GuardedInstaller(), chaos.Guarded())
 	if !guarded.OK() {
-		t.Fatalf("guarded seed 613 regressed:\n%s", guarded.String())
+		t.Fatalf("guarded seed %d regressed:\n%s", regressionSeed, guarded.String())
 	}
-	ablated := oracle.DifferentialOpts(613, supersessionAblatedInstaller(), chaos.Guarded())
+	ablated := oracle.DifferentialOpts(regressionSeed, supersessionAblatedInstaller(), chaos.Guarded())
 	if ablated.OK() {
-		t.Fatal("seed 613 passed without the handling-generation guard — the ablation no longer reproduces the race, so the regression has lost its counterfactual")
+		t.Fatalf("seed %d passed without the handling-generation guard — the ablation no longer reproduces the race, so the regression has lost its counterfactual", regressionSeed)
 	}
 	if s := ablated.String(); !strings.Contains(s, "visible activities") {
-		t.Errorf("ablated seed 613 failed with an unexpected shape (want the stale relaunch's second visible activity):\n%s", s)
+		t.Errorf("ablated seed %d failed with an unexpected shape (want the stale relaunch's second visible activity):\n%s", regressionSeed, s)
 	}
 }
 

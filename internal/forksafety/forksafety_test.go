@@ -1,0 +1,97 @@
+// Package forksafety statically enforces the precondition Template.Fork
+// relies on: the simulated device's state lives entirely inside the
+// object graphs that fork.go files deep-copy. A package-level mutable
+// var in one of the fork-critical packages would be shared between a
+// template and every world forked from it — invisible to the copy, and
+// a determinism leak the byte-identity gates might only catch long
+// after the var landed. This test fails the moment such a var appears,
+// pointing at the allowlist below so the author has to argue the var is
+// genuinely immutable.
+package forksafety
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// forkCriticalPackages are the packages whose state Template.Fork must
+// be able to deep-copy. Every package with a fork.go (or whose objects
+// are cloned by one) belongs here.
+var forkCriticalPackages = []string{
+	"../core",
+	"../app",
+	"../atms",
+	"../looper",
+	"../view",
+}
+
+// allowlist names the package-level vars audited as immutable after
+// initialization. Key is "package/file.go:varname". Adding to this list
+// requires the same audit: the var must never be written after init,
+// and its reachable object graph must never be mutated by a running
+// world. A read-only lookup table qualifies; a counter, cache, pool, or
+// registry does not.
+var allowlist = map[string]bool{
+	// Static lifecycle-transition table; built once, only ever read.
+	"app/lifecycle.go:validTransitions": true,
+}
+
+// TestNoPackageLevelMutableState parses every fork-critical package and
+// fails on package-level var declarations (and init funcs, which exist
+// only to mutate package state) that are not allowlisted.
+func TestNoPackageLevelMutableState(t *testing.T) {
+	for _, dir := range forkCriticalPackages {
+		pkg := filepath.Base(dir)
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			// Test files run outside forked worlds; only shipped code is
+			// shared between a template and its forks.
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", dir, err)
+		}
+		for _, p := range pkgs {
+			for filename, file := range p.Files {
+				base := filepath.Base(filename)
+				for _, decl := range file.Decls {
+					switch d := decl.(type) {
+					case *ast.GenDecl:
+						if d.Tok != token.VAR {
+							continue
+						}
+						for _, spec := range d.Specs {
+							vs := spec.(*ast.ValueSpec)
+							for _, name := range vs.Names {
+								if name.Name == "_" {
+									continue
+								}
+								key := pkg + "/" + base + ":" + name.Name
+								if !allowlist[key] {
+									t.Errorf("%s: package-level var %q is not on the fork-safety allowlist.\n"+
+										"Worlds forked from a device.Template share package state; a mutable var here\n"+
+										"leaks between forks. Move the state into a struct the fork.go deep-copy\n"+
+										"reaches, or — if it is truly immutable after init — add %q to the\n"+
+										"allowlist in internal/forksafety with an audit comment.",
+										fset.Position(name.Pos()), key, key)
+								}
+							}
+						}
+					case *ast.FuncDecl:
+						if d.Name.Name == "init" && d.Recv == nil {
+							t.Errorf("%s: func init() in fork-critical package %s.\n"+
+								"init funcs exist to mutate package-level state, which forked worlds share.\n"+
+								"Initialize through the device.Spec path instead.",
+								fset.Position(d.Pos()), pkg)
+						}
+					}
+				}
+			}
+		}
+	}
+}

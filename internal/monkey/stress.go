@@ -7,12 +7,10 @@ import (
 
 	"rchdroid/internal/app"
 	"rchdroid/internal/appset"
-	"rchdroid/internal/atms"
 	"rchdroid/internal/chaos"
 	"rchdroid/internal/core"
-	"rchdroid/internal/costmodel"
+	"rchdroid/internal/device"
 	"rchdroid/internal/oracle"
-	"rchdroid/internal/sim"
 )
 
 // StressOptions tune a monkey×chaos stress run.
@@ -65,23 +63,24 @@ func Stress(m appset.Model, seed uint64, opts StressOptions) StressResult {
 		res.Failures = append(res.Failures, fmt.Sprintf(format, args...))
 	}
 
-	sched := sim.NewScheduler()
-	model := costmodel.Default()
-	sys := atms.New(sched, model)
-	plan := chaos.NewPlan(seed^0xC0FFEE, chaos.Heavy())
-	plan.BindClock(sched)
-
-	boot := func() *app.Process {
-		proc := app.NewProcess(sched, model, m.Build())
+	var plan *chaos.Plan
+	var w *device.World
+	// install arms chaos and RCHDroid on a process: at the post-settle
+	// point on first boot, and before the launch on each relaunch — the
+	// same points a real device arms them.
+	install := func(p *app.Process) {
 		coreOpts := core.DefaultOptions()
 		coreOpts.Chaos = plan
-		core.Install(sys, proc, coreOpts)
-		plan.Install(sys, proc)
-		sys.LaunchApp(proc)
-		sched.Advance(2 * time.Second)
-		return proc
+		core.Install(w.Sys, p, coreOpts)
+		plan.Install(w.Sys, p)
 	}
-	proc := boot()
+	device.New(device.Spec{App: m.Build}, seed, func(dw *device.World) {
+		w = dw
+		plan = chaos.NewPlan(seed^0xC0FFEE, chaos.Heavy())
+		plan.BindClock(dw.Sched)
+		install(dw.Proc)
+	})
+	sched, sys, proc := w.Sched, w.Sys, w.Proc
 
 	invCfg := oracle.InvariantConfig{CheckMemoryFloor: true}
 	for chunk := 0; chunk < opts.Chunks; chunk++ {
@@ -108,7 +107,10 @@ func Stress(m appset.Model, seed uint64, opts StressOptions) StressResult {
 				fail("chunk %d: kill cause lost: %v", chunk, proc.CrashCause())
 				return res
 			}
-			proc = boot() // the user reopens the app after the LMK kill
+			// The user reopens the app after the LMK kill (cold start: the
+			// monkey run holds no instance state worth restoring).
+			proc = w.Relaunch(nil, install)
+			sched.Advance(2 * time.Second)
 		case chaos.ProcTrim:
 			res.Trims++
 			proc.TrimMemory()

@@ -10,7 +10,7 @@ import (
 	"rchdroid/internal/atms"
 	"rchdroid/internal/chaos"
 	"rchdroid/internal/config"
-	"rchdroid/internal/costmodel"
+	"rchdroid/internal/device"
 	"rchdroid/internal/guard"
 	"rchdroid/internal/sim"
 	"rchdroid/internal/trace"
@@ -195,33 +195,47 @@ func readModel(a *app.Activity) (ModelState, error) {
 // async drain).
 var oracleInvariants = InvariantConfig{MaxInstancesPerProcess: 3, CheckMemoryFloor: true}
 
-// runOnce boots a fresh seeded world — scheduler, system server, the
-// oracle app, a chaos plan on the same seed — installs the handler under
-// test and executes the scenario script. A non-nil tracer is armed on
-// every layer (system server, process, chaos plan) before the launch.
-func runOnce(inst Installer, sc Scenario, opts chaos.Options, tracer *trace.Tracer) RunResult {
+// oracleSpec is the device spec for a scenario's world; worlds of equal
+// image count are identical pre-chaos, which is what makes them share a
+// fork template.
+func oracleSpec(sc Scenario) device.Spec {
+	images := sc.Images
+	return device.Spec{App: func() *app.App { return OracleApp(images) }}
+}
+
+// runOnce executes the scenario script in a seeded world: built fresh
+// (or forked from forker's per-image-count template — byte-identical by
+// construction), then armed at the post-settle point with the chaos plan
+// on the scenario's seed, the handler under test, and the optional
+// tracer on every layer (system server, process, chaos plan).
+func runOnce(inst Installer, sc Scenario, opts chaos.Options, tracer *trace.Tracer, forker *device.TemplateCache) RunResult {
 	res := RunResult{
 		Name:          inst.Name,
 		Started:       make([]bool, sc.Tasks),
 		Delivered:     make([]int, sc.Tasks),
 		DroppedByPlan: make([]bool, sc.Tasks),
 	}
-	sched := sim.NewScheduler()
-	tracer.BindClock(sched)
-	model := costmodel.Default()
-	sys := atms.New(sched, model)
-	sys.SetTracer(tracer)
-	proc := app.NewProcess(sched, model, OracleApp(sc.Images))
-	proc.SetTracer(tracer)
-	plan := chaos.NewPlan(sc.Seed, opts)
-	plan.BindClock(sched)
-	plan.SetTracer(tracer)
-	if inst.Install != nil {
-		inst.Install(sys, proc, plan)
+	var plan *chaos.Plan
+	arm := func(w *device.World) {
+		tracer.BindClock(w.Sched)
+		w.Sys.SetTracer(tracer)
+		w.Proc.SetTracer(tracer)
+		plan = chaos.NewPlan(sc.Seed, opts)
+		plan.BindClock(w.Sched)
+		plan.SetTracer(tracer)
+		if inst.Install != nil {
+			inst.Install(w.Sys, w.Proc, plan)
+		}
+		plan.Install(w.Sys, w.Proc)
 	}
-	plan.Install(sys, proc)
-	sys.LaunchApp(proc)
-	sched.Advance(2 * time.Second)
+	spec := oracleSpec(sc)
+	var w *device.World
+	if forker != nil {
+		w = forker.Fork(fmt.Sprintf("images:%d", sc.Images), spec, sc.Seed, arm)
+	} else {
+		w = device.New(spec, sc.Seed, arm)
+	}
+	sched, sys, proc := w.Sched, w.Sys, w.Proc
 	if fg := proc.Thread().ForegroundActivity(); fg != nil {
 		// Ground truth starts from the freshly launched instance (e.g. a
 		// list's selector begins at -1, not the zero value).
@@ -408,10 +422,19 @@ func Differential(seed uint64, rch Installer) Verdict {
 // both runs replay the same plan, so the comparison stays apples to
 // apples at any fault intensity.
 func DifferentialOpts(seed uint64, rch Installer, opts chaos.Options) Verdict {
+	return DifferentialWith(seed, rch, opts, nil)
+}
+
+// DifferentialWith is DifferentialOpts with an optional fork cache: when
+// forker is non-nil, both arms' worlds are forked from per-image-count
+// templates instead of being built from scratch. The verdict is
+// byte-identical either way — forks replay the exact pre-chaos state and
+// the chaos plan arms at the same post-settle point on both paths.
+func DifferentialWith(seed uint64, rch Installer, opts chaos.Options, forker *device.TemplateCache) Verdict {
 	sc := GenScenario(seed)
 	v := Verdict{Seed: seed}
-	v.Stock = runOnce(Installer{Name: "Android-10"}, sc, opts, nil)
-	v.RCH = runOnce(rch, sc, opts, nil)
+	v.Stock = runOnce(Installer{Name: "Android-10"}, sc, opts, nil, forker)
+	v.RCH = runOnce(rch, sc, opts, nil, forker)
 	v.judge()
 	return v
 }
@@ -431,7 +454,7 @@ func TraceRCH(seed uint64, rch Installer, capacity int) ([]byte, error) {
 func TraceRCHWith(seed uint64, rch Installer, capacity int, opts chaos.Options) ([]byte, error) {
 	sc := GenScenario(seed)
 	tracer := trace.NewRing(nil, capacity)
-	runOnce(rch, sc, opts, tracer)
+	runOnce(rch, sc, opts, tracer, nil)
 	return tracer.MarshalJSON()
 }
 

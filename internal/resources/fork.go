@@ -1,0 +1,33 @@
+package resources
+
+// Fork returns an independent table with the same entries and the same
+// lookup count. The entries map is borrowed copy-on-write: variants (and
+// the values they hold — layout specs, strings) are immutable after app
+// construction, every Put in the repo runs inside an app factory before
+// the world launches, and a forked table copies the map the moment a Put
+// does arrive. The lookup counter is always private, because Resolve
+// increments it on every call: concurrent forks must not race on it, and
+// per-world lookup counts must match what a fresh build would report.
+//
+// The parent must be quiescent when Fork is called (true of a settled
+// device template, which never runs again): a Put on the parent after
+// forking would be visible to children that have not copied yet.
+func (t *Table) Fork() *Table {
+	return &Table{entries: t.entries, nextOrd: t.nextOrd, lookups: t.lookups, borrowed: true}
+}
+
+// copyOnWrite gives a borrowed table its own entries map before the
+// first mutation.
+func (t *Table) copyOnWrite() {
+	if !t.borrowed {
+		return
+	}
+	entries := make(map[string][]variant, len(t.entries))
+	for name, vs := range t.entries {
+		cp := make([]variant, len(vs))
+		copy(cp, vs)
+		entries[name] = cp
+	}
+	t.entries = entries
+	t.borrowed = false
+}

@@ -117,6 +117,9 @@ type Table struct {
 	entries map[string][]variant
 	nextOrd int
 	lookups int
+	// borrowed marks entries as shared read-only with a fork parent;
+	// the first Put copies it (see fork.go).
+	borrowed bool
 }
 
 // NewTable returns an empty resource table.
@@ -127,6 +130,7 @@ func NewTable() *Table {
 // Put registers a variant of the named resource. Later Puts with identical
 // qualifiers override earlier ones.
 func (t *Table) Put(name string, q Qualifiers, value any) {
+	t.copyOnWrite()
 	vs := t.entries[name]
 	for i := range vs {
 		if vs[i].qual == q {

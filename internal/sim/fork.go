@@ -1,0 +1,17 @@
+package sim
+
+import "fmt"
+
+// Fork returns an independent scheduler whose clock, event-sequence
+// counter and fired count match s exactly, so events scheduled on the
+// copy fire at the same virtual times with the same FIFO tie-breaks a
+// fresh run would produce. Forking is only legal at quiescence: a
+// pending event holds a closure over the old world and cannot be
+// transplanted, so a non-empty queue is an error, not a best-effort
+// copy. The tracer is not carried over — forks arm their own.
+func (s *Scheduler) Fork() (*Scheduler, error) {
+	if len(s.events) > 0 {
+		return nil, fmt.Errorf("sim: fork with %d pending events (world not settled)", len(s.events))
+	}
+	return &Scheduler{now: s.now, seq: s.seq, fired: s.fired}, nil
+}

@@ -33,8 +33,13 @@ type Measurement struct {
 // Bench is one mode's scaling curve — the unit of the BENCH_sweep.json
 // trajectory. Curve[0] is always the workers=1 baseline.
 type Bench struct {
-	Mode        string        `json:"mode"`
-	Seeds       int           `json:"seeds"`
+	Mode  string `json:"mode"`
+	Seeds int    `json:"seeds"`
+	// Fork marks curves measured through the device fork path (per-seed
+	// worlds stamped from pre-chaos templates). A fork=true curve pairs
+	// with the fork=false curve of the same mode: same seeds, same
+	// byte-identical report, divided wall time.
+	Fork        bool          `json:"fork,omitempty"`
 	Curve       []Measurement `json:"curve"`
 	BestWorkers int           `json:"best_workers"`
 	BestSpeedup float64       `json:"best_speedup"`
@@ -69,7 +74,15 @@ func normalizeWorkerCounts(counts []int) []int {
 // against the workers=1 baseline. A nil or empty workerCounts measures
 // {1, GOMAXPROCS}.
 func RunBench(mode string, seeds int, workerCounts []int) (Bench, error) {
-	fn, replay, err := ForMode(mode)
+	return RunBenchForked(mode, seeds, workerCounts, false)
+}
+
+// RunBenchForked is RunBench through the fork path when fork is set: one
+// template cache is shared across the whole curve, so the workers=1
+// baseline pays the template builds and every other point forks from
+// them — exactly how a long sweep amortizes construction.
+func RunBenchForked(mode string, seeds int, workerCounts []int, fork bool) (Bench, error) {
+	fn, replay, err := ForModeForked(mode, fork)
 	if err != nil {
 		return Bench{}, err
 	}
@@ -81,7 +94,7 @@ func RunBench(mode string, seeds int, workerCounts []int) (Bench, error) {
 	}
 	counts := normalizeWorkerCounts(workerCounts)
 
-	b := Bench{Mode: mode, Seeds: seeds}
+	b := Bench{Mode: mode, Seeds: seeds, Fork: fork}
 	var baseReport, baseFailures string
 	var baseMetrics []byte
 	var baseSeconds float64

@@ -8,6 +8,7 @@ import (
 	"rchdroid/internal/atms"
 	"rchdroid/internal/chaos"
 	"rchdroid/internal/core"
+	"rchdroid/internal/device"
 	"rchdroid/internal/guard"
 	"rchdroid/internal/monkey"
 	"rchdroid/internal/obs"
@@ -20,6 +21,7 @@ const (
 	ReplayOracle = "go test ./internal/oracle -run TestTransparencyOracleSweep -oracle.replay=%d -v"
 	ReplayGuard  = "go test ./internal/oracle -run TestGuardedChaosSweep -oracle.guard-replay=%d -v"
 	ReplayMonkey = "go run ./cmd/rchsweep -mode=monkey -start=%d -seeds=1 -v"
+	ReplayBoot   = "go run ./cmd/rchsweep -mode=boot -start=%d -seeds=1 -v"
 )
 
 // RCHInstaller wires RCHDroid (with its core-side chaos hooks) onto a
@@ -102,9 +104,15 @@ func foldVerdict(sh *obs.Shard, v oracle.Verdict) {
 
 // OracleRunner runs one seed of the differential RCHDroid-vs-stock
 // oracle under the Light chaos preset.
-func OracleRunner() ObsRunner {
+func OracleRunner() ObsRunner { return OracleRunnerForked(nil) }
+
+// OracleRunnerForked is OracleRunner with an optional fork cache shared
+// by every worker: per-seed worlds fork from settled pre-chaos templates
+// instead of being rebuilt, with byte-identical verdicts. A nil cache
+// builds fresh worlds.
+func OracleRunnerForked(forker *device.TemplateCache) ObsRunner {
 	return func(seed uint64, sh *obs.Shard) Outcome {
-		v := oracle.Differential(seed, RCHInstallerObs(sh))
+		v := oracle.DifferentialWith(seed, RCHInstallerObs(sh), chaos.Light(), forker)
 		foldVerdict(sh, v)
 		return verdictOutcome(v)
 	}
@@ -112,9 +120,12 @@ func OracleRunner() ObsRunner {
 
 // GuardRunner runs one seed of the guarded-chaos sweep: the supervised
 // build under the heavy Guarded preset, judged mode-aware.
-func GuardRunner() ObsRunner {
+func GuardRunner() ObsRunner { return GuardRunnerForked(nil) }
+
+// GuardRunnerForked is GuardRunner with an optional shared fork cache.
+func GuardRunnerForked(forker *device.TemplateCache) ObsRunner {
 	return func(seed uint64, sh *obs.Shard) Outcome {
-		v := oracle.DifferentialOpts(seed, GuardedInstallerObs(sh), chaos.Guarded())
+		v := oracle.DifferentialWith(seed, GuardedInstallerObs(sh), chaos.Guarded(), forker)
 		foldVerdict(sh, v)
 		return verdictOutcome(v)
 	}
@@ -141,15 +152,57 @@ func MonkeyRunner() ObsRunner {
 	}
 }
 
+// BootRunner measures device spin-up throughput: each seed stamps out
+// one settled pre-chaos world and verifies it is ready to run. This is
+// the rchserve workload — worlds/sec, nothing else — and the bench mode
+// where the fork facility's construction speedup is visible undiluted:
+// a chaos sweep amortizes construction against the run, a boot sweep is
+// construction.
+func BootRunner() ObsRunner { return BootRunnerForked(nil) }
+
+// BootRunnerForked is BootRunner through the fork path when a cache is
+// given: every seed's world forks from one settled template.
+func BootRunnerForked(forker *device.TemplateCache) ObsRunner {
+	spec := device.Spec{App: func() *app.App { return oracle.OracleApp(16) }}
+	return func(seed uint64, sh *obs.Shard) Outcome {
+		var w *device.World
+		if forker != nil {
+			w = forker.Fork("boot", spec, seed, nil)
+		} else {
+			w = device.New(spec, seed, nil)
+		}
+		sh.Counter("boot_worlds_total", "device worlds spun up", obs.Sim).Inc()
+		if fg := w.Proc.Thread().ForegroundActivity(); w.Proc.Crashed() || fg == nil {
+			return Outcome{OK: false, Detail: fmt.Sprintf("seed=%d boot failed", seed),
+				Failures: []string{"world not settled: no resumed foreground activity"}}
+		}
+		return Outcome{OK: true, Detail: fmt.Sprintf("seed=%d booted token=%d", seed, w.Token)}
+	}
+}
+
 // ForMode resolves a mode name to its runner and replay format.
 func ForMode(mode string) (ObsRunner, string, error) {
+	return ForModeForked(mode, false)
+}
+
+// ForModeForked is ForMode with the fork toggle: when fork is set, the
+// oracle and guard runners share one template cache across the worker
+// pool. Monkey stress always builds fresh (its relaunch-heavy runs spend
+// almost no time in world construction).
+func ForModeForked(mode string, fork bool) (ObsRunner, string, error) {
+	var forker *device.TemplateCache
+	if fork {
+		forker = device.NewTemplateCache()
+	}
 	switch mode {
 	case "oracle":
-		return OracleRunner(), ReplayOracle, nil
+		return OracleRunnerForked(forker), ReplayOracle, nil
 	case "guard":
-		return GuardRunner(), ReplayGuard, nil
+		return GuardRunnerForked(forker), ReplayGuard, nil
 	case "monkey":
 		return MonkeyRunner(), ReplayMonkey, nil
+	case "boot":
+		return BootRunnerForked(forker), ReplayBoot, nil
 	}
-	return nil, "", fmt.Errorf("unknown sweep mode %q (want oracle, guard or monkey)", mode)
+	return nil, "", fmt.Errorf("unknown sweep mode %q (want oracle, guard, monkey or boot)", mode)
 }

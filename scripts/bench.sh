@@ -6,11 +6,20 @@
 # each worker count in the curve (default 1,2,4,8 plus GOMAXPROCS, with
 # a forced workers=1 baseline and duplicates collapsed), the speedup
 # against the baseline, and per-seed p50/p95 wall times for the oracle
-# and guarded-chaos sweeps. GOMAXPROCS is recorded on every measurement,
-# so points collected on differently-provisioned machines stay honest.
-# Every point doubles as a determinism check — the merged report AND
-# the canonical metrics dump are byte-compared against the workers=1
-# baseline, and the bench fails on any drift.
+# and guarded-chaos sweeps plus the boot (device spin-up) mode.
+# GOMAXPROCS is recorded on every measurement, so points collected on
+# differently-provisioned machines stay honest. Every point doubles as
+# a determinism check — the merged report AND the canonical metrics
+# dump are byte-compared against the workers=1 baseline, and the bench
+# fails on any drift.
+#
+# Each mode is measured twice: fresh builds, and with -fork (every
+# per-seed world forked from one settled pre-chaos template — curves
+# with "fork": true). The stderr log records the fork speedup per mode;
+# it is largest on the boot mode, whose seeds are pure world
+# construction, and bounded by the chaos-to-construction ratio on the
+# oracle/guard sweeps (Amdahl). Boot runs a larger seed count
+# (mode:seeds syntax) because each of its seeds is microseconds.
 #
 #   scripts/bench.sh            # full measurement (512 seeds per mode)
 #   scripts/bench.sh -quick     # CI-sized (128 seeds per mode)
@@ -19,11 +28,12 @@ set -eu
 cd "$(dirname "$0")/.."
 
 seeds=512
+bootseeds=20000
 out=BENCH_sweep.json
 workers=1,2,4,8,0
 while [ $# -gt 0 ]; do
     case "$1" in
-        -quick) seeds=128 ;;
+        -quick) seeds=128; bootseeds=5000 ;;
         -out) shift; out="$1" ;;
         -seeds) shift; seeds="$1" ;;
         -workers) shift; workers="$1" ;;
@@ -32,5 +42,5 @@ while [ $# -gt 0 ]; do
     shift
 done
 
-go run ./cmd/rchsweep -bench -mode=oracle,guard \
+go run ./cmd/rchsweep -bench -mode="oracle,guard,boot:$bootseeds" -fork \
     -seeds="$seeds" -bench-workers="$workers" -bench-out "$out"

@@ -21,20 +21,25 @@
 #                      dump lands in ./artifacts/ and the run enforces
 #                      the seeds/sec floor (RCH_SEEDS_FLOOR, default
 #                      250 — ~10× headroom under the measured ~2–3k)
-#   8. determinism   — 64-seed sequential cross-check: -workers=1 and
+#   8. fork gate     — the same 512-seed oracle sweep through the device
+#                      fork path (-fork: every per-seed world forked from
+#                      one settled pre-chaos template): merged report AND
+#                      canonical metrics dump must be byte-identical to
+#                      stage 7's fresh-build run
+#   9. determinism   — 64-seed sequential cross-check: -workers=1 and
 #                      -workers=N merged reports AND canonical metric
 #                      dumps must be byte-identical
-#   9. guarded sweep — 1024-seed guarded-chaos run on the engine: zero
+#  10. guarded sweep — 1024-seed guarded-chaos run on the engine: zero
 #                      invariant violations, no quarantine/breaker
 #                      decision without a preceding injected fault, and
 #                      every activity either RCHDroid-equivalent or
 #                      exactly stock-equivalent (never a hybrid)
-#  10. counterfactual — guard-off runs must reproduce the raw failures
+#  11. counterfactual — guard-off runs must reproduce the raw failures
 #                      the guard recovers, and guarded verdicts replay
 #                      bit-identically
-#  11. profile smoke — a 32-seed sweep under -profile-cpu/-profile-heap
+#  12. profile smoke — a 32-seed sweep under -profile-cpu/-profile-heap
 #                      must produce non-empty pprof artifacts
-#  12. bench         — scripts/bench.sh -quick (CI-sized scaling curve +
+#  13. bench         — scripts/bench.sh -quick (CI-sized scaling curve +
 #                      determinism byte-compare of reports and metrics;
 #                      written to ./artifacts/ so the committed 512-seed
 #                      BENCH_sweep.json stays stable)
@@ -72,7 +77,14 @@ go test ./internal/experiments -run TestGuardIdleAnchor -count=1
 echo "==> oracle sweep (512 seeds, parallel engine, metrics + seeds/sec floor)"
 go run ./cmd/rchsweep -mode=oracle -seeds=512 -trace-on-fail \
     -metrics-out artifacts/metrics.oracle.json \
-    -min-seeds-per-sec "${RCH_SEEDS_FLOOR:-250}"
+    -min-seeds-per-sec "${RCH_SEEDS_FLOOR:-250}" > artifacts/report.oracle.txt
+cat artifacts/report.oracle.txt
+
+echo "==> fork determinism gate (512-seed oracle via template forks, byte-compare vs fresh)"
+go run ./cmd/rchsweep -mode=oracle -seeds=512 -fork \
+    -metrics-out artifacts/metrics.oracle.fork.json > artifacts/report.oracle.fork.txt
+cmp artifacts/report.oracle.txt artifacts/report.oracle.fork.txt
+cmp artifacts/metrics.oracle.json artifacts/metrics.oracle.fork.json
 
 echo "==> sequential determinism cross-check (64 seeds, reports + canonical metrics)"
 go run ./cmd/rchsweep -mode=oracle -seeds=64 -crosscheck
