@@ -111,10 +111,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return done, failed
 	})
 
+	stop, signaled, release := cliflags.StopOnSignals("rchexplore", stderr)
+	defer release()
 	code := 0
 	for i := range scenarios {
 		sc := &scenarios[i]
-		opts := explore.Options{Depth: *depth, Workers: *workers, Count: *chunk, Obs: reg, Fork: shared.Fork}
+		opts := explore.Options{Depth: *depth, Workers: *workers, Count: *chunk, Obs: reg, Fork: shared.Fork, Stop: stop}
 		if *checkpoint != "" {
 			start, err := resumeFrom(*checkpoint, sc, *depth)
 			if err != nil {
@@ -149,6 +151,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if !res.OK() {
 			code = 1
+		}
+		// A signal stops the walk between scenarios too. The frontier (if
+		// any) was just written from the contiguous done prefix, so a rerun
+		// resumes without skipping schedules; metrics still flush below.
+		if signaled() {
+			fmt.Fprintf(stderr, "rchexplore: interrupted during %s; rerun to continue\n", sc.Name)
+			code = 1
+			break
 		}
 	}
 	prog.Stop()

@@ -6,7 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"rchdroid/internal/explore"
 	"rchdroid/internal/obs"
@@ -187,5 +189,71 @@ func TestExploreMetricsOut(t *testing.T) {
 	}
 	if next, ok := byName["explore_frontier_next"]; !ok || next == 0 {
 		t.Fatalf("explore_frontier_next missing or zero: %v", byName)
+	}
+}
+
+// TestSignalInterruptsWalk sends a real SIGINT mid-walk of the largest
+// depth-2 schedule space with a checkpoint armed: the run must exit
+// non-zero and the frontier must hold the contiguous done prefix, so a
+// rerun resumes without skipping schedules.
+func TestSignalInterruptsWalk(t *testing.T) {
+	var biggest corpus.Scenario
+	var size uint64
+	for _, sc := range corpus.All() {
+		if n := explore.SpaceFor(&sc, 2).Size(); n > size {
+			biggest, size = sc, n
+		}
+	}
+	ckpt := filepath.Join(t.TempDir(), "frontier.json")
+	var out bytes.Buffer
+	var errOut syncBuffer
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- run([]string{"-scenario=" + biggest.Name, "-depth=2", "-progress=1ms", "-checkpoint=" + ckpt}, &out, &errOut)
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for !strings.Contains(errOut.String(), "progress: ") {
+		if time.Now().After(deadline) {
+			t.Fatal("walk never reported progress")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	select {
+	case code = <-codeCh:
+	case <-time.After(60 * time.Second):
+		t.Fatal("walk did not stop after SIGINT")
+	}
+	if code != 1 {
+		t.Fatalf("interrupted walk exited %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "rchexplore: interrupted") {
+		t.Fatalf("missing interruption message:\n%s", errOut.String())
+	}
+	b, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint not flushed on interrupt: %v", err)
+	}
+	f, err := explore.DecodeFrontier(b)
+	if err != nil {
+		t.Fatalf("decode checkpoint: %v", err)
+	}
+	if f.Scenario != biggest.Name || f.Total != size {
+		t.Fatalf("checkpoint misdescribes the walk: %+v", f)
+	}
+	if f.Next == 0 || f.Next >= size {
+		t.Fatalf("frontier Next = %d of %d, want a partial prefix", f.Next, size)
+	}
+
+	// Resuming from the interrupted frontier must finish the space clean.
+	code2, out2, _ := runCLI("-scenario="+biggest.Name, "-depth=2", "-checkpoint="+ckpt)
+	if code2 != 0 {
+		t.Fatalf("resume exited %d:\n%s", code2, out2)
+	}
+	if !strings.Contains(out2, "frontier: done") {
+		t.Fatalf("resume did not finish the space:\n%s", out2)
 	}
 }

@@ -111,8 +111,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer stopCPU()
 
+	stop, _, release := cliflags.StopOnSignals("rchsweep", stderr)
+	defer release()
 	reg := obs.NewRegistry()
-	cfg := sweep.Config{Mode: *mode, Start: *start, Count: *seeds, Workers: *workers, Replay: replay, Obs: reg}
+	cfg := sweep.Config{Mode: *mode, Start: *start, Count: *seeds, Workers: *workers, Replay: replay, Obs: reg, Stop: stop}
 	prog := obs.StartProgress(stderr, "seeds", *seeds, shared.Progress, func() (int64, int64) {
 		done := reg.CounterValue("sweep_seeds_total")
 		failed := reg.CounterValue("sweep_seed_failures_total") + reg.CounterValue("sweep_seed_panics_total")
@@ -126,6 +128,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	snap := reg.Snapshot()
 	if !shared.WriteMetrics(snap, stderr) || !shared.WriteHeapProfile(stderr) {
+		return 1
+	}
+
+	// An interrupted sweep still flushed its artifacts above; print the
+	// resume coordinates and exit non-zero — the partial report covers
+	// only the seeds that ran, so a green exit here would lie.
+	if rep.Interrupted {
+		resume := rep.Start + uint64(rep.DonePrefix())
+		fmt.Fprintf(stderr, "rchsweep: interrupted after %d of %d seeds; resume with -mode=%s -start=%d -seeds=%d\n",
+			rep.DoneCount(), rep.Count, rep.Mode, resume, rep.Count-rep.DonePrefix())
+		fmt.Fprint(stdout, rep.Tally()+"\n")
 		return 1
 	}
 

@@ -7,7 +7,9 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"rchdroid/internal/obs"
 	"rchdroid/internal/sweep"
@@ -197,5 +199,64 @@ func TestBenchWorkerCurve(t *testing.T) {
 
 	if code := run([]string{"-bench", "-mode=oracle", "-seeds=4", "-bench-workers=nope"}, &out, &errOut); code != 2 {
 		t.Fatalf("bad -bench-workers exited %d, want 2", code)
+	}
+}
+
+// TestSignalInterruptsSweep sends a real SIGINT mid-sweep: the run must
+// stop claiming seeds, flush the metrics artifact anyway, print resume
+// coordinates, and exit non-zero. The seed count is far larger than the
+// walk can finish before the signal lands (we wait for the first
+// progress line before firing).
+func TestSignalInterruptsSweep(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	var out bytes.Buffer
+	var errOut syncBuffer
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- run([]string{"-mode=oracle", "-seeds=50000", "-progress=1ms", "-metrics-out=" + metrics}, &out, &errOut)
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for !strings.Contains(errOut.String(), "progress: ") {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never reported progress")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	select {
+	case code = <-codeCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep did not stop after SIGINT")
+	}
+	if code != 1 {
+		t.Fatalf("interrupted sweep exited %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	stderrS := errOut.String()
+	if !strings.Contains(stderrS, "rchsweep: interrupted") || !strings.Contains(stderrS, "resume with -mode=oracle -start=") {
+		t.Fatalf("missing interruption/resume message:\n%s", stderrS)
+	}
+	if !strings.Contains(out.String(), "interrupted:") || !strings.Contains(out.String(), "resume at") {
+		t.Fatalf("tally does not mark the interruption:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("metrics artifact not flushed on interrupt: %v", err)
+	}
+	snap, err := obs.DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatalf("flushed metrics do not decode: %v", err)
+	}
+	done := int64(0)
+	for _, m := range snap.Metrics {
+		if m.Name == "sweep_seeds_total" {
+			done = m.Value
+		}
+	}
+	if done <= 0 || done >= 50000 {
+		t.Fatalf("sweep_seeds_total = %d after interrupt, want partial progress", done)
 	}
 }

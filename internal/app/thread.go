@@ -79,6 +79,15 @@ type ActivityThread struct {
 	currentShadow *Activity
 	currentSunny  *Activity
 
+	// pendingShadow mirrors the handler's unresolved flip prediction: an
+	// instance that entered the shadow state for a handling whose server
+	// reply (flip grant, create grant, or cancel) has not arrived yet.
+	// While set, two shadow-state instances legitimately coexist — the
+	// committed coupling and this one — so invariant samplers excuse it;
+	// every reply path clears it, restoring the strict §3.2 bound at
+	// rest.
+	pendingShadow *Activity
+
 	// pendingBackground remembers tokens whose moveToBackground arrived
 	// while the instance was mid-relaunch (no visible instance to stop):
 	// the in-flight relaunch consumes the entry and settles into the
@@ -145,6 +154,14 @@ func (t *ActivityThread) CurrentSunny() *Activity { return t.currentSunny }
 
 // SetCurrentShadow updates the shadow pointer (core package use).
 func (t *ActivityThread) SetCurrentShadow(a *Activity) { t.currentShadow = a }
+
+// PendingShadow returns the instance shadowed for a handling whose
+// server reply is still in flight, or nil.
+func (t *ActivityThread) PendingShadow() *Activity { return t.pendingShadow }
+
+// SetPendingShadow updates the in-flight prediction pointer (core
+// package use).
+func (t *ActivityThread) SetPendingShadow(a *Activity) { t.pendingShadow = a }
 
 // SetCurrentSunny updates the sunny pointer (core package use).
 func (t *ActivityThread) SetCurrentSunny(a *Activity) { t.currentSunny = a }
@@ -522,6 +539,9 @@ func (t *ActivityThread) PerformDestroy(a *Activity) {
 		}
 		if t.currentSunny == a {
 			t.currentSunny = nil
+		}
+		if t.pendingShadow == a {
+			t.pendingShadow = nil
 		}
 		// A stock relaunch reuses the token, so by the time a queued
 		// destroy of the old instance runs the slot may already hold its

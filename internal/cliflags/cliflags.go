@@ -11,7 +11,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"rchdroid/internal/obs"
@@ -106,6 +110,46 @@ func (s *Set) WriteHeapProfile(stderr io.Writer) bool {
 		return false
 	}
 	return true
+}
+
+// StopOnSignals installs graceful SIGINT/SIGTERM handling for a
+// sweep-style command. The first signal closes the returned stop
+// channel — the sweep engine finishes in-flight seeds and claims no
+// more, so the command can flush its checkpoint and metric artifacts
+// and exit resumable instead of truncated. A second signal aborts
+// immediately with the conventional 128+SIGINT status. signaled
+// reports whether the first signal has fired; release unregisters the
+// handler (defer it, so a finished run stops intercepting signals).
+func StopOnSignals(tool string, stderr io.Writer) (stop <-chan struct{}, signaled func() bool, release func()) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	var fired atomic.Bool
+	go func() {
+		select {
+		case <-done:
+			return
+		case <-ch:
+		}
+		fired.Store(true)
+		fmt.Fprintf(stderr, "%s: interrupted — finishing in-flight work and flushing artifacts (interrupt again to abort)\n", tool)
+		close(stopCh)
+		select {
+		case <-done:
+		case <-ch:
+			fmt.Fprintf(stderr, "%s: second interrupt — aborting\n", tool)
+			os.Exit(130)
+		}
+	}()
+	var once sync.Once
+	release = func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+	}
+	return stopCh, fired.Load, release
 }
 
 // WriteFileMaybeMkdir writes data to path, creating the parent directory

@@ -38,6 +38,16 @@ type ShadowHandler struct {
 	// server's actual decision.
 	pendingShadow *app.Activity
 
+	// flipPending is the shadow partner a scheduled flip-likely handling
+	// has committed to bringing back, from the moment the handling is
+	// scheduled until the server's reply (flip grant, create grant, or
+	// cancel) — or the handling's own abort — resolves the prediction.
+	// While set, the partner must not be released: a back-to-back change
+	// taking the non-flip path would otherwise destroy the instance the
+	// queued flip reply is about to promote, leaving the process with a
+	// shadow-only thread no resume can ever reach.
+	flipPending *app.Activity
+
 	// changesInFlight counts RCHDroid handlings between the enter-shadow
 	// transition and their settling point (flipDone, or the sunny launch's
 	// resume). While non-zero the guard's deferred shadow release must
@@ -58,6 +68,12 @@ type ShadowHandler struct {
 	// disableSupersession turns the generation guard off (ablation; see
 	// core.Options.DisableSupersession).
 	disableSupersession bool
+
+	// disableFlipPinning turns the flip-prediction pin off (ablation; see
+	// core.Options.DisableFlipPinning): flipPending is never set, so a
+	// concurrent non-flip handling releases the partner an in-flight flip
+	// reply is about to promote.
+	disableFlipPinning bool
 
 	// zombies are former shadow activities kept alive only because they
 	// still have asynchronous tasks in flight; they are destroyed as soon
@@ -175,6 +191,13 @@ func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activi
 	stockFallback := false
 
 	if flipLikely {
+		// Commit to the prediction now, at schedule time: changes
+		// delivered back-to-back run their synchronous prologue before any
+		// of this handling's phases, and must see the partner as spoken
+		// for.
+		if !h.disableFlipPinning {
+			h.flipPending = partner
+		}
 		t.RunCharged("rch:enterShadow(flip)", func() time.Duration {
 			if !a.State().Visible() {
 				aborted = true
@@ -197,7 +220,7 @@ func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activi
 			a.SetShadowSnapshot(snap)
 			a.EnterShadow(t.Process().Scheduler().Now())
 			h.migrator.InstallHook(a)
-			h.pendingShadow = a
+			h.setPendingShadow(t, a)
 			h.changesInFlight++
 			cost := m.ShadowFlipTransition + extra + h.stallFor("enterShadow(flip)")
 			observePhase(h.obs.phaseEnterShadow, cost)
@@ -206,14 +229,29 @@ func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activi
 	} else {
 		// A stale shadow instance (configuration mismatch or post-GC
 		// leftover) cannot be flipped; release it first — at most one
-		// shadow instance exists system-wide (§3.2).
-		if partner != nil && partner != a {
+		// shadow instance exists system-wide (§3.2). Exception: a partner
+		// an earlier queued handling has already committed to flipping
+		// (h.flipPending) must survive — releasing it here would destroy
+		// the very instance the in-flight flip reply is about to bring
+		// back, stranding the process with a shadow-only thread and no
+		// foreground (theme-switch schedule [e3:config e5:config]). If
+		// this handling still runs (it usually aborts as superseded), the
+		// enter-shadow phase below re-checks once the prediction resolves.
+		if partner != nil && partner != a && partner != h.flipPending {
 			h.releaseShadow(t, partner)
 		}
 		t.RunCharged("rch:enterShadow", func() time.Duration {
 			if !a.State().Visible() {
 				aborted = true
 				return 0
+			}
+			// The deferred release: a partner spared at schedule time only
+			// because a flip prediction was in flight. By now the
+			// prediction may have resolved (aborted or granted); a shadow
+			// still coupled here would leak past the one-shadow bound when
+			// this instance takes its place.
+			if sh := t.CurrentShadow(); sh != nil && sh != a && sh != h.flipPending {
+				h.releaseShadow(t, sh)
 			}
 			n := a.ViewCount()
 			snap, extra, ok := h.guard.Transfer(class, a.SaveInstanceState, h.xfer)
@@ -226,7 +264,7 @@ func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activi
 			a.EnterShadow(t.Process().Scheduler().Now())
 			t.SetCurrentShadow(a)
 			h.migrator.InstallHook(a)
-			h.pendingShadow = a
+			h.setPendingShadow(t, a)
 			h.changesInFlight++
 			cost := m.ShadowTransition + m.SaveState(n) + extra + h.stallFor("enterShadow")
 			observePhase(h.obs.phaseEnterShadow, cost)
@@ -237,6 +275,12 @@ func (h *ShadowHandler) HandleRuntimeChange(t *app.ActivityThread, a *app.Activi
 	// Step ②: request a sunny-state start from the ATMS.
 	t.RunCharged("rch:requestSunny", func() time.Duration {
 		if aborted {
+			// An aborted flip-likely handling never asks the server, so no
+			// reply will come to resolve its prediction; release the claim
+			// on the partner here.
+			if flipLikely && h.flipPending == partner {
+				h.flipPending = nil
+			}
 			if stockFallback {
 				h.guard.NoteStockRoute(class)
 				h.handleStockRouted(t, a, newCfg, gen)
@@ -336,6 +380,13 @@ func (h *ShadowHandler) settleChange() {
 	}
 }
 
+// setPendingShadow updates the in-flight flip-prediction pointer and
+// mirrors it onto the thread, where invariant samplers can see it.
+func (h *ShadowHandler) setPendingShadow(t *app.ActivityThread, a *app.Activity) {
+	h.pendingShadow = a
+	t.SetPendingShadow(a)
+}
+
 // releaseShadow removes the shadow coupling of a and either destroys the
 // instance or, when asynchronous work started by it is still in flight,
 // demotes it to a stopped "zombie" that stays alive until the tasks
@@ -388,6 +439,10 @@ func (h *ShadowHandler) Zombies() int { return len(h.zombies) }
 func (h *ShadowHandler) HandleSunnyLaunch(t *app.ActivityThread, class *app.ActivityClass, token int, newCfg config.Configuration) {
 	h.initLaunches++
 	h.obs.initLaunches.Inc()
+	// The server answered with a record, not a flip; replies arrive in
+	// request order, so any flip prediction still outstanding is resolved
+	// by now and the partner is releasable again.
+	h.flipPending = nil
 	h.guard.ArmPhase(class.Name, "sunnyLaunch")
 	m := t.Process().Model()
 	// Reconcile a mispredicted flip: the thread expected the server to
@@ -397,7 +452,7 @@ func (h *ShadowHandler) HandleSunnyLaunch(t *app.ActivityThread, class *app.Acti
 	// activity that just entered the shadow state becomes the snapshot
 	// source.
 	if pending := h.pendingShadow; pending != nil {
-		h.pendingShadow = nil
+		h.setPendingShadow(t, nil)
 		if prev := t.CurrentShadow(); prev != nil && prev != pending {
 			h.releaseShadow(t, prev)
 		}
@@ -464,13 +519,18 @@ func (h *ShadowHandler) HandleFlip(t *app.ActivityThread, shadowToken int, newCf
 	h.obs.flips.Inc()
 	m := t.Process().Model()
 	incoming := t.Activity(shadowToken)
+	if incoming == nil || h.flipPending == incoming {
+		// The grant the prediction was waiting for has arrived (or its
+		// target is already gone); the partner claim lifts either way.
+		h.flipPending = nil
+	}
 	if incoming != nil {
 		h.guard.ArmPhase(incoming.Class().Name, "flip")
 	}
 	outgoing := t.CurrentSunny()
 	if h.pendingShadow != nil {
 		outgoing = h.pendingShadow
-		h.pendingShadow = nil
+		h.setPendingShadow(t, nil)
 	}
 
 	t.RunCharged("rch:flip", func() time.Duration {
@@ -579,8 +639,12 @@ func (h *ShadowHandler) HandleSunnyCancel(t *app.ActivityThread, token int) {
 		return
 	}
 	if h.pendingShadow == a {
-		h.pendingShadow = nil
+		h.setPendingShadow(t, nil)
 	}
+	// The cancel resolves the cancelled request's prediction; replies and
+	// cancels arrive in request order, so nothing earlier is still
+	// waiting on the partner.
+	h.flipPending = nil
 	a.DemoteShadowToStopped()
 	if t.CurrentShadow() == a {
 		t.SetCurrentShadow(nil)

@@ -40,6 +40,14 @@ type Options struct {
 	// schedule-space explorer can prove it rediscovers the bug without
 	// RNG.
 	DisableSupersession bool
+	// DisableFlipPinning lets a non-flip handling release the shadow
+	// partner even while an earlier queued flip-likely handling has
+	// committed to bringing it back (ablation for the flip-prediction
+	// pin). It re-creates the theme-switch race the schedule-space
+	// explorer exposed at [e3:config e5:config]: the release destroys the
+	// flip reply's target, the flip fizzles, and the process is left with
+	// a shadow-only thread no resume can ever reach.
+	DisableFlipPinning bool
 	// Chaos, if non-nil, arms the core-side fault hooks from the plan:
 	// phase stalls on the shadow handler, flush deferral on the migrator
 	// and corruption/drop on the snapshot transfer. The app/system-side
@@ -92,6 +100,7 @@ func Install(sys *atms.ATMS, proc *app.Process, opts Options) *RCHDroid {
 	handler := NewShadowHandler(migrator, gc)
 	handler.quadraticMapping = opts.QuadraticMapping
 	handler.disableSupersession = opts.DisableSupersession
+	handler.disableFlipPinning = opts.DisableFlipPinning
 	handler.obs = newHandlerObs(opts.Obs)
 	var g *guard.Guard
 	if opts.Guard != nil {

@@ -157,44 +157,50 @@ func (t *Template) Fork(seed uint64, arm ArmFunc) (*World, error) {
 
 // TemplateCache builds at most one template per key and forks per-seed
 // worlds from it, falling back to fresh builds for specs that turn out
-// unforkable. It is safe for concurrent use by sweep workers.
+// unforkable. It is safe for concurrent use by sweep workers and serve
+// shards.
 type TemplateCache struct {
-	mu        sync.Mutex
-	templates map[string]*Template
-	// unforkable remembers keys whose template build failed, so the
-	// (futile) build is not retried per seed.
-	unforkable map[string]bool
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+// cacheEntry is one key's build slot. The once gate means exactly one
+// caller builds the template while same-key callers wait on it — and,
+// unlike holding the cache lock across the build, callers for *other*
+// keys are never serialized behind it. tpl stays nil when the spec is
+// unforkable, which doubles as the don't-retry marker.
+type cacheEntry struct {
+	once sync.Once
+	tpl  *Template
 }
 
 // NewTemplateCache returns an empty cache.
 func NewTemplateCache() *TemplateCache {
-	return &TemplateCache{
-		templates:  make(map[string]*Template),
-		unforkable: make(map[string]bool),
-	}
+	return &TemplateCache{entries: make(map[string]*cacheEntry)}
 }
 
 // Fork returns a world for (key, seed): forked from the key's template
 // when the spec is forkable, built fresh otherwise. The first call for a
 // key builds and settles the template; concurrent callers for the same
-// key wait for it rather than building twice.
+// key wait for it rather than building twice, and callers for other
+// keys proceed independently.
 func (c *TemplateCache) Fork(key string, spec Spec, seed uint64, arm ArmFunc) *World {
 	c.mu.Lock()
-	tpl := c.templates[key]
-	if tpl == nil && !c.unforkable[key] {
-		t, err := NewTemplate(spec)
-		if err != nil {
-			c.unforkable[key] = true
-		} else {
-			c.templates[key] = t
-			tpl = t
-		}
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[key] = e
 	}
 	c.mu.Unlock()
-	if tpl == nil {
+	e.once.Do(func() {
+		if t, err := NewTemplate(spec); err == nil {
+			e.tpl = t
+		}
+	})
+	if e.tpl == nil {
 		return New(spec, seed, arm)
 	}
-	w, err := tpl.Fork(seed, arm)
+	w, err := e.tpl.Fork(seed, arm)
 	if err != nil {
 		// Cannot happen after NewTemplate's trial fork, but stay honest.
 		return New(spec, seed, arm)

@@ -2,13 +2,17 @@ package device_test
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"rchdroid/internal/app"
+	"rchdroid/internal/bundle"
 	"rchdroid/internal/chaos"
 	"rchdroid/internal/device"
 	"rchdroid/internal/oracle"
+	"rchdroid/internal/sim"
 	"rchdroid/internal/view"
 )
 
@@ -157,5 +161,74 @@ func TestTemplateCacheFallback(t *testing.T) {
 	rotate(a)
 	if got, want := fingerprint(b), fingerprint(c.Fork("bench", forkSpec(), 3, nil)); got != want {
 		t.Errorf("cache forks not isolated:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestTemplateCacheConcurrent hammers one cache from many goroutines —
+// forkable and unforkable keys interleaved — under the contract the
+// serve shards rely on: exactly one template build per forkable key
+// (concurrent same-key callers wait, they never build twice), fresh
+// builds for unforkable keys, every returned world isolated, and no
+// data races (this test is the -race gate for the cache).
+func TestTemplateCacheConcurrent(t *testing.T) {
+	var forkableBuilds, unforkableBuilds atomic.Int64
+	forkable := device.Spec{App: func() *app.App {
+		forkableBuilds.Add(1)
+		return oracle.OracleApp(2)
+	}}
+	// An extra holding a func makes the spec unforkable: the trial fork
+	// rejects the deep copy, so every world must be built fresh.
+	unforkable := device.Spec{App: func() *app.App {
+		unforkableBuilds.Add(1)
+		a := oracle.OracleApp(2)
+		base := a.Main.Callbacks.OnCreate
+		a.Main.Callbacks.OnCreate = func(act *app.Activity, saved *bundle.Bundle) {
+			base(act, saved)
+			act.PutExtra("hook", func() {})
+		}
+		return a
+	}}
+
+	const goroutines, perG = 8, 4
+	worlds := make([]*device.World, goroutines*perG)
+	c := device.NewTemplateCache()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				seed := uint64(g*perG + i + 1)
+				var w *device.World
+				if g%2 == 0 {
+					w = c.Fork("forkable", forkable, seed, nil)
+				} else {
+					w = c.Fork("unforkable", unforkable, seed, nil)
+				}
+				worlds[g*perG+i] = w
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// One build for the template (spec.App runs once per build); every
+	// fork shares it. Duplicate builds mean the once gate raced.
+	if n := forkableBuilds.Load(); n != 1 {
+		t.Errorf("forkable key built %d templates, want exactly 1", n)
+	}
+	// Unforkable: one failed template build plus one fresh build per
+	// world.
+	if n, want := unforkableBuilds.Load(), int64(1+goroutines/2*perG); n != want {
+		t.Errorf("unforkable key ran the app factory %d times, want %d", n, want)
+	}
+	seen := make(map[*sim.Scheduler]bool)
+	for i, w := range worlds {
+		if w == nil || w.Proc.Crashed() || w.Proc.Thread().ForegroundActivity() == nil {
+			t.Fatalf("world %d not settled", i)
+		}
+		if seen[w.Sched] {
+			t.Fatalf("world %d shares a scheduler with another world", i)
+		}
+		seen[w.Sched] = true
 	}
 }

@@ -224,6 +224,10 @@ type Options struct {
 	// schedule instead of rebuilding it. Reports and canonical metric
 	// dumps are byte-identical either way.
 	Fork bool
+	// Stop cancels the chunk cooperatively (see sweep.Config.Stop). An
+	// interrupted Result's Next() is the contiguous done prefix, so a
+	// frontier written from it resumes without skipping any schedule.
+	Stop <-chan struct{}
 }
 
 // Result is one explored chunk of a scenario's schedule space.
@@ -241,17 +245,23 @@ type Result struct {
 func (r *Result) OK() bool { return r.Report.OK() }
 
 // Next returns the first index after the chunk (== Space.Size() when
-// the scenario is fully explored).
-func (r *Result) Next() uint64 { return r.Report.Start + uint64(r.Report.Count) }
+// the scenario is fully explored). For an interrupted chunk it is the
+// first index not guaranteed to have run — the safe frontier.
+func (r *Result) Next() uint64 { return r.Report.Start + uint64(r.Report.DonePrefix()) }
 
 // String renders the canonical chunk report: header, failing schedules
 // with replay lines, and the classification tallies. Byte-identical at
 // any worker count.
 func (r *Result) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "explore scenario=%s depth=%d slots=%d space=%d ran=%d..%d\n",
-		r.Scenario, r.Space.Depth, r.Space.Slots(), r.Space.Size(),
-		r.Report.Start, r.Next()-1)
+	if next := r.Next(); next > r.Report.Start {
+		fmt.Fprintf(&sb, "explore scenario=%s depth=%d slots=%d space=%d ran=%d..%d\n",
+			r.Scenario, r.Space.Depth, r.Space.Slots(), r.Space.Size(),
+			r.Report.Start, next-1)
+	} else {
+		fmt.Fprintf(&sb, "explore scenario=%s depth=%d slots=%d space=%d ran=none\n",
+			r.Scenario, r.Space.Depth, r.Space.Slots(), r.Space.Size())
+	}
 	if out := r.Report.FailureOutput(); out != "" {
 		sb.WriteString(out)
 	} else {
@@ -296,6 +306,7 @@ func Explore(sc *corpus.Scenario, opts Options) *Result {
 		Workers:   opts.Workers,
 		Replay:    ReplayFor(sc, opts.Depth),
 		Obs:       opts.Obs,
+		Stop:      opts.Stop,
 	}, func(idx uint64, sh *obs.Shard) sweep.Outcome {
 		v := RunIndexForked(sc, sp, idx, factory(sh), forker)
 		i := idx - start

@@ -28,6 +28,10 @@ var forkCriticalPackages = []string{
 	"../atms",
 	"../looper",
 	"../view",
+	// serve holds forked worlds resident across requests: a package-level
+	// var here would be shared between every device on every shard, on
+	// top of the template/fork aliasing the other packages guard against.
+	"../serve",
 }
 
 // allowlist names the package-level vars audited as immutable after
@@ -39,6 +43,9 @@ var forkCriticalPackages = []string{
 var allowlist = map[string]bool{
 	// Static lifecycle-transition table; built once, only ever read.
 	"app/lifecycle.go:validTransitions": true,
+	// Sentinel error value compared with errors.Is; never written after
+	// init and carries no mutable state.
+	"serve/serve.go:errForcedAbort": true,
 }
 
 // TestNoPackageLevelMutableState parses every fork-critical package and

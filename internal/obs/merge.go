@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MergeSnapshots merges snapshots taken from independent registries into
+// one aggregate, under the same commutative semantics the per-shard merge
+// inside a single registry uses: counters and histogram buckets sum,
+// gauges take the maximum, histogram min/max fold across non-empty
+// inputs. The fleet service keeps one registry per shard so a
+// misbehaving shard can be torn down with its metrics intact; this is
+// the seam that makes the aggregate dump byte-identical regardless of
+// how devices were partitioned across shards.
+//
+// Two snapshots defining the same metric name with a different kind,
+// domain, or bucket layout cannot merge meaningfully; that is a
+// programming error surfaced as an error (the fleet path treats it as a
+// serving bug, not a per-request condition).
+//
+// Gauges merge as max over snapshot values; registries that never Set a
+// gauge render it as 0, so negative gauge marks do not survive this
+// merge. Every gauge in the repo is a non-negative high-water mark.
+func MergeSnapshots(snaps ...*Snapshot) (*Snapshot, error) {
+	merged := make(map[string]*Metric)
+	order := make([]string, 0)
+	for _, snap := range snaps {
+		if snap == nil {
+			continue
+		}
+		for i := range snap.Metrics {
+			m := &snap.Metrics[i]
+			prev, ok := merged[m.Name]
+			if !ok {
+				cp := *m
+				if m.Hist != nil {
+					h := *m.Hist
+					h.Bounds = append([]int64(nil), m.Hist.Bounds...)
+					h.Counts = append([]int64(nil), m.Hist.Counts...)
+					cp.Hist = &h
+				}
+				merged[m.Name] = &cp
+				order = append(order, m.Name)
+				continue
+			}
+			if prev.Kind != m.Kind || prev.Domain != m.Domain {
+				return nil, fmt.Errorf("obs: merge conflict on %q: %s/%s vs %s/%s",
+					m.Name, prev.Kind, prev.Domain, m.Kind, m.Domain)
+			}
+			switch prev.Kind {
+			case KindCounter.String():
+				prev.Value += m.Value
+			case KindGauge.String():
+				if m.Value > prev.Value {
+					prev.Value = m.Value
+				}
+			case KindHistogram.String():
+				if err := mergeHist(m.Name, prev.Hist, m.Hist); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Sorted-by-name output matches Registry.Snapshot, so a merged dump
+	// renders exactly like a single-registry dump of the same values.
+	sort.Strings(order)
+	out := &Snapshot{}
+	for _, name := range order {
+		out.Metrics = append(out.Metrics, *merged[name])
+	}
+	return out, nil
+}
+
+// mergeHist folds src into dst: bucket-wise sums, with min/max folded
+// only across non-empty histograms (an empty histogram renders min=max=0
+// and must not drag a real minimum down to zero).
+func mergeHist(name string, dst, src *Hist) error {
+	if dst == nil || src == nil {
+		return fmt.Errorf("obs: merge conflict on %q: histogram metric without hist payload", name)
+	}
+	if len(dst.Bounds) != len(src.Bounds) {
+		return fmt.Errorf("obs: merge conflict on %q: bucket layouts differ (%d vs %d bounds)",
+			name, len(dst.Bounds), len(src.Bounds))
+	}
+	for i, b := range dst.Bounds {
+		if src.Bounds[i] != b {
+			return fmt.Errorf("obs: merge conflict on %q: bound %d differs (%d vs %d)",
+				name, i, b, src.Bounds[i])
+		}
+	}
+	if src.Count == 0 {
+		return nil
+	}
+	if dst.Count == 0 {
+		dst.Min, dst.Max = math.MaxInt64, math.MinInt64
+	}
+	for i := range dst.Counts {
+		dst.Counts[i] += src.Counts[i]
+	}
+	dst.Count += src.Count
+	dst.Sum += src.Sum
+	if src.Min < dst.Min {
+		dst.Min = src.Min
+	}
+	if src.Max > dst.Max {
+		dst.Max = src.Max
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// mergeOp is one deterministic observation, applied to whichever
+// registry the partition assigns it to.
+type mergeOp struct {
+	kind  Kind
+	name  string
+	value int64
+}
+
+func genMergeOps(seed int64, n int) []mergeOp {
+	rng := rand.New(rand.NewSource(seed))
+	counters := []string{"reqs_total", "panics_total", "shed_total"}
+	gauges := []string{"queue_high", "devices_high"}
+	hists := []string{"lat_ns", "handling_ns"}
+	ops := make([]mergeOp, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			ops = append(ops, mergeOp{KindCounter, counters[rng.Intn(len(counters))], int64(rng.Intn(10) + 1)})
+		case 1:
+			ops = append(ops, mergeOp{KindGauge, gauges[rng.Intn(len(gauges))], int64(rng.Intn(1000))})
+		default:
+			ops = append(ops, mergeOp{KindHistogram, hists[rng.Intn(len(hists))], int64(rng.Intn(int(2 * time.Second)))})
+		}
+	}
+	return ops
+}
+
+func applyOps(regs []*Registry, assign func(i int) int, ops []mergeOp) {
+	shards := make([]*Shard, len(regs))
+	for i, r := range regs {
+		shards[i] = r.Shard()
+	}
+	for i, op := range ops {
+		sh := shards[assign(i)]
+		switch op.kind {
+		case KindCounter:
+			sh.Counter(op.name, "c", Sim).Add(op.value)
+		case KindGauge:
+			sh.Gauge(op.name, "g", Wall).Set(op.value)
+		case KindHistogram:
+			sh.Histogram(op.name, "h", Sim, SimDurationBounds).Observe(op.value)
+		}
+	}
+}
+
+// TestMergeSnapshotsMatchesSingleRegistry: any partition of the same op
+// stream across independent registries must merge to the byte-identical
+// canonical (and full) dump a single registry produces — the contract
+// that makes per-shard registries invisible in the fleet aggregate.
+func TestMergeSnapshotsMatchesSingleRegistry(t *testing.T) {
+	ops := genMergeOps(7, 500)
+	single := NewRegistry()
+	applyOps([]*Registry{single}, func(int) int { return 0 }, ops)
+	want := single.Snapshot()
+
+	for _, parts := range []int{2, 3, 8} {
+		regs := make([]*Registry, parts)
+		for i := range regs {
+			regs[i] = NewRegistry()
+		}
+		rng := rand.New(rand.NewSource(int64(parts)))
+		assign := make([]int, len(ops))
+		for i := range assign {
+			assign[i] = rng.Intn(parts)
+		}
+		applyOps(regs, func(i int) int { return assign[i] }, ops)
+		snaps := make([]*Snapshot, parts)
+		for i, r := range regs {
+			snaps[i] = r.Snapshot()
+		}
+		got, err := MergeSnapshots(snaps...)
+		if err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+		if string(got.MarshalAll()) != string(want.MarshalAll()) {
+			t.Fatalf("parts=%d: merged dump differs from single-registry dump\n--- merged\n%s\n--- single\n%s",
+				parts, got.MarshalAll(), want.MarshalAll())
+		}
+		// Commutativity: reversing the snapshot order cannot change a byte.
+		rev := make([]*Snapshot, parts)
+		for i := range snaps {
+			rev[parts-1-i] = snaps[i]
+		}
+		back, err := MergeSnapshots(rev...)
+		if err != nil {
+			t.Fatalf("parts=%d reversed: %v", parts, err)
+		}
+		if string(back.MarshalAll()) != string(got.MarshalAll()) {
+			t.Fatalf("parts=%d: merge is order-sensitive", parts)
+		}
+	}
+}
+
+// TestMergeSnapshotsEmptyHistogram: a registry that defined a histogram
+// but never observed into it must not drag the merged min to zero.
+func TestMergeSnapshotsEmptyHistogram(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Shard().Histogram("lat_ns", "h", Sim, SimDurationBounds).Observe(int64(50 * time.Millisecond))
+	b.Shard().Histogram("lat_ns", "h", Sim, SimDurationBounds) // defined, empty
+	got, err := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := got.Metrics[0].Hist
+	if h.Count != 1 || h.Min != int64(50*time.Millisecond) || h.Max != int64(50*time.Millisecond) {
+		t.Fatalf("empty histogram polluted the merge: %+v", h)
+	}
+	// Both empty: min/max stay zero like a single registry renders them.
+	c, d := NewRegistry(), NewRegistry()
+	c.Shard().Histogram("lat_ns", "h", Sim, SimDurationBounds)
+	d.Shard().Histogram("lat_ns", "h", Sim, SimDurationBounds)
+	got, err = MergeSnapshots(c.Snapshot(), d.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := got.Metrics[0].Hist; h.Count != 0 || h.Min != 0 || h.Max != 0 {
+		t.Fatalf("all-empty merge should render min=max=0: %+v", h)
+	}
+}
+
+// TestMergeSnapshotsConflicts: shape disagreements are serving bugs and
+// must error, not silently pick a winner.
+func TestMergeSnapshotsConflicts(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Shard().Counter("m", "c", Sim).Inc()
+	b.Shard().Gauge("m", "g", Sim).Set(1)
+	if _, err := MergeSnapshots(a.Snapshot(), b.Snapshot()); err == nil {
+		t.Fatal("kind conflict did not error")
+	}
+
+	c, d := NewRegistry(), NewRegistry()
+	c.Shard().Counter("m", "c", Sim).Inc()
+	d.Shard().Counter("m", "c", Wall).Inc()
+	if _, err := MergeSnapshots(c.Snapshot(), d.Snapshot()); err == nil {
+		t.Fatal("domain conflict did not error")
+	}
+
+	e, f := NewRegistry(), NewRegistry()
+	e.Shard().Histogram("h", "h", Sim, []int64{1, 2}).Observe(1)
+	f.Shard().Histogram("h", "h", Sim, []int64{1, 3}).Observe(1)
+	if _, err := MergeSnapshots(e.Snapshot(), f.Snapshot()); err == nil {
+		t.Fatal("bounds conflict did not error")
+	}
+}

@@ -211,6 +211,7 @@ func All() []Scenario {
 		KillResume(),
 		BackStack(),
 		DialogFragment(),
+		ThemeSwitch(),
 		QuarantineRecovery(),
 	}
 }

@@ -334,6 +334,40 @@ func DialogFragment() Scenario {
 	}
 }
 
+// ThemeSwitch is the DLD theme-toggle shape: the user edits, flips the
+// app into night mode, and a rotation lands right inside the night
+// change's handling window — two runtime changes on different
+// configuration dimensions in flight at once. Unlike the
+// double-rotation shape, the racing pair can never cancel out (a
+// second rotation delivered before the first applies no-ops against
+// the old instance's orientation; rotation-after-night cannot), so
+// every schedule that stacks an injected change here keeps three
+// distinct changes live across one relaunch. The closing day toggle
+// returns the app to its boot theme and settles fully, so the final
+// probe reads a twice-relaunched instance.
+func ThemeSwitch() Scenario {
+	return Scenario{
+		Name:  "theme-switch",
+		About: "night-mode toggle mid-edit with a rotation landing inside its handling window",
+		App:   EditorApp,
+		Probe: editorProbe,
+		Steps: []Step{
+			{Kind: StepType, ID: EditorEdit, Text: "night draft", Settle: 50 * time.Millisecond},
+			{Kind: StepCheck, ID: EditorDone, Settle: 30 * time.Millisecond},
+			{Kind: StepSeek, ID: EditorSeek, N: 60, Settle: 30 * time.Millisecond},
+			{Kind: StepSetText, ID: EditorStatus, Text: "dark", Settle: 30 * time.Millisecond},
+			{Kind: StepBumpSaved, Settle: 30 * time.Millisecond},
+			{Kind: StepBumpUnsaved, Settle: 30 * time.Millisecond},
+			{Kind: StepNight, Settle: 40 * time.Millisecond},
+			{Kind: StepRotate, Settle: 40 * time.Millisecond},
+			{Kind: StepNight, Settle: 2 * time.Second},
+			{Kind: StepIdle, Settle: time.Second},
+		},
+		StockMayLose: []oracle.LossBucket{oracle.LossViewUnsaved, oracle.LossNonViewUnsaved},
+		RCHMayLose:   []oracle.LossBucket{oracle.LossNonViewUnsaved},
+	}
+}
+
 // QuarantineRecovery is the supervision shape behind guarded seed 613: a
 // forced quarantine routes changes through the stock path, probation
 // recovers the class after two clean stock changes, and changes landing

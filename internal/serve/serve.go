@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"errors"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rchdroid/internal/device"
+	"rchdroid/internal/obs"
+)
+
+// Config tunes the fleet service. Zero values get serviceable defaults.
+type Config struct {
+	// Shards is the goroutine-pool width (≤ 0 means 4). Each shard owns
+	// its devices, its queue, its breaker, and its metrics registry.
+	Shards int
+	// QueueDepth bounds each shard's request queue (≤ 0 means 16). A
+	// full queue sheds with CodeOverloaded — admission control, never
+	// unbounded growth.
+	QueueDepth int
+	// MaxDevices bounds resident devices per shard (≤ 0 means 64).
+	MaxDevices int
+	// RequestDeadline is the wall-clock budget per request (0 = none):
+	// requests that overstay it in the queue are shed with CodeDeadline;
+	// runs that exceed it are counted as overruns.
+	RequestDeadline time.Duration
+	// BootRetries bounds settle attempts per boot (≤ 0 means 3);
+	// BootBackoff is the wall backoff before the first retry, doubling
+	// per attempt (≤ 0 means 2ms).
+	BootRetries int
+	BootBackoff time.Duration
+	// RespawnPanicked re-boots a device after its panic is contained.
+	RespawnPanicked bool
+	// Breaker tunes the per-shard circuit breaker.
+	Breaker BreakerConfig
+}
+
+func (c Config) shards() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return 4
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 16
+}
+
+func (c Config) maxDevices() int {
+	if c.MaxDevices > 0 {
+		return c.MaxDevices
+	}
+	return 64
+}
+
+func (c Config) bootRetries() int {
+	if c.BootRetries > 0 {
+		return c.BootRetries
+	}
+	return 3
+}
+
+func (c Config) bootBackoff() time.Duration {
+	if c.BootBackoff > 0 {
+		return c.BootBackoff
+	}
+	return 2 * time.Millisecond
+}
+
+// ErrForcedAbort is returned by Drain when the deadline expired with
+// work still in flight.
+var errForcedAbort = errors.New("serve: drain deadline expired; forced abort")
+
+// ForcedAbort reports whether a Drain error means the deadline expired
+// (as opposed to a double drain).
+func ForcedAbort(err error) bool { return errors.Is(err, errForcedAbort) }
+
+// Server is the fleet: shards, their template cache, and the drain
+// machinery.
+type Server struct {
+	cfg    Config
+	shards []*shard
+	forker *device.TemplateCache
+
+	// admitMu serializes admission against the drain flip: Submit holds
+	// the read side across its draining-check + enqueue, Drain takes the
+	// write side to set the flag before closing the queues, so nothing
+	// can send on a closed queue.
+	admitMu  sync.RWMutex
+	draining atomic.Bool
+	// abortCh is closed on forced abort so parked Submit calls unblock
+	// with CodeAborted.
+	abortCh   chan struct{}
+	abortOnce sync.Once
+	// wg tracks shard goroutines; Drain waits on it.
+	wg sync.WaitGroup
+	// rr round-robins canary (and other deviceless) requests.
+	rr atomic.Uint64
+}
+
+// New builds and starts the fleet.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg,
+		forker:  device.NewTemplateCache(),
+		abortCh: make(chan struct{}),
+	}
+	for i := 0; i < cfg.shards(); i++ {
+		s.shards = append(s.shards, newShard(i, s))
+	}
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go sh.loop()
+	}
+	return s
+}
+
+// route picks the owning shard: the device name decides for boot/drive
+// (a device always lands on the same shard), round-robin otherwise.
+func (s *Server) route(req Request) *shard {
+	if req.Device != "" {
+		h := fnv.New32a()
+		h.Write([]byte(req.Device))
+		return s.shards[int(h.Sum32())%len(s.shards)]
+	}
+	return s.shards[int(s.rr.Add(1)-1)%len(s.shards)]
+}
+
+// Submit runs one request through admission and waits for its reply.
+// Stats and health are answered inline — they must work when every
+// queue is full, that being exactly when an operator needs them.
+func (s *Server) Submit(req Request) Response {
+	switch req.Op {
+	case OpStats:
+		return s.statsResponse(req.ID)
+	case OpHealth:
+		return s.healthResponse(req.ID)
+	}
+	sh := s.route(req)
+
+	s.admitMu.RLock()
+	if s.draining.Load() {
+		s.admitMu.RUnlock()
+		sh.counter("serve_shed_draining_total").Inc()
+		return Response{ID: req.ID, OK: false, Code: CodeDraining, Shard: sh.idx, Detail: "server is draining"}
+	}
+	if !sh.brk.allow(time.Now()) {
+		s.admitMu.RUnlock()
+		sh.counter("serve_shed_quarantined_total").Inc()
+		return Response{ID: req.ID, OK: false, Code: CodeQuarantined, Shard: sh.idx,
+			Detail: "shard quarantined by its circuit breaker"}
+	}
+	p := &pending{req: req, admitted: time.Now(), reply: make(chan Response, 1)}
+	select {
+	case sh.queue <- p:
+		s.admitMu.RUnlock()
+	default:
+		s.admitMu.RUnlock()
+		sh.counter("serve_shed_overload_total").Inc()
+		return Response{ID: req.ID, OK: false, Code: CodeOverloaded, Shard: sh.idx,
+			Detail: "shard queue full; request shed"}
+	}
+
+	select {
+	case resp := <-p.reply:
+		return resp
+	case <-s.abortCh:
+		return Response{ID: req.ID, OK: false, Code: CodeAborted, Shard: sh.idx,
+			Detail: "drain deadline expired before the request ran"}
+	}
+}
+
+// Drain stops admission, lets shards finish their queued work, and
+// waits up to timeout. A clean drain returns nil; a deadline expiry
+// closes the abort channel (unblocking parked callers) and returns
+// errForcedAbort. Safe to call once; later calls just wait again.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.admitMu.Lock()
+	first := !s.draining.Swap(true)
+	if first {
+		for _, sh := range s.shards {
+			close(sh.queue)
+		}
+	}
+	s.admitMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		s.abortOnce.Do(func() { close(s.abortCh) })
+		return errForcedAbort
+	}
+}
+
+// Draining reports whether admission has stopped.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// MergedSnapshot folds every shard's registry into one aggregate under
+// obs.MergeSnapshots' commutative semantics: the canonical (sim-domain)
+// rendering is byte-identical regardless of shard count or how devices
+// and canary seeds were partitioned.
+func (s *Server) MergedSnapshot() (*obs.Snapshot, error) {
+	snaps := make([]*obs.Snapshot, len(s.shards))
+	for i, sh := range s.shards {
+		snaps[i] = sh.reg.Snapshot()
+	}
+	return obs.MergeSnapshots(snaps...)
+}
+
+// statsResponse renders the merged snapshot.
+func (s *Server) statsResponse(id string) Response {
+	snap, err := s.MergedSnapshot()
+	if err != nil {
+		return Response{ID: id, OK: false, Code: CodeBadRequest, Shard: -1, Detail: err.Error()}
+	}
+	return Response{ID: id, OK: true, Shard: -1,
+		Metrics:   snap.MarshalAll(),
+		Canonical: snap.MarshalCanonical(),
+	}
+}
+
+// healthResponse renders readiness plus per-shard state. Ready means
+// not draining and at least one shard serving.
+func (s *Server) healthResponse(id string) Response {
+	resp := Response{ID: id, Shard: -1}
+	serving := 0
+	for _, sh := range s.shards {
+		h := sh.health()
+		if h.State == "serving" {
+			serving++
+		}
+		resp.Shards = append(resp.Shards, h)
+	}
+	resp.OK = !s.draining.Load() && serving > 0
+	if !resp.OK {
+		resp.Code = CodeDraining
+		if !s.draining.Load() {
+			resp.Code = CodeQuarantined
+		}
+		resp.Detail = "not ready"
+	}
+	return resp
+}

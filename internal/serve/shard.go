@@ -1,0 +1,327 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"rchdroid/internal/chaos"
+	"rchdroid/internal/config"
+	"rchdroid/internal/device"
+	"rchdroid/internal/monkey"
+	"rchdroid/internal/obs"
+	"rchdroid/internal/sweep"
+)
+
+// session is one resident device. Sessions live in the shard's map and
+// are touched only by the shard goroutine — per-shard single ownership
+// is the concurrency model, so device worlds need no locks.
+type session struct {
+	name    string
+	spec    string
+	handler string
+	world   *device.World
+}
+
+// pending is one admitted request waiting in a shard queue.
+type pending struct {
+	req      Request
+	admitted time.Time
+	// reply is buffered (1) so the shard never blocks on a slow reader.
+	reply chan Response
+}
+
+// shard owns a slice of the fleet: its device sessions, its bounded
+// queue, its breaker, and its private metrics registry. One goroutine
+// per shard runs the loop; everything the admission path reads
+// (breaker state, queue capacity) is atomic or channel-based.
+type shard struct {
+	idx    int
+	srv    *Server
+	queue  chan *pending
+	brk    breaker
+	reg    *obs.Registry
+	sh     *obs.Shard
+	seed   *sweep.SeedObs
+	canary sweep.ObsRunner
+	// devices mirrors len(sessions) for off-goroutine health reads.
+	devices atomic.Int64
+
+	// Owned by the shard goroutine.
+	sessions map[string]*session
+}
+
+func newShard(idx int, srv *Server) *shard {
+	reg := obs.NewRegistry()
+	sh := reg.Shard()
+	s := &shard{
+		idx:      idx,
+		srv:      srv,
+		queue:    make(chan *pending, srv.cfg.queueDepth()),
+		brk:      breaker{cfg: srv.cfg.Breaker},
+		reg:      reg,
+		sh:       sh,
+		seed:     sweep.NewSeedObs(sh),
+		canary:   sweep.OracleRunnerForked(srv.forker),
+		sessions: make(map[string]*session),
+	}
+	// Define the wall-domain serve counters up front so an idle shard
+	// still dumps them at zero — absence and "nothing happened" must
+	// render differently.
+	for _, name := range []string{
+		"serve_requests_total", "serve_shed_overload_total",
+		"serve_shed_quarantined_total", "serve_shed_draining_total",
+		"serve_shed_deadline_total", "serve_device_panics_total",
+		"serve_device_respawns_total", "serve_boot_failures_total",
+		"serve_breaker_opens_total", "serve_deadline_overruns_total",
+	} {
+		s.counter(name)
+	}
+	return s
+}
+
+// counter returns the shard's wall-domain serve counter. Help strings
+// key off the name suffix so call sites stay one-liners.
+func (s *shard) counter(name string) *obs.Counter {
+	return s.sh.Counter(name, "serve: "+name, obs.Wall)
+}
+
+// loop is the shard goroutine: it drains the queue until the server
+// closes it (drain), then exits. Every request runs contained.
+func (s *shard) loop() {
+	defer s.srv.wg.Done()
+	for p := range s.queue {
+		s.counter("serve_requests_total").Inc()
+		if d := s.srv.cfg.RequestDeadline; d > 0 && time.Since(p.admitted) > d {
+			// The wall deadline expired while the request sat in the
+			// queue: shed it now rather than serve a reply nobody is
+			// waiting for. This is the wall-clock complement of the
+			// guard's sim-clock watchdog.
+			s.counter("serve_shed_deadline_total").Inc()
+			p.reply <- Response{ID: p.req.ID, OK: false, Code: CodeDeadline, Shard: s.idx,
+				Detail: fmt.Sprintf("queued past the %v request deadline", d)}
+			continue
+		}
+		t0 := time.Now()
+		p.reply <- s.dispatchContained(p.req)
+		if d := s.srv.cfg.RequestDeadline; d > 0 && time.Since(t0) > d {
+			// A goroutine cannot be preempted mid-run; overruns are
+			// counted so operators see deadline pressure even when
+			// nothing was shed.
+			s.counter("serve_deadline_overruns_total").Inc()
+		}
+	}
+}
+
+// dispatchContained runs one request with panic containment — the
+// seed-attributed recover pattern from the sweep engine, extended with
+// teardown: a panicking device is removed (optionally respawned), the
+// failure feeds the breaker, and the shard keeps serving.
+func (s *shard) dispatchContained(req Request) (resp Response) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		s.counter("serve_device_panics_total").Inc()
+		s.deviceFailure()
+		detail := fmt.Sprintf("panic: %v", r)
+		if req.Op == OpCanary {
+			// Mirror what the sweep engine records for a panicking seed,
+			// so the canonical counters stay comparable.
+			res := sweep.SeedResult{Seed: req.Seed, Done: true, Panicked: true}
+			res.OK = false
+			res.Failures = []string{detail}
+			s.seed.Record(&res)
+		}
+		if sess := s.sessions[req.Device]; sess != nil {
+			delete(s.sessions, req.Device)
+			s.devices.Store(int64(len(s.sessions)))
+			if s.srv.cfg.RespawnPanicked {
+				if w, ok := s.bootWorld(sess.spec, sess.handler, req.Seed); ok {
+					s.sessions[sess.name] = &session{name: sess.name, spec: sess.spec, handler: sess.handler, world: w}
+					s.devices.Store(int64(len(s.sessions)))
+					s.counter("serve_device_respawns_total").Inc()
+					detail += " (device torn down and respawned)"
+				} else {
+					detail += " (device torn down; respawn failed)"
+				}
+			} else {
+				detail += " (device torn down)"
+			}
+		}
+		resp = Response{ID: req.ID, OK: false, Code: CodeDevicePanic, Shard: s.idx, Detail: detail}
+	}()
+	return s.dispatch(req)
+}
+
+// dispatch routes one admitted request.
+func (s *shard) dispatch(req Request) Response {
+	switch req.Op {
+	case OpBoot:
+		return s.boot(req)
+	case OpDrive:
+		return s.drive(req)
+	case OpCanary:
+		return s.runCanary(req)
+	}
+	return Response{ID: req.ID, OK: false, Code: CodeBadRequest, Shard: s.idx,
+		Detail: fmt.Sprintf("unknown op %q", req.Op)}
+}
+
+// boot admits a new resident device, forking from the template cache
+// (which itself falls back to fresh builds for unforkable specs) with
+// bounded retry + wall backoff around the settle check.
+func (s *shard) boot(req Request) Response {
+	if req.Device == "" {
+		return Response{ID: req.ID, OK: false, Code: CodeBadRequest, Shard: s.idx, Detail: "boot needs a device name"}
+	}
+	if max := s.srv.cfg.maxDevices(); len(s.sessions) >= max {
+		s.counter("serve_shed_overload_total").Inc()
+		return Response{ID: req.ID, OK: false, Code: CodeOverloaded, Shard: s.idx,
+			Detail: fmt.Sprintf("shard at its %d-device limit", max)}
+	}
+	if _, err := specFor(req.Spec); err != nil {
+		return Response{ID: req.ID, OK: false, Code: CodeBadRequest, Shard: s.idx, Detail: err.Error()}
+	}
+	if _, err := armFor(req.Handler); err != nil {
+		return Response{ID: req.ID, OK: false, Code: CodeBadRequest, Shard: s.idx, Detail: err.Error()}
+	}
+	w, ok := s.bootWorld(req.Spec, req.Handler, req.Seed)
+	if !ok {
+		s.deviceFailure()
+		return Response{ID: req.ID, OK: false, Code: CodeBootFailed, Shard: s.idx,
+			Detail: fmt.Sprintf("world failed to settle after %d attempts", s.srv.cfg.bootRetries())}
+	}
+	s.sessions[req.Device] = &session{name: req.Device, spec: req.Spec, handler: req.Handler, world: w}
+	s.devices.Store(int64(len(s.sessions)))
+	s.sh.Gauge("serve_devices_high", "serve: high-water resident devices per shard", obs.Wall).Set(int64(len(s.sessions)))
+	s.brk.onSuccess()
+	return Response{ID: req.ID, OK: true, Shard: s.idx, Token: w.Token,
+		Detail: fmt.Sprintf("device %q resident (spec=%s handler=%s)", req.Device, orDefault(req.Spec, SpecOracle), orDefault(req.Handler, HandlerRCH))}
+}
+
+// bootWorld builds one settled world with bounded retry + backoff.
+// Returns ok=false after the attempts are exhausted; each failed
+// attempt is counted and backed off from in wall time.
+func (s *shard) bootWorld(specName, handler string, seed uint64) (*device.World, bool) {
+	spec, err := specFor(specName)
+	if err != nil {
+		return nil, false
+	}
+	arm, err := armFor(handler)
+	if err != nil {
+		return nil, false
+	}
+	key := "serve:" + orDefault(specName, SpecOracle)
+	backoff := s.srv.cfg.bootBackoff()
+	for attempt := 0; attempt < s.srv.cfg.bootRetries(); attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		w := s.srv.forker.Fork(key, spec, seed, arm)
+		if w != nil && !w.Proc.Crashed() && w.Proc.Thread().ForegroundActivity() != nil {
+			return w, true
+		}
+		s.counter("serve_boot_failures_total").Inc()
+	}
+	return nil, false
+}
+
+// drive runs one burst on a resident device.
+func (s *shard) drive(req Request) Response {
+	if req.Kind == KindSleep {
+		// Diagnostic stall: wall time only, no device involved.
+		time.Sleep(time.Duration(req.Millis) * time.Millisecond)
+		return Response{ID: req.ID, OK: true, Shard: s.idx, Detail: fmt.Sprintf("slept %dms", req.Millis)}
+	}
+	sess := s.sessions[req.Device]
+	if sess == nil {
+		return Response{ID: req.ID, OK: false, Code: CodeUnknownDevice, Shard: s.idx,
+			Detail: fmt.Sprintf("no device %q on this shard", req.Device)}
+	}
+	w := sess.world
+	detail := ""
+	switch req.Kind {
+	case KindRotate:
+		w.Sys.PushConfiguration(w.Sys.GlobalConfig().Rotated())
+		w.Sched.Advance(2 * time.Second)
+		detail = "rotated"
+	case KindNight:
+		w.Sys.PushConfiguration(w.Sys.GlobalConfig().WithUIMode(config.UIModeNight))
+		w.Sched.Advance(2 * time.Second)
+		detail = "ui-mode night"
+	case KindDay:
+		w.Sys.PushConfiguration(w.Sys.GlobalConfig().WithUIMode(config.UIModeDay))
+		w.Sched.Advance(2 * time.Second)
+		detail = "ui-mode day"
+	case KindMonkey:
+		out := monkey.Run(w.Sched, w.Sys, w.Proc, monkey.Options{Events: req.Events, Seed: req.Seed})
+		detail = "monkey " + out.String()
+	case KindChaos:
+		plan := chaos.NewPlan(req.Seed, chaos.Light())
+		plan.BindClock(w.Sched)
+		plan.Install(w.Sys, w.Proc)
+		for i := 0; i < 3 && !w.Proc.Crashed(); i++ {
+			w.Sys.PushConfiguration(w.Sys.GlobalConfig().Rotated())
+			w.Sched.Advance(2 * time.Second)
+		}
+		detail = fmt.Sprintf("chaos storm seed=%d injections=%d", req.Seed, len(plan.Injections()))
+	default:
+		return Response{ID: req.ID, OK: false, Code: CodeBadRequest, Shard: s.idx,
+			Detail: fmt.Sprintf("unknown drive kind %q", req.Kind)}
+	}
+	if w.Proc.Crashed() {
+		// A sim-level crash is a finding about the app, not a serve
+		// fault: the request itself succeeded and the breaker is not
+		// touched. The session stays inspectable.
+		detail += " (app process crashed in sim)"
+	}
+	s.brk.onSuccess()
+	return Response{ID: req.ID, OK: true, Shard: s.idx, Detail: detail}
+}
+
+// runCanary folds one differential-oracle seed through the exact
+// rchsweep runner and engine-metric recorder, which is what makes the
+// fleet's canonical dump byte-identical to an rchsweep dump over the
+// same seeds.
+func (s *shard) runCanary(req Request) Response {
+	res := sweep.SeedResult{Seed: req.Seed, Done: true}
+	t0 := time.Now()
+	res.Outcome = s.canary(req.Seed, s.sh)
+	res.Wall = time.Since(t0)
+	s.seed.Record(&res)
+	s.brk.onSuccess()
+	return Response{ID: req.ID, OK: res.OK, Shard: s.idx, Detail: res.Detail, Failures: res.Failures}
+}
+
+// deviceFailure feeds one device-level failure (panic or failed boot)
+// to the breaker, counting the open transition when it happens.
+func (s *shard) deviceFailure() {
+	before := s.brk.openCount.Load()
+	s.brk.onFailure(time.Now())
+	if s.brk.openCount.Load() > before {
+		s.counter("serve_breaker_opens_total").Inc()
+	}
+}
+
+// health is read off the shard by the server (not through the queue, so
+// it works while the queue is full). sessions is owned by the shard
+// goroutine; the device count is mirrored into an atomic for this read.
+func (s *shard) health() ShardHealth {
+	return ShardHealth{
+		Shard:    s.idx,
+		State:    s.brk.stateName(),
+		Devices:  int(s.devices.Load()),
+		QueueLen: len(s.queue),
+	}
+}
+
+// orDefault returns v, or def when v is empty.
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+)
+
+// ServeListener accepts connections and speaks the line-delimited JSON
+// protocol on each: one request per line, one reply line per request,
+// in order. It returns nil when the listener is closed during drain,
+// the accept error otherwise.
+func (s *Server) ServeListener(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn handles one client. Requests on a connection run serially;
+// clients that want parallelism open more connections — each in-flight
+// request costs one parked goroutine here, and real concurrency is the
+// shard pool's business.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = Response{OK: false, Code: CodeBadRequest, Shard: -1, Detail: "bad request line: " + err.Error()}
+		} else {
+			resp = s.Submit(req)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}

@@ -72,6 +72,12 @@ type Config struct {
 	// ObsRunner instrumentation. Progress readers may snapshot the
 	// registry live while the sweep runs.
 	Obs *obs.Registry
+	// Stop, when non-nil, cancels the sweep cooperatively: workers finish
+	// the seed they are on and claim no more once the channel closes. The
+	// merged report then covers only the seeds that ran (Interrupted is
+	// set, DonePrefix gives the resume point); an interrupted report makes
+	// no byte-identity promise, a completed one is unchanged.
+	Stop <-chan struct{}
 }
 
 // SeedResult is the merged record for one seed. Wall and PanicStack are
@@ -80,6 +86,10 @@ type Config struct {
 type SeedResult struct {
 	Seed uint64
 	Outcome
+	// Done marks a slot whose runner actually ran (panics included).
+	// Complete sweeps have every slot Done; an interrupted sweep leaves
+	// unclaimed slots zero-valued, and report rendering skips them.
+	Done       bool
 	Panicked   bool
 	PanicVal   string
 	PanicStack string
@@ -95,7 +105,10 @@ type Report struct {
 	Workers int
 	Replay  string
 	Elapsed time.Duration
-	Results []SeedResult
+	// Interrupted is set when Config.Stop fired before every seed ran;
+	// only the Done results are meaningful then.
+	Interrupted bool
+	Results     []SeedResult
 }
 
 // Run executes the sweep. Seeds are claimed from an atomic cursor and
@@ -106,8 +119,14 @@ func Run(cfg Config, fn Runner) *Report {
 	return RunObs(cfg, func(seed uint64, _ *obs.Shard) Outcome { return fn(seed) })
 }
 
-// workerObs is a worker's cached engine-metric handles.
-type workerObs struct {
+// SeedObs is one worker's cached engine-metric handles: the per-seed
+// counters every sweep dump carries (seeds/failures/panics in the sim
+// domain, wall latency quarantined in the wall domain). Exported so
+// fleet-scale runners — the rchserve canary folds oracle seeds through
+// the same runners outside this engine — record the exact same metric
+// definitions, which is what keeps a fleet dump byte-identical to an
+// rchsweep dump over the same seeds.
+type SeedObs struct {
 	sh       *obs.Shard
 	seeds    *obs.Counter
 	failures *obs.Counter
@@ -115,11 +134,10 @@ type workerObs struct {
 	wall     *obs.Histogram
 }
 
-// newWorkerObs builds one worker's shard and engine handles. Nil-safe:
-// a nil registry yields nil handles that no-op.
-func newWorkerObs(reg *obs.Registry) workerObs {
-	sh := reg.Shard()
-	return workerObs{
+// NewSeedObs builds the engine handles on a shard. Nil-safe: a nil
+// shard yields handles that no-op.
+func NewSeedObs(sh *obs.Shard) *SeedObs {
+	return &SeedObs{
 		sh:       sh,
 		seeds:    sh.Counter("sweep_seeds_total", "seeds (or schedule indices) completed", obs.Sim),
 		failures: sh.Counter("sweep_seed_failures_total", "seeds that failed the contract", obs.Sim),
@@ -128,8 +146,8 @@ func newWorkerObs(reg *obs.Registry) workerObs {
 	}
 }
 
-// record folds one finished seed into the worker's shard.
-func (w *workerObs) record(res *SeedResult) {
+// Record folds one finished seed into the shard.
+func (w *SeedObs) Record(res *SeedResult) {
 	if w.sh == nil {
 		return
 	}
@@ -178,20 +196,34 @@ func RunObs(cfg Config, fn ObsRunner) *Report {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			wo := newWorkerObs(cfg.Obs)
+			wo := NewSeedObs(cfg.Obs.Shard())
 			for {
+				if cfg.Stop != nil {
+					select {
+					case <-cfg.Stop:
+						return
+					default:
+					}
+				}
 				i := next.Add(1) - 1
 				if i >= int64(cfg.Count) {
 					return
 				}
 				res := runSeed(fn, cfg.Start+uint64(i), wo.sh)
-				wo.record(&res)
+				wo.Record(&res)
 				rep.Results[i] = res
 			}
 		}()
 	}
 	wg.Wait()
 	rep.Elapsed = time.Since(t0)
+	if cfg.Stop != nil && rep.DoneCount() < cfg.Count {
+		select {
+		case <-cfg.Stop:
+			rep.Interrupted = true
+		default:
+		}
+	}
 	if cfg.Obs != nil {
 		// Environment bookkeeping lives in the wall domain, quarantined
 		// from the canonical dump the same way the report excludes it.
@@ -208,6 +240,7 @@ func RunObs(cfg Config, fn ObsRunner) *Report {
 // of taking the pool (and the other seeds' results) down with it.
 func runSeed(fn ObsRunner, seed uint64, sh *obs.Shard) (res SeedResult) {
 	res.Seed = seed
+	res.Done = true
 	t0 := time.Now()
 	defer func() {
 		res.Wall = time.Since(t0)
@@ -240,10 +273,11 @@ func stripGoroutineHeader(stack []byte) string {
 func (r *Report) OK() bool { return len(r.Failed()) == 0 }
 
 // Failed returns the failing seeds in seed order (panics included).
+// Seeds a stopped sweep never ran are not failures and are skipped.
 func (r *Report) Failed() []SeedResult {
 	var out []SeedResult
 	for _, res := range r.Results {
-		if !res.OK {
+		if res.Done && !res.OK {
 			out = append(out, res)
 		}
 	}
@@ -254,11 +288,36 @@ func (r *Report) Failed() []SeedResult {
 func (r *Report) Panicked() []SeedResult {
 	var out []SeedResult
 	for _, res := range r.Results {
-		if res.Panicked {
+		if res.Done && res.Panicked {
 			out = append(out, res)
 		}
 	}
 	return out
+}
+
+// DoneCount is how many seeds actually ran (all of them unless the
+// sweep was interrupted).
+func (r *Report) DoneCount() int {
+	n := 0
+	for _, res := range r.Results {
+		if res.Done {
+			n++
+		}
+	}
+	return n
+}
+
+// DonePrefix is the length of the contiguous run of Done results from
+// the start — the safe resume point after an interrupt: every seed
+// before Start+DonePrefix ran, so a restart at Start+DonePrefix re-runs
+// at most Workers-1 straggler seeds and skips nothing.
+func (r *Report) DonePrefix() int {
+	for i, res := range r.Results {
+		if !res.Done {
+			return i
+		}
+	}
+	return len(r.Results)
 }
 
 // Walls returns the per-seed wall times in seed order (diagnostic /
@@ -283,6 +342,9 @@ func (r *Report) String() string {
 	}
 	fmt.Fprintf(&sb, "sweep mode=%s seeds=%d..%d\n", r.Mode, r.Start, last)
 	for _, res := range r.Results {
+		if !res.Done {
+			continue
+		}
 		status := "ok  "
 		if !res.OK {
 			status = "FAIL"
@@ -320,9 +382,19 @@ func (r *Report) FailureOutput() string {
 	return sb.String()
 }
 
-// Tally is the one-line sweep verdict.
+// Tally is the one-line sweep verdict. A complete sweep renders
+// exactly as before interruption support existed; an interrupted one
+// says how far it got so the operator knows where to resume.
 func (r *Report) Tally() string {
 	failed := r.Failed()
+	if r.Interrupted {
+		if len(failed) == 0 {
+			return fmt.Sprintf("interrupted: %d of %d seeds ran, all ok (resume at %d)",
+				r.DoneCount(), r.Count, r.Start+uint64(r.DonePrefix()))
+		}
+		return fmt.Sprintf("interrupted: %d of %d seeds ran, %d failed (resume at %d)",
+			r.DoneCount(), r.Count, len(failed), r.Start+uint64(r.DonePrefix()))
+	}
 	if len(failed) == 0 {
 		return fmt.Sprintf("ok: %d seeds", r.Count)
 	}

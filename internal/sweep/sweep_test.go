@@ -3,6 +3,7 @@ package sweep
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"rchdroid/internal/obs"
@@ -211,5 +212,56 @@ func TestRunBenchSmoke(t *testing.T) {
 	}
 	if _, err := RunBench("no-such-mode", 4, []int{1}); err == nil {
 		t.Fatal("bench accepted an unknown mode")
+	}
+}
+
+// TestStopInterrupts: closing Config.Stop makes workers finish the seed
+// in hand and claim no more; the report marks itself Interrupted, skips
+// never-run slots everywhere (a zero-valued slot must not count as a
+// failure), and DonePrefix names the resume seed.
+func TestStopInterrupts(t *testing.T) {
+	stop := make(chan struct{})
+	var ran int32
+	fn := func(seed uint64, _ *obs.Shard) Outcome {
+		if atomic.AddInt32(&ran, 1) == 5 {
+			close(stop)
+		}
+		return Outcome{OK: true, Detail: fmt.Sprintf("seed=%d ok", seed)}
+	}
+	rep := RunObs(Config{Mode: "oracle", Start: 1, Count: 100, Workers: 2, Stop: stop}, fn)
+	if !rep.Interrupted {
+		t.Fatalf("report not marked Interrupted after stop (done=%d)", rep.DoneCount())
+	}
+	done := rep.DoneCount()
+	if done < 5 || done >= 100 {
+		t.Fatalf("DoneCount = %d, want a few past the stop point and well short of 100", done)
+	}
+	if p := rep.DonePrefix(); p < 1 || p > done {
+		t.Fatalf("DonePrefix = %d, want 1..%d", p, done)
+	}
+	if n := len(rep.Failed()); n != 0 {
+		t.Fatalf("never-run slots leaked into Failed(): %d", n)
+	}
+	if !rep.OK() {
+		t.Fatal("interrupted all-ok sweep must still report OK")
+	}
+	tally := rep.Tally()
+	if !strings.Contains(tally, "interrupted:") || !strings.Contains(tally, "resume at") {
+		t.Fatalf("tally missing interrupt rendering: %q", tally)
+	}
+	if got := strings.Count(rep.String(), "\nok  "); got != done-1 && got != done {
+		// First line is the header; every Done seed renders one status line.
+		t.Fatalf("String rendered %d ok lines for %d done seeds:\n%s", got, done, rep.String())
+	}
+
+	// A sweep whose Stop never fires is byte-for-byte the old output.
+	quiet := make(chan struct{})
+	plain := RunObs(Config{Mode: "oracle", Start: 1, Count: 8, Workers: 1}, fn)
+	stopped := RunObs(Config{Mode: "oracle", Start: 1, Count: 8, Workers: 1, Stop: quiet}, fn)
+	if plain.String() != stopped.String() {
+		t.Fatalf("unfired Stop changed the report:\n--- plain\n%s--- stopped\n%s", plain.String(), stopped.String())
+	}
+	if stopped.Interrupted {
+		t.Fatal("complete sweep marked Interrupted")
 	}
 }

@@ -34,12 +34,21 @@
 #                      decision without a preceding injected fault, and
 #                      every activity either RCHDroid-equivalent or
 #                      exactly stock-equivalent (never a hybrid)
-#  11. counterfactual — guard-off runs must reproduce the raw failures
+#  11. explore gate  — exhaustive depth-2 schedule-space exploration of
+#                      the data-loss corpus (cmd/rchexplore), metrics on
+#  12. counterfactual — guard-off runs must reproduce the raw failures
 #                      the guard recovers, and guarded verdicts replay
 #                      bit-identically
-#  12. profile smoke — a 32-seed sweep under -profile-cpu/-profile-heap
+#  13. profile smoke — a 32-seed sweep under -profile-cpu/-profile-heap
 #                      must produce non-empty pprof artifacts
-#  13. bench         — scripts/bench.sh -quick (CI-sized scaling curve +
+#  14. fleet stage   — the real rchserve binary: boot a small fleet over
+#                      TCP, storm one device with the panic-on-relaunch
+#                      spec (every panic contained + respawned, counters
+#                      exact, shards all serving), provoke a deadline
+#                      shed, then SIGTERM → clean drain (exit 0) with a
+#                      non-empty metrics flush (scripts/fleetprobe is
+#                      the wire client)
+#  15. bench         — scripts/bench.sh -quick (CI-sized scaling curve +
 #                      determinism byte-compare of reports and metrics;
 #                      written to ./artifacts/ so the committed 512-seed
 #                      BENCH_sweep.json stays stable)
@@ -104,6 +113,43 @@ go run ./cmd/rchsweep -mode=oracle -seeds=32 \
     -profile-cpu artifacts/ci.cpu.pprof -profile-heap artifacts/ci.heap.pprof >/dev/null
 test -s artifacts/ci.cpu.pprof || { echo "ci: empty cpu profile" >&2; exit 1; }
 test -s artifacts/ci.heap.pprof || { echo "ci: empty heap profile" >&2; exit 1; }
+
+echo "==> fleet stage (rchserve: containment, shedding, clean drain)"
+go build -o artifacts/rchserve ./cmd/rchserve
+rm -f artifacts/rchserve.addr
+# Breaker threshold sits above the probe's storm count on purpose: this
+# stage proves containment (panics never take a shard down), not
+# quarantine — the breaker ladder has its own tests in internal/serve.
+artifacts/rchserve -listen=127.0.0.1:0 -port-file=artifacts/rchserve.addr \
+    -shards=2 -deadline=200ms -respawn -breaker-threshold=100 \
+    -drain-timeout=30s -metrics-prom artifacts/serve.ci.prom \
+    2> artifacts/rchserve.ci.log &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    if [ -s artifacts/rchserve.addr ]; then addr=$(cat artifacts/rchserve.addr); break; fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "ci: rchserve never wrote its port file" >&2
+    cat artifacts/rchserve.ci.log >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! go run ./scripts/fleetprobe -addr "$addr"; then
+    echo "ci: fleet probe failed" >&2
+    cat artifacts/rchserve.ci.log >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+    echo "ci: rchserve drain exited non-zero (want clean drain, exit 0)" >&2
+    cat artifacts/rchserve.ci.log >&2
+    exit 1
+fi
+grep -q "clean drain" artifacts/rchserve.ci.log || { echo "ci: rchserve log has no clean drain" >&2; cat artifacts/rchserve.ci.log >&2; exit 1; }
+test -s artifacts/serve.ci.prom || { echo "ci: empty serve metrics flush" >&2; exit 1; }
 
 echo "==> sweep bench (quick)"
 scripts/bench.sh -quick -out artifacts/BENCH_sweep.quick.json
