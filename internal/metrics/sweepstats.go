@@ -8,6 +8,7 @@ type DurationStats struct {
 	N     int     `json:"n"`
 	P50MS float64 `json:"p50_ms"`
 	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
 	MaxMS float64 `json:"max_ms"`
 }
 
@@ -29,6 +30,7 @@ func SummarizeDurations(ds []time.Duration) DurationStats {
 		N:     len(xs),
 		P50MS: Percentile(xs, 50),
 		P95MS: Percentile(xs, 95),
+		P99MS: Percentile(xs, 99),
 		MaxMS: max,
 	}
 }

@@ -124,11 +124,20 @@ func New(cfg Config) *Server {
 // (a device always lands on the same shard), round-robin otherwise.
 func (s *Server) route(req Request) *shard {
 	if req.Device != "" {
-		h := fnv.New32a()
-		h.Write([]byte(req.Device))
-		return s.shards[int(h.Sum32())%len(s.shards)]
+		return s.shards[shardIndex(req.Device, len(s.shards))]
 	}
-	return s.shards[int(s.rr.Add(1)-1)%len(s.shards)]
+	return s.shards[int((s.rr.Add(1)-1)%uint64(len(s.shards)))]
+}
+
+// shardIndex maps a device name to its owning shard through unsigned
+// arithmetic end to end. int(h.Sum32()) % n would go negative for half
+// the hash space on 32-bit ints and panic the slice index; the same
+// hazard hides in the round-robin counter once it wraps, so both paths
+// reduce in the unsigned domain and convert after.
+func shardIndex(device string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(device))
+	return int(h.Sum32() % uint32(shards))
 }
 
 // Submit runs one request through admission and waits for its reply.
@@ -140,6 +149,8 @@ func (s *Server) Submit(req Request) Response {
 		return s.statsResponse(req.ID)
 	case OpHealth:
 		return s.healthResponse(req.ID)
+	case OpBatch:
+		return s.submitBatch(req)
 	}
 	sh := s.route(req)
 
@@ -166,13 +177,128 @@ func (s *Server) Submit(req Request) Response {
 			Detail: "shard queue full; request shed"}
 	}
 
+	return s.awaitReply(p, sh)
+}
+
+// awaitReply parks until the request's reply arrives or the drain abort
+// fires. A ready reply always wins: when abortCh closes after the shard
+// already executed the request, the buffered reply is the truth —
+// reporting CodeAborted then would tell the client the request never
+// ran while the shard's drain accounting says it did. The inner select
+// re-checks the reply channel before conceding to the abort.
+func (s *Server) awaitReply(p *pending, sh *shard) Response {
 	select {
 	case resp := <-p.reply:
 		return resp
 	case <-s.abortCh:
-		return Response{ID: req.ID, OK: false, Code: CodeAborted, Shard: sh.idx,
-			Detail: "drain deadline expired before the request ran"}
+		select {
+		case resp := <-p.reply:
+			return resp
+		default:
+			return Response{ID: p.req.ID, OK: false, Code: CodeAborted, Shard: sh.idx,
+				Detail: "drain deadline expired before the request ran"}
+		}
 	}
+}
+
+// submitBatch fans one OpBatch request across the owning shards — the
+// batched cross-shard dispatch path. Steps are grouped by the shard
+// their device name routes to, each group rides the shard queue as one
+// pending (the shards execute their sub-batches in parallel), and the
+// per-step results merge back into a single reply in step order. Every
+// step keeps the individual admission contract: a quarantined or full
+// shard refuses its steps with the explicit code while the other
+// shards' steps still run.
+func (s *Server) submitBatch(req Request) Response {
+	if len(req.Batch) == 0 {
+		return Response{ID: req.ID, OK: false, Code: CodeBadRequest, Shard: -1,
+			Detail: "batch needs at least one step"}
+	}
+	type group struct {
+		sh    *shard
+		steps []BatchStep
+		idx   []int
+	}
+	var groups []*group
+	byShard := make(map[*shard]*group)
+	for i, st := range req.Batch {
+		sh := s.route(Request{Device: st.Device})
+		g := byShard[sh]
+		if g == nil {
+			g = &group{sh: sh}
+			byShard[sh] = g
+			groups = append(groups, g)
+		}
+		g.steps = append(g.steps, st)
+		g.idx = append(g.idx, i)
+	}
+
+	results := make([]BatchResult, len(req.Batch))
+	s.admitMu.RLock()
+	if s.draining.Load() {
+		s.admitMu.RUnlock()
+		for _, g := range groups {
+			g.sh.counter("serve_shed_draining_total").Add(int64(len(g.steps)))
+		}
+		return Response{ID: req.ID, OK: false, Code: CodeDraining, Shard: -1, Detail: "server is draining"}
+	}
+	var enqueued []*pending
+	var waiting []*group
+	for _, g := range groups {
+		if !g.sh.brk.allow(time.Now()) {
+			g.sh.counter("serve_shed_quarantined_total").Add(int64(len(g.steps)))
+			for _, i := range g.idx {
+				results[i] = BatchResult{Index: i, OK: false, Code: CodeQuarantined, Shard: g.sh.idx,
+					Detail: "shard quarantined by its circuit breaker"}
+			}
+			continue
+		}
+		p := &pending{
+			req:      Request{ID: req.ID, Op: OpBatch, Batch: g.steps},
+			batchIdx: g.idx,
+			admitted: time.Now(),
+			reply:    make(chan Response, 1),
+		}
+		select {
+		case g.sh.queue <- p:
+			enqueued = append(enqueued, p)
+			waiting = append(waiting, g)
+		default:
+			g.sh.counter("serve_shed_overload_total").Add(int64(len(g.steps)))
+			for _, i := range g.idx {
+				results[i] = BatchResult{Index: i, OK: false, Code: CodeOverloaded, Shard: g.sh.idx,
+					Detail: "shard queue full; request shed"}
+			}
+		}
+	}
+	s.admitMu.RUnlock()
+
+	for k, p := range enqueued {
+		g := waiting[k]
+		resp := s.awaitReply(p, g.sh)
+		if len(resp.Results) > 0 {
+			for _, r := range resp.Results {
+				results[r.Index] = r
+			}
+			continue
+		}
+		// The whole sub-batch came back as one refusal (queue-deadline
+		// shed or drain abort): every step inherits it.
+		for _, i := range g.idx {
+			results[i] = BatchResult{Index: i, OK: false, Code: resp.Code, Shard: resp.Shard, Detail: resp.Detail}
+		}
+	}
+
+	resp := Response{ID: req.ID, OK: true, Shard: -1, Results: results}
+	for _, r := range results {
+		if !r.OK {
+			resp.OK = false
+			resp.Code = r.Code
+			resp.Detail = r.Detail
+			break
+		}
+	}
+	return resp
 }
 
 // Drain stops admission, lets shards finish their queued work, and
@@ -194,10 +320,14 @@ func (s *Server) Drain(timeout time.Duration) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	// A stoppable timer, not time.After: every clean drain would leak
+	// the After timer until it fired on its own.
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case <-done:
 		return nil
-	case <-time.After(timeout):
+	case <-timer.C:
 		s.abortOnce.Do(func() { close(s.abortCh) })
 		return errForcedAbort
 	}

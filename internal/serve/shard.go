@@ -7,6 +7,7 @@ import (
 
 	"rchdroid/internal/chaos"
 	"rchdroid/internal/config"
+	"rchdroid/internal/core"
 	"rchdroid/internal/device"
 	"rchdroid/internal/monkey"
 	"rchdroid/internal/obs"
@@ -21,12 +22,28 @@ type session struct {
 	spec    string
 	handler string
 	world   *device.World
+	// rch is the installed core (nil for the stock handler); it exposes
+	// the per-activity guard whose degradations the shard mirrors into
+	// fleet-level counters.
+	rch *core.RCHDroid
+	// guardSeen is the last guard tally folded into the counters, so
+	// each drive contributes only its delta.
+	guardSeen guardCounts
+}
+
+// guardCounts is a point-in-time read of a session guard's degradation
+// tallies.
+type guardCounts struct {
+	quarantines, recoveries, breakerOpens int
 }
 
 // pending is one admitted request waiting in a shard queue.
 type pending struct {
 	req      Request
 	admitted time.Time
+	// batchIdx maps the sub-batch's steps back to their positions in the
+	// client's OpBatch request (nil outside the batch path).
+	batchIdx []int
 	// reply is buffered (1) so the shard never blocks on a slow reader.
 	reply chan Response
 }
@@ -74,6 +91,9 @@ func newShard(idx int, srv *Server) *shard {
 		"serve_shed_deadline_total", "serve_device_panics_total",
 		"serve_device_respawns_total", "serve_boot_failures_total",
 		"serve_breaker_opens_total", "serve_deadline_overruns_total",
+		"serve_batches_total", "serve_batch_steps_total",
+		"serve_guard_quarantines_total", "serve_guard_recoveries_total",
+		"serve_guard_breaker_opens_total",
 	} {
 		s.counter(name)
 	}
@@ -103,7 +123,11 @@ func (s *shard) loop() {
 			continue
 		}
 		t0 := time.Now()
-		p.reply <- s.dispatchContained(p.req)
+		if p.req.Op == OpBatch {
+			p.reply <- s.dispatchBatch(p)
+		} else {
+			p.reply <- s.dispatchContained(p.req)
+		}
 		if d := s.srv.cfg.RequestDeadline; d > 0 && time.Since(t0) > d {
 			// A goroutine cannot be preempted mid-run; overruns are
 			// counted so operators see deadline pressure even when
@@ -138,8 +162,8 @@ func (s *shard) dispatchContained(req Request) (resp Response) {
 			delete(s.sessions, req.Device)
 			s.devices.Store(int64(len(s.sessions)))
 			if s.srv.cfg.RespawnPanicked {
-				if w, ok := s.bootWorld(sess.spec, sess.handler, req.Seed); ok {
-					s.sessions[sess.name] = &session{name: sess.name, spec: sess.spec, handler: sess.handler, world: w}
+				if w, rch, ok := s.bootWorld(sess.spec, sess.handler, req.Seed); ok {
+					s.sessions[sess.name] = &session{name: sess.name, spec: sess.spec, handler: sess.handler, world: w, rch: rch}
 					s.devices.Store(int64(len(s.sessions)))
 					s.counter("serve_device_respawns_total").Inc()
 					detail += " (device torn down and respawned)"
@@ -153,6 +177,28 @@ func (s *shard) dispatchContained(req Request) (resp Response) {
 		resp = Response{ID: req.ID, OK: false, Code: CodeDevicePanic, Shard: s.idx, Detail: detail}
 	}()
 	return s.dispatch(req)
+}
+
+// dispatchBatch runs one sub-batch of drive steps on this shard, each
+// step individually panic-contained — one detonating device must not
+// take the rest of the burst with it. Results carry the client-side
+// step indices so the server can merge sub-batches from several shards
+// back into request order.
+func (s *shard) dispatchBatch(p *pending) Response {
+	s.counter("serve_batches_total").Inc()
+	results := make([]BatchResult, 0, len(p.req.Batch))
+	for j, st := range p.req.Batch {
+		s.counter("serve_batch_steps_total").Inc()
+		r := s.dispatchContained(Request{
+			ID: p.req.ID, Op: OpDrive,
+			Device: st.Device, Kind: st.Kind,
+			Seed: st.Seed, Events: st.Events, Millis: st.Millis,
+		})
+		results = append(results, BatchResult{
+			Index: p.batchIdx[j], OK: r.OK, Code: r.Code, Detail: r.Detail, Shard: s.idx,
+		})
+	}
+	return Response{ID: p.req.ID, OK: true, Shard: s.idx, Results: results}
 }
 
 // dispatch routes one admitted request.
@@ -184,16 +230,16 @@ func (s *shard) boot(req Request) Response {
 	if _, err := specFor(req.Spec); err != nil {
 		return Response{ID: req.ID, OK: false, Code: CodeBadRequest, Shard: s.idx, Detail: err.Error()}
 	}
-	if _, err := armFor(req.Handler); err != nil {
+	if _, _, err := armFor(req.Handler); err != nil {
 		return Response{ID: req.ID, OK: false, Code: CodeBadRequest, Shard: s.idx, Detail: err.Error()}
 	}
-	w, ok := s.bootWorld(req.Spec, req.Handler, req.Seed)
+	w, rch, ok := s.bootWorld(req.Spec, req.Handler, req.Seed)
 	if !ok {
 		s.deviceFailure()
 		return Response{ID: req.ID, OK: false, Code: CodeBootFailed, Shard: s.idx,
 			Detail: fmt.Sprintf("world failed to settle after %d attempts", s.srv.cfg.bootRetries())}
 	}
-	s.sessions[req.Device] = &session{name: req.Device, spec: req.Spec, handler: req.Handler, world: w}
+	s.sessions[req.Device] = &session{name: req.Device, spec: req.Spec, handler: req.Handler, world: w, rch: rch}
 	s.devices.Store(int64(len(s.sessions)))
 	s.sh.Gauge("serve_devices_high", "serve: high-water resident devices per shard", obs.Wall).Set(int64(len(s.sessions)))
 	s.brk.onSuccess()
@@ -204,14 +250,14 @@ func (s *shard) boot(req Request) Response {
 // bootWorld builds one settled world with bounded retry + backoff.
 // Returns ok=false after the attempts are exhausted; each failed
 // attempt is counted and backed off from in wall time.
-func (s *shard) bootWorld(specName, handler string, seed uint64) (*device.World, bool) {
+func (s *shard) bootWorld(specName, handler string, seed uint64) (*device.World, *core.RCHDroid, bool) {
 	spec, err := specFor(specName)
 	if err != nil {
-		return nil, false
+		return nil, nil, false
 	}
-	arm, err := armFor(handler)
+	arm, inst, err := armFor(handler)
 	if err != nil {
-		return nil, false
+		return nil, nil, false
 	}
 	key := "serve:" + orDefault(specName, SpecOracle)
 	backoff := s.srv.cfg.bootBackoff()
@@ -222,11 +268,11 @@ func (s *shard) bootWorld(specName, handler string, seed uint64) (*device.World,
 		}
 		w := s.srv.forker.Fork(key, spec, seed, arm)
 		if w != nil && !w.Proc.Crashed() && w.Proc.Thread().ForegroundActivity() != nil {
-			return w, true
+			return w, inst.rch, true
 		}
 		s.counter("serve_boot_failures_total").Inc()
 	}
-	return nil, false
+	return nil, nil, false
 }
 
 // drive runs one burst on a resident device.
@@ -256,6 +302,22 @@ func (s *shard) drive(req Request) Response {
 		w.Sys.PushConfiguration(w.Sys.GlobalConfig().WithUIMode(config.UIModeDay))
 		w.Sched.Advance(2 * time.Second)
 		detail = "ui-mode day"
+	case KindSwitch:
+		// The app-switch cycle: the user leaves (foreground activity
+		// pauses and stops, releasing its shadow under RCHDroid) and
+		// comes back (the stopped activity resumes).
+		if fg := w.Proc.Thread().ForegroundActivity(); fg != nil {
+			tok := fg.Token()
+			w.Proc.Thread().ScheduleMoveToBackground(tok)
+			w.Sched.Advance(1 * time.Second)
+			w.Proc.Thread().ScheduleMoveToForeground(tok)
+		}
+		w.Sched.Advance(1 * time.Second)
+		detail = "app switch (background/foreground cycle)"
+	case KindTrim:
+		w.Proc.TrimMemory()
+		w.Sched.Advance(1 * time.Second)
+		detail = "memory trim"
 	case KindMonkey:
 		out := monkey.Run(w.Sched, w.Sys, w.Proc, monkey.Options{Events: req.Events, Seed: req.Seed})
 		detail = "monkey " + out.String()
@@ -278,8 +340,36 @@ func (s *shard) drive(req Request) Response {
 		// touched. The session stays inspectable.
 		detail += " (app process crashed in sim)"
 	}
+	s.noteGuard(sess)
 	s.brk.onSuccess()
 	return Response{ID: req.ID, OK: true, Shard: s.idx, Detail: detail}
+}
+
+// noteGuard folds the session guard's degradation tallies into the
+// fleet counters by delta. The counters are wall-domain on purpose:
+// which drives a device received is request-stream state, and the
+// canonical (sim-domain) dump must keep carrying only what canary
+// seeds record.
+func (s *shard) noteGuard(sess *session) {
+	if sess.rch == nil || sess.rch.Guard == nil {
+		return
+	}
+	g := sess.rch.Guard
+	now := guardCounts{
+		quarantines:  g.Quarantines(),
+		recoveries:   g.Recoveries(),
+		breakerOpens: g.BreakerOpens(),
+	}
+	if d := now.quarantines - sess.guardSeen.quarantines; d > 0 {
+		s.counter("serve_guard_quarantines_total").Add(int64(d))
+	}
+	if d := now.recoveries - sess.guardSeen.recoveries; d > 0 {
+		s.counter("serve_guard_recoveries_total").Add(int64(d))
+	}
+	if d := now.breakerOpens - sess.guardSeen.breakerOpens; d > 0 {
+		s.counter("serve_guard_breaker_opens_total").Add(int64(d))
+	}
+	sess.guardSeen = now
 }
 
 // runCanary folds one differential-oracle seed through the exact

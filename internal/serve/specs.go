@@ -45,30 +45,40 @@ func specFor(name string) (device.Spec, error) {
 	return device.Spec{}, fmt.Errorf("unknown device spec %q (want %s or %s)", name, SpecOracle, SpecPanicRelaunch)
 }
 
+// installed captures the core an ArmFunc wired onto the most recently
+// armed world, so the shard can keep the handle (and its guard) beside
+// the resident session.
+type installed struct {
+	rch *core.RCHDroid
+}
+
 // armFor resolves a wire handler name to the post-settle arming point.
 // Resident devices arm with a nil obs shard on purpose: their metrics
 // would be request-stream-derived, and the canonical (sim-domain) dump
 // must carry only what canary seeds record — that is what keeps it
-// byte-identical to an rchsweep dump.
-func armFor(handler string) (device.ArmFunc, error) {
+// byte-identical to an rchsweep dump. Fleet-level guard visibility
+// comes from the returned holder instead: the shard folds guard
+// degradation deltas into wall-domain counters after each drive.
+func armFor(handler string) (device.ArmFunc, *installed, error) {
+	inst := &installed{}
 	switch handler {
 	case "", HandlerRCH:
 		return func(w *device.World) {
-			core.Install(w.Sys, w.Proc, core.DefaultOptions())
-		}, nil
+			inst.rch = core.Install(w.Sys, w.Proc, core.DefaultOptions())
+		}, inst, nil
 	case HandlerGuarded:
 		return func(w *device.World) {
 			opts := core.DefaultOptions()
 			cfg := guard.DefaultConfig()
 			opts.Guard = &cfg
-			core.Install(w.Sys, w.Proc, opts)
-		}, nil
+			inst.rch = core.Install(w.Sys, w.Proc, opts)
+		}, inst, nil
 	case HandlerStock:
 		// Stock Android 10: the default destroy/recreate path, nothing
 		// armed.
-		return nil, nil
+		return nil, inst, nil
 	}
-	return nil, fmt.Errorf("unknown handler %q (want %s, %s or %s)", handler, HandlerRCH, HandlerGuarded, HandlerStock)
+	return nil, nil, fmt.Errorf("unknown handler %q (want %s, %s or %s)", handler, HandlerRCH, HandlerGuarded, HandlerStock)
 }
 
 // panicRelaunchApp builds the deliberately faulty app: a minimal layout

@@ -37,6 +37,13 @@ const (
 	// OpDrive runs a burst on a resident device: a config change, a
 	// monkey burst, a chaos storm, or a diagnostic stall.
 	OpDrive = "drive"
+	// OpBatch carries a burst of drive steps in one wire round-trip. The
+	// server splits the steps by owning shard, dispatches each shard's
+	// sub-batch through its queue (the shards run in parallel), and
+	// merges the per-step results back into one reply — the batched
+	// cross-shard dispatch that lets a replay client push an event burst
+	// without paying one round-trip per event.
+	OpBatch = "batch"
 	// OpCanary runs one differential-oracle seed through the exact sweep
 	// runner rchsweep uses, recording the same canonical metrics.
 	OpCanary = "canary"
@@ -53,6 +60,14 @@ const (
 	// KindNight and KindDay toggle the UI mode and settle.
 	KindNight = "night"
 	KindDay   = "day"
+	// KindSwitch is an app switch: the foreground activity is sent to the
+	// background (pausing and stopping, releasing its shadow under
+	// RCHDroid) and then brought back to the foreground — the leave-and-
+	// return cycle a user's task switch costs the app.
+	KindSwitch = "switch"
+	// KindTrim delivers a low-memory pressure signal (onTrimMemory): the
+	// change handler gives up reclaimable instances.
+	KindTrim = "trim"
 	// KindMonkey drives a seeded monkey burst (Events events).
 	KindMonkey = "monkey"
 	// KindChaos arms a seeded chaos plan and drives rotations through it.
@@ -116,6 +131,37 @@ type Request struct {
 	Events int `json:"events,omitempty"`
 	// Millis sizes a sleep stall.
 	Millis int `json:"millis,omitempty"`
+	// Batch carries the drive steps of an OpBatch request.
+	Batch []BatchStep `json:"batch,omitempty"`
+}
+
+// BatchStep is one drive step inside an OpBatch request. It is the
+// drive subset of Request: each step targets a resident device (the
+// device name decides the owning shard, exactly as it does for OpDrive).
+type BatchStep struct {
+	// Device names the target device.
+	Device string `json:"device"`
+	// Kind selects the drive burst (Kind* constants).
+	Kind string `json:"kind"`
+	// Seed drives monkey/chaos bursts.
+	Seed uint64 `json:"seed,omitempty"`
+	// Events sizes a monkey burst.
+	Events int `json:"events,omitempty"`
+	// Millis sizes a sleep stall.
+	Millis int `json:"millis,omitempty"`
+}
+
+// BatchResult is one step's outcome inside an OpBatch reply, in the
+// request's step order (Index is the step's position in Request.Batch).
+type BatchResult struct {
+	Index int  `json:"index"`
+	OK    bool `json:"ok"`
+	// Code is set on every non-OK step (ErrCode constants) — the same
+	// machine-readable shed/fault contract individual requests get.
+	Code   ErrCode `json:"code,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+	// Shard is the shard that owned (or refused) the step.
+	Shard int `json:"shard"`
 }
 
 // Response is one reply line.
@@ -133,6 +179,10 @@ type Response struct {
 	Token int `json:"token,omitempty"`
 	// Failures carries canary contract-failure lines.
 	Failures []string `json:"failures,omitempty"`
+	// Results carries per-step outcomes for OpBatch, ordered by step
+	// index. The reply-level OK is the conjunction of the steps; Code is
+	// the first failing step's code.
+	Results []BatchResult `json:"results,omitempty"`
 	// Shards carries per-shard health (OpHealth).
 	Shards []ShardHealth `json:"shards,omitempty"`
 	// Metrics and Canonical carry the merged snapshot (OpStats): the

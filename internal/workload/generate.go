@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"rchdroid/internal/sim"
+)
+
+// GenSpec parameterises the diurnal generator. The zero value of any
+// field takes the documented default.
+type GenSpec struct {
+	// Seed drives every roll. Same spec → byte-identical log.
+	Seed uint64
+	// Devices is the fleet size (default 8).
+	Devices int
+	// SpanMS is the sim span (default 60000 — one compressed "day").
+	SpanMS int64
+	// EventsPerDevice is the target mean drive-event count per device
+	// across the span (default 40). The realised count jitters around it.
+	EventsPerDevice int
+	// GuardedPercent of devices boot with the guarded handler; the rest
+	// split 1-in-8 stock, remainder rch (default 25).
+	GuardedPercent int
+}
+
+func (g GenSpec) withDefaults() GenSpec {
+	if g.Devices <= 0 {
+		g.Devices = 8
+	}
+	if g.SpanMS <= 0 {
+		g.SpanMS = 60_000
+	}
+	if g.EventsPerDevice <= 0 {
+		g.EventsPerDevice = 40
+	}
+	if g.GuardedPercent <= 0 {
+		g.GuardedPercent = 25
+	}
+	return g
+}
+
+// diurnalWeights is the relative traffic intensity across 24 equal
+// slices of the span — the classic double-peak day: near-idle small
+// hours, a morning commute ramp, a sustained work plateau, and the
+// evening peak. Integer weights keep the generator free of float math,
+// so logs are byte-reproducible on any platform.
+var diurnalWeights = [24]int{
+	2, 1, 1, 1, 1, 2, // 00–06: night trough
+	4, 6, 8, 8, 7, 6, // 06–12: morning ramp and peak
+	7, 8, 9, 8, 7, 9, // 12–18: afternoon plateau
+	10, 9, 7, 5, 4, 3, // 18–24: evening peak, wind-down
+}
+
+// weightAt maps a sim timestamp to its diurnal slice's weight.
+func weightAt(at, span int64) int {
+	slice := int(at * 24 / span)
+	if slice > 23 {
+		slice = 23
+	}
+	return diurnalWeights[slice]
+}
+
+// Generate builds a diurnal workload log from spec. Everything derives
+// from integer arithmetic over the seeded sim.RNG stream, so the same
+// spec always encodes to identical bytes.
+//
+// Shape: each device arrives (boots) inside the first eighth of the
+// span, staggered; from arrival it emits drive events whose inter-event
+// gap stretches and shrinks inversely with the diurnal weight — dense
+// bursts at the peaks, long idle gaps in the trough. The kind mix per
+// event: app switches 28%, rotations 20%, night/day toggles 12%
+// (alternating per device), seeded async monkey bursts 25%, and
+// memory-pressure trims 15%.
+func Generate(spec GenSpec) *Log {
+	spec = spec.withDefaults()
+	var sumW int64
+	for _, w := range diurnalWeights {
+		sumW += int64(w)
+	}
+	avgW := sumW / 24
+
+	var events []Event
+	for d := 0; d < spec.Devices; d++ {
+		// A distinct SplitMix stream per device: the golden-ratio stride
+		// is the same decorrelation NewRNG itself advances by.
+		rng := sim.NewRNG(spec.Seed + uint64(d)*0x9e3779b97f4a7c15)
+		name := fmt.Sprintf("w-%03d", d)
+
+		handler := "rch"
+		switch roll := rng.Intn(100); {
+		case roll < spec.GuardedPercent:
+			handler = "guarded"
+		case roll%8 == 0:
+			handler = "stock"
+		}
+		arrive := int64(rng.Intn(int(spec.SpanMS/8) + 1))
+		events = append(events, Event{
+			AtMS: arrive, Device: name, Kind: EvBoot,
+			Handler: handler, Seed: rng.Uint64(),
+		})
+
+		// Mean gap at average intensity; per-event gap scales by the
+		// inverse diurnal weight and jitters uniformly in [gap/2, 3gap/2).
+		active := spec.SpanMS - arrive
+		meanGap := active / int64(spec.EventsPerDevice)
+		if meanGap < 1 {
+			meanGap = 1
+		}
+		night := false
+		for at := arrive; ; {
+			gap := meanGap * avgW / int64(weightAt(at, spec.SpanMS))
+			if gap < 1 {
+				gap = 1
+			}
+			at += gap/2 + int64(rng.Intn(int(gap)+1))
+			if at > spec.SpanMS {
+				break
+			}
+			ev := Event{AtMS: at, Device: name}
+			switch roll := rng.Intn(100); {
+			case roll < 28:
+				ev.Kind = EvSwitch
+			case roll < 48:
+				ev.Kind = EvRotate
+			case roll < 60:
+				if night {
+					ev.Kind = EvDay
+				} else {
+					ev.Kind = EvNight
+				}
+				night = !night
+			case roll < 85:
+				ev.Kind = EvBurst
+				ev.Events = 5 + rng.Intn(20)
+				ev.Seed = rng.Uint64()
+			default:
+				ev.Kind = EvTrim
+			}
+			events = append(events, ev)
+		}
+	}
+
+	// Merge the per-device streams into one timeline. The tie-break on
+	// (device, kind) keeps the order a pure function of the event set.
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.AtMS != b.AtMS {
+			return a.AtMS < b.AtMS
+		}
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		return a.Kind < b.Kind
+	})
+
+	return &Log{
+		Header: Header{
+			Format: FormatName, Version: FormatVersion,
+			Seed: spec.Seed, Devices: spec.Devices,
+			SpanMS: spec.SpanMS, Events: len(events),
+		},
+		Events: events,
+	}
+}

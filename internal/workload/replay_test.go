@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rchdroid/internal/obs"
+	"rchdroid/internal/serve"
+)
+
+// replayOnce runs lg against a fresh server and returns the report plus
+// the replay registry's canonical (sim-domain) dump.
+func replayOnce(t *testing.T, lg *Log, shards int, speed float64) (*Report, []byte) {
+	t.Helper()
+	s := serve.New(serve.Config{Shards: shards})
+	defer s.Drain(10 * time.Second)
+	reg := obs.NewRegistry()
+	rep, err := Replay(lg, Config{
+		Speed: speed, Window: 4, Dial: LocalDialer(s), Obs: reg,
+	})
+	if err != nil {
+		t.Fatalf("replay (shards=%d speed=%v): %v", shards, speed, err)
+	}
+	return rep, reg.Snapshot().MarshalCanonical()
+}
+
+// TestReplayDeterministicAcrossShardsAndSpeeds is the tentpole
+// contract: the canonical sim-domain dump derives from the log alone,
+// so replaying the same log at 1 vs N shards and at different speeds
+// byte-compares equal. Wall metrics (latency, shed, lag) are
+// quarantined outside the canonical dump and free to differ.
+func TestReplayDeterministicAcrossShardsAndSpeeds(t *testing.T) {
+	lg := Generate(GenSpec{Seed: 11, Devices: 4, SpanMS: 1_500, EventsPerDevice: 8})
+
+	rep1, canon1 := replayOnce(t, lg, 1, 1000)
+	repN, canonN := replayOnce(t, lg, 3, 1000)
+	_, canonSlow := replayOnce(t, lg, 2, 100)
+
+	if !bytes.Equal(canon1, canonN) {
+		t.Fatalf("canonical dump differs between 1 and 3 shards:\n%s\nvs\n%s", canon1, canonN)
+	}
+	if !bytes.Equal(canon1, canonSlow) {
+		t.Fatalf("canonical dump differs between 1000x and 100x:\n%s\nvs\n%s", canon1, canonSlow)
+	}
+
+	// Every event is accounted for: completed or shed with a code.
+	for _, rep := range []*Report{rep1, repN} {
+		var shed int64
+		for _, n := range rep.Shed {
+			shed += n
+		}
+		if rep.StepsOK+shed != int64(rep.Events) {
+			t.Fatalf("accounting leak: ok=%d shed=%d events=%d", rep.StepsOK, shed, rep.Events)
+		}
+	}
+}
+
+// TestReplayAtOneX replays a short log in real time: pacing must
+// stretch the run to roughly the sim span, and achieved speed lands
+// near 1x.
+func TestReplayAtOneX(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time pacing test")
+	}
+	lg := Generate(GenSpec{Seed: 5, Devices: 2, SpanMS: 800, EventsPerDevice: 4})
+	start := time.Now()
+	rep, _ := replayOnce(t, lg, 1, 1)
+	elapsed := time.Since(start)
+	if elapsed < 600*time.Millisecond {
+		t.Fatalf("1x replay of an 800ms span finished in %v — pacing is broken", elapsed)
+	}
+	if rep.AchievedSpeed > 1.6 {
+		t.Fatalf("achieved speed %.2f at requested 1x", rep.AchievedSpeed)
+	}
+}
+
+// TestReplaySLOReport checks the report carries the production-style
+// SLO surface: per-op-class percentiles with N matching the log's kind
+// mix, zero sheds on an unloaded fleet, and server counters present.
+func TestReplaySLOReport(t *testing.T) {
+	lg := Generate(GenSpec{Seed: 21, Devices: 4, SpanMS: 2_000, EventsPerDevice: 10})
+	flips, bursts := 0, 0
+	for _, ev := range lg.Events {
+		switch ev.Kind {
+		case EvRotate, EvNight, EvDay:
+			flips++
+		case EvSwitch, EvTrim, EvBurst:
+			bursts++
+		}
+	}
+	rep, _ := replayOnce(t, lg, 2, 1000)
+
+	if rep.Boot.N != 4 {
+		t.Fatalf("boot samples = %d, want 4 (one per device): %+v", rep.Boot.N, rep)
+	}
+	if rep.Flip.N != flips {
+		t.Fatalf("flip samples = %d, want %d", rep.Flip.N, flips)
+	}
+	if rep.StepsOK != int64(rep.Events) || len(rep.Shed) != 0 {
+		t.Fatalf("unloaded fleet shed traffic: ok=%d/%d shed=%v", rep.StepsOK, rep.Events, rep.Shed)
+	}
+	if bursts > 0 && rep.Batch.N == 0 {
+		t.Fatal("no batched round-trips recorded for a log with burst-class events")
+	}
+	for _, st := range []struct {
+		name          string
+		p50, p99, max float64
+	}{{"boot", rep.Boot.P50MS, rep.Boot.P99MS, rep.Boot.MaxMS}, {"flip", rep.Flip.P50MS, rep.Flip.P99MS, rep.Flip.MaxMS}} {
+		if st.p50 <= 0 || st.p99 < st.p50 || st.max < st.p99 {
+			t.Fatalf("%s percentiles inconsistent: p50=%v p99=%v max=%v", st.name, st.p50, st.p99, st.max)
+		}
+	}
+	if rep.BreakerOpens != 0 {
+		t.Fatalf("breaker opened on an unloaded fleet: %d", rep.BreakerOpens)
+	}
+}
+
+// TestReplayShedAccounting drives a trace into a deliberately tiny
+// fleet (one shard, queue depth 1) at full speed: whatever is refused
+// must surface under a machine-readable code, never vanish.
+func TestReplayShedAccounting(t *testing.T) {
+	lg := Generate(GenSpec{Seed: 3, Devices: 6, SpanMS: 1_000, EventsPerDevice: 12})
+	s := serve.New(serve.Config{Shards: 1, QueueDepth: 1})
+	defer s.Drain(10 * time.Second)
+	rep, err := Replay(lg, Config{Speed: 1000, Window: 6, Dial: LocalDialer(s)})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	var shed int64
+	for code, n := range rep.Shed {
+		if code == "" {
+			t.Fatalf("shed without a code: %+v", rep.Shed)
+		}
+		shed += n
+	}
+	if rep.StepsOK+shed != int64(rep.Events) {
+		t.Fatalf("accounting leak under overload: ok=%d shed=%d events=%d", rep.StepsOK, shed, rep.Events)
+	}
+	if shed > 0 {
+		if rep.ShedRate <= 0 {
+			t.Fatalf("shed %d events but shed_rate = %v", shed, rep.ShedRate)
+		}
+		if _, ok := rep.Shed[string(serve.CodeOverloaded)]; !ok && len(rep.Shed) == 0 {
+			t.Fatalf("no overload code in %v", rep.Shed)
+		}
+	}
+}
+
+// TestReplayRejectsBadConfig: no dialer and broken logs fail fast.
+func TestReplayRejectsBadConfig(t *testing.T) {
+	lg := Generate(GenSpec{Seed: 1, Devices: 1, SpanMS: 100, EventsPerDevice: 2})
+	if _, err := Replay(lg, Config{}); err == nil {
+		t.Fatal("replay without a dialer must fail")
+	}
+	bad := &Log{Header: Header{Format: FormatName, Version: FormatVersion, Devices: 1, SpanMS: 10, Events: 1},
+		Events: []Event{{AtMS: 1, Device: "d", Kind: "rotate"}}}
+	s := serve.New(serve.Config{Shards: 1})
+	defer s.Drain(5 * time.Second)
+	if _, err := Replay(bad, Config{Dial: LocalDialer(s)}); err == nil {
+		t.Fatal("replay of an invalid log must fail validation")
+	}
+}

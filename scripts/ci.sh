@@ -48,10 +48,18 @@
 #                      shed, then SIGTERM → clean drain (exit 0) with a
 #                      non-empty metrics flush (scripts/fleetprobe is
 #                      the wire client)
-#  15. bench         — scripts/bench.sh -quick (CI-sized scaling curve +
+#  15. replay stage  — trace-driven load: rchreplay generates a seeded
+#                      diurnal workload log and replays it through the
+#                      real rchserve binary over TCP at 200×, then the
+#                      SLO report must carry the production surface
+#                      (p50/p95/p99 per op class, machine-readable shed
+#                      map + rate, breaker/guard counters) and the
+#                      replay's canonical metrics dump must be non-empty
+#  16. bench         — scripts/bench.sh -quick (CI-sized scaling curve +
 #                      determinism byte-compare of reports and metrics;
 #                      written to ./artifacts/ so the committed 512-seed
-#                      BENCH_sweep.json stays stable)
+#                      BENCH_sweep.json and BENCH_replay.json stay
+#                      stable)
 #
 # The sweeps run on cmd/rchsweep: any failing seed (including a
 # recovered worker panic, attributed to its seed) exits non-zero and
@@ -151,7 +159,49 @@ fi
 grep -q "clean drain" artifacts/rchserve.ci.log || { echo "ci: rchserve log has no clean drain" >&2; cat artifacts/rchserve.ci.log >&2; exit 1; }
 test -s artifacts/serve.ci.prom || { echo "ci: empty serve metrics flush" >&2; exit 1; }
 
+echo "==> replay stage (rchreplay: seeded diurnal trace through rchserve over TCP at 200x)"
+go build -o artifacts/rchreplay ./cmd/rchreplay
+artifacts/rchreplay -gen artifacts/ci.trace.log -seed 11 -devices 6 -span-ms 3000 -events-per-device 8
+rm -f artifacts/rchserve.addr
+artifacts/rchserve -listen=127.0.0.1:0 -port-file=artifacts/rchserve.addr \
+    -shards=3 -drain-timeout=30s 2> artifacts/rchserve.replay.log &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    if [ -s artifacts/rchserve.addr ]; then addr=$(cat artifacts/rchserve.addr); break; fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "ci: rchserve never wrote its port file (replay stage)" >&2
+    cat artifacts/rchserve.replay.log >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! artifacts/rchreplay -log artifacts/ci.trace.log -addr "$addr" -speed 200 \
+    -slo-out artifacts/ci.replay.slo.json -metrics-out artifacts/ci.replay.metrics.json; then
+    echo "ci: replay failed" >&2
+    cat artifacts/rchserve.replay.log >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+    echo "ci: rchserve drain exited non-zero after replay (want clean drain)" >&2
+    cat artifacts/rchserve.replay.log >&2
+    exit 1
+fi
+# The SLO report must carry the production surface, machine-readably:
+# per-op-class percentiles, the shed map keyed by wire code, the shed
+# rate, and the server-side degradation counters.
+for field in '"p50_ms"' '"p95_ms"' '"p99_ms"' '"shed"' '"shed_rate"' \
+    '"achieved_speed"' '"breaker_opens"' '"guard_quarantines"'; do
+    grep -q "$field" artifacts/ci.replay.slo.json \
+        || { echo "ci: SLO report missing $field" >&2; cat artifacts/ci.replay.slo.json >&2; exit 1; }
+done
+grep -q '"replay_log_events_total"' artifacts/ci.replay.metrics.json \
+    || { echo "ci: replay canonical metrics missing the log-derived counters" >&2; exit 1; }
+
 echo "==> sweep bench (quick)"
-scripts/bench.sh -quick -out artifacts/BENCH_sweep.quick.json
+scripts/bench.sh -quick -out artifacts/BENCH_sweep.quick.json -replay-out artifacts/BENCH_replay.quick.json
 
 echo "ci: all green"
